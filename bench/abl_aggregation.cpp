@@ -1,0 +1,35 @@
+// Aggregation ablation (paper 3.4.2, second optimization): message counts
+// with and without sub-cluster aggregation, across 2D and 3D keyword spaces.
+// Aggregation wins when several sibling sub-clusters share an owner — the
+// higher the dimensionality and the denser the data, the bigger the win.
+
+#include "common/fixture.hpp"
+#include "common/query_sets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace squid;
+  using namespace squid::bench;
+  const Flags flags = Flags::parse(argc, argv);
+  const ScalePoint scale = paper_scales(flags)[1];
+
+  Table table({"dims", "query", "messages (aggregated)", "messages (naive)",
+               "processing nodes"});
+  for (const unsigned dims : {2u, 3u}) {
+    core::SquidConfig with = balanced_config();
+    core::SquidConfig without = balanced_config();
+    without.aggregate_subclusters = false;
+    KeywordFixture fa = build_keyword_fixture(dims, scale, flags.seed, with);
+    KeywordFixture fn =
+        build_keyword_fixture(dims, scale, flags.seed, without);
+    Rng rng_a(flags.seed ^ 0x66), rng_n(flags.seed ^ 0x66);
+    for (const auto& nq : q1_queries(fa)) {
+      const QueryAverages a = run_query(*fa.sys, nq.query, 10, rng_a);
+      const QueryAverages n = run_query(*fn.sys, nq.query, 10, rng_n);
+      table.add_row({Table::cell(std::uint64_t{dims}), nq.label,
+                     Table::cell(a.messages), Table::cell(n.messages),
+                     Table::cell(a.processing_nodes)});
+    }
+  }
+  emit("Sub-cluster aggregation ablation", table, flags);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Curve-family ablation (DESIGN.md): what Hilbert's locality buys over
+// Z-order and Gray-code mappings — clusters per query, nodes touched,
+// messages — on identical corpora and queries.
+
+#include "common/fixture.hpp"
+#include "common/query_sets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace squid;
+  using namespace squid::bench;
+  const Flags flags = Flags::parse(argc, argv);
+  const ScalePoint scale = paper_scales(flags)[1]; // 2000 nodes / 4e4 keys
+
+  Table table({"curve", "query", "matches", "clusters(level 8)",
+               "processing nodes", "data nodes", "messages"});
+  for (const std::string family : {"hilbert", "gray", "zorder"}) {
+    core::SquidConfig config = balanced_config();
+    config.curve = family;
+    KeywordFixture fx = build_keyword_fixture(2, scale, flags.seed, config);
+    Rng rng(flags.seed ^ 0xab1);
+    // Column-shaped Q1 queries (one dim constrained) are friendly to every
+    // hierarchical curve; compact Q2 queries (both dims constrained) are
+    // where Hilbert's locality pays (paper Fig 3, Moon et al.).
+    std::vector<NamedQuery> queries = q1_queries(fx);
+    const auto q2 = q2_queries(fx);
+    queries.insert(queries.end(), q2.begin(), q2.end());
+    // Broad compact rectangles: single-letter prefixes on both dimensions
+    // select 1/27 of each axis — the large-square regime of paper Fig 3.
+    for (const std::size_t rank : {0u, 3u, 9u}) {
+      keyword::Query q = fx.corpus->q2(rank, rank + 1, true, /*prefix_len=*/1);
+      queries.push_back({keyword::to_string(q), std::move(q)});
+    }
+    for (const auto& nq : queries) {
+      const QueryAverages avg = run_query(*fx.sys, nq.query, 10, rng);
+      const sfc::ClusterRefiner refiner(fx.sys->curve());
+      const auto clusters =
+          refiner.decompose(fx.sys->space().to_rect(nq.query), 8);
+      table.add_row({family, nq.label, Table::cell(avg.matches),
+                     Table::cell(std::uint64_t{clusters.size()}),
+                     Table::cell(avg.processing_nodes),
+                     Table::cell(avg.data_nodes), Table::cell(avg.messages)});
+    }
+  }
+  emit("Curve ablation: Hilbert vs Gray vs Z-order", table, flags);
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Load-balancing ablation: none / join-time sampling / join + boundary
+// exchange / virtual nodes with split + migrate — CV, Gini, and max/mean of
+// the physical load distribution on the same skewed corpus.
+
+#include "common/fixture.hpp"
+#include "squid/core/virtual_nodes.hpp"
+#include "squid/stats/summary.hpp"
+
+namespace {
+
+using namespace squid;
+using namespace squid::bench;
+
+Summary summarize(const std::vector<std::size_t>& loads) {
+  Summary s;
+  for (const auto l : loads) s.add(static_cast<double>(l));
+  return s;
+}
+
+std::vector<core::DataElement> make_corpus(const Flags& flags,
+                                           std::size_t keys,
+                                           workload::KeywordCorpus& corpus,
+                                           Rng& rng) {
+  std::vector<core::DataElement> elements;
+  // Oversample: duplicates collapse into existing keys.
+  for (std::size_t i = 0; i < keys * 3; ++i)
+    elements.push_back(corpus.make_element(rng));
+  (void)flags;
+  return elements;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  const ScalePoint scale = paper_scales(flags)[1]; // 2000 nodes / 4e4 keys
+
+  Table table({"variant", "mean", "max/mean", "cv", "gini", "ops"});
+  const auto add_row = [&](const std::string& name, const Summary& s,
+                           std::size_t ops) {
+    table.add_row({name, Table::cell(s.mean()), Table::cell(s.max_over_mean()),
+                   Table::cell(s.cv()), Table::cell(s.gini()),
+                   Table::cell(std::uint64_t{ops})});
+  };
+
+  // Variants 1-3: physical peers directly on the ring.
+  struct Direct {
+    std::string name;
+    unsigned join_samples;
+    int sweeps;
+  };
+  for (const auto& variant :
+       {Direct{"none (random ids)", 1, 0},
+        Direct{"join-time sampling", 8, 0},
+        Direct{"join + boundary exchange", 8, 40}}) {
+    Rng rng(flags.seed);
+    workload::KeywordCorpus corpus(2, std::max<std::size_t>(600, scale.keys / 40),
+                                   0.8, rng);
+    core::SquidConfig config;
+    config.join_samples = variant.join_samples;
+    core::SquidSystem sys(corpus.make_space(), config);
+    for (const auto& e : make_corpus(flags, scale.keys, corpus, rng))
+      sys.publish(e);
+    sys.build_network(1, rng);
+    for (std::size_t i = 1; i < scale.nodes; ++i) (void)sys.join_node(rng);
+    std::size_t ops = 0;
+    for (int s = 0; s < variant.sweeps; ++s)
+      ops += sys.runtime_balance_sweep(1.2);
+    std::vector<std::size_t> loads;
+    for (const auto& [id, load] : sys.node_loads()) loads.push_back(load);
+    add_row(variant.name, summarize(loads), ops);
+  }
+
+  // Variant 4: virtual nodes (4 per peer) with split + migrate.
+  {
+    Rng rng(flags.seed);
+    workload::KeywordCorpus corpus(2, std::max<std::size_t>(600, scale.keys / 40),
+                                   0.8, rng);
+    core::SquidSystem sys(corpus.make_space());
+    for (const auto& e : make_corpus(flags, scale.keys, corpus, rng))
+      sys.publish(e);
+    core::VirtualNodeManager manager(sys, scale.nodes, 4, rng);
+    std::size_t ops = 0;
+    for (int round = 0; round < 40; ++round)
+      ops += manager.balance_round(2.0, 1.3, rng);
+    add_row("virtual nodes (split+migrate)", summarize(manager.physical_loads()),
+            ops);
+  }
+
+  emit("Load-balancing ablation (" + std::to_string(scale.nodes) +
+           " peers, skewed 2D corpus)",
+       table, flags);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Index-resolution ablation: the keyword codec's max_len sets bits per
+// dimension (base-27 digits), which controls how deep the refinement tree
+// can go. Higher resolution separates keys better (fewer false neighbors)
+// but lengthens cluster prefixes; this bench measures the end-to-end effect
+// on query cost for the same corpus and queries.
+
+#include "common/fixture.hpp"
+#include "squid/workload/corpus.hpp"
+
+int main(int argc, char** argv) {
+  using namespace squid;
+  using namespace squid::bench;
+  const Flags flags = Flags::parse(argc, argv);
+  const ScalePoint scale = paper_scales(flags)[1]; // 2000 nodes / 4e4 keys
+
+  Table table({"max_len", "bits/dim", "keys", "query", "matches",
+               "processing nodes", "messages"});
+  for (const unsigned max_len : {3u, 4u, 5u, 6u}) {
+    Rng rng(flags.seed);
+    workload::KeywordCorpus corpus(2, 2500, 0.8, rng);
+    core::SquidSystem sys(corpus.make_space(max_len), balanced_config());
+    std::size_t attempts = 0;
+    while (sys.key_count() < scale.keys && attempts++ < scale.keys * 40)
+      sys.publish(corpus.make_element(rng));
+    sys.build_network(1, rng);
+    for (std::size_t i = 1; i < scale.nodes; ++i) (void)sys.join_node(rng);
+    for (int s = 0; s < 6; ++s) (void)sys.runtime_balance_sweep(1.3);
+    sys.repair_routing();
+
+    for (const std::size_t rank : {0u, 12u}) {
+      const keyword::Query q = corpus.q1(rank, true, 3);
+      QueryAverages avg;
+      Rng qrng(flags.seed ^ 0x0a51);
+      avg = run_query(sys, q, 10, qrng);
+      table.add_row({Table::cell(std::uint64_t{max_len}),
+                     Table::cell(std::uint64_t{sys.space().bits_per_dim()}),
+                     Table::cell(std::uint64_t{sys.key_count()}),
+                     keyword::to_string(q), Table::cell(avg.matches),
+                     Table::cell(avg.processing_nodes),
+                     Table::cell(avg.messages)});
+    }
+  }
+  emit("Index-resolution ablation (keyword max_len)", table, flags);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Churn bench (paper 3.2 / future-work fault tolerance): query completeness
+// and cost as a function of the fraction of abruptly failed peers and of
+// the number of stabilization rounds run afterwards.
+
+#include "common/fixture.hpp"
+#include "common/query_sets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace squid;
+  using namespace squid::bench;
+  const Flags flags = Flags::parse(argc, argv);
+  const ScalePoint scale = paper_scales(flags)[0];
+
+  Table table({"failed %", "stabilize rounds", "completeness %",
+               "messages", "processing nodes"});
+  for (const double fail_fraction : {0.0, 0.1, 0.2, 0.3}) {
+    for (const unsigned rounds : {0u, 1u, 3u}) {
+      if (fail_fraction == 0.0 && rounds > 0) continue;
+      KeywordFixture fx = build_keyword_fixture(2, scale, flags.seed);
+      Rng rng(flags.seed ^ 0xc0de);
+      // True match counts recorded before any failure.
+      const auto queries = q1_queries(fx);
+      std::vector<std::size_t> truth;
+      for (const auto& nq : queries)
+        truth.push_back(
+            fx.sys->query(nq.query, fx.sys->ring().random_node(rng))
+                .stats.matches);
+
+      const auto kill =
+          static_cast<std::size_t>(fail_fraction *
+                                   static_cast<double>(fx.sys->ring().size()));
+      for (std::size_t i = 0; i < kill; ++i)
+        fx.sys->fail_node(fx.sys->ring().random_node(rng));
+      fx.sys->stabilize(rng, rounds);
+
+      double complete = 0, messages = 0, processing = 0;
+      for (std::size_t q = 0; q < queries.size(); ++q) {
+        const auto result =
+            fx.sys->query(queries[q].query, fx.sys->ring().random_node(rng));
+        complete += truth[q] == 0
+                        ? 100.0
+                        : 100.0 * static_cast<double>(result.stats.matches) /
+                              static_cast<double>(truth[q]);
+        messages += static_cast<double>(result.stats.messages);
+        processing += static_cast<double>(result.stats.processing_nodes);
+      }
+      const double n = static_cast<double>(queries.size());
+      table.add_row({Table::cell(fail_fraction * 100),
+                     Table::cell(std::uint64_t{rounds}),
+                     Table::cell(complete / n), Table::cell(messages / n),
+                     Table::cell(processing / n)});
+    }
+  }
+  emit("Churn: completeness and cost vs failures and stabilization", table,
+       flags);
+  return 0;
+}

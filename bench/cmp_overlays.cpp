@@ -1,0 +1,72 @@
+// Overlay-topology comparison (paper 5 future work): routing hops vs
+// per-node state for Chord (base 2 and 16 fingers), Pastry (hex digits),
+// and CAN (2D / 3D), all at the same population.
+
+#include "common/fixture.hpp"
+#include "squid/overlay/can.hpp"
+#include "squid/overlay/pastry.hpp"
+#include "squid/stats/summary.hpp"
+
+int main(int argc, char** argv) {
+  using namespace squid;
+  using namespace squid::bench;
+  const Flags flags = Flags::parse(argc, argv);
+  const std::size_t nodes =
+      std::max<std::size_t>(64, static_cast<std::size_t>(4000 * flags.shrink()));
+  constexpr int kTrials = 1500;
+
+  Table table({"overlay", "state/node", "mean hops", "p99 hops"});
+
+  for (const unsigned base : {2u, 16u}) {
+    Rng rng(flags.seed);
+    overlay::ChordRing ring(64, 8, base);
+    ring.build(nodes, rng);
+    Summary hops;
+    for (int i = 0; i < kTrials; ++i) {
+      const auto r = ring.route(ring.random_node(rng),
+                                rng.below128(static_cast<u128>(1) << 64));
+      if (r.ok) hops.add(static_cast<double>(r.hops()));
+    }
+    table.add_row({"chord (base " + std::to_string(base) + ")",
+                   Table::cell(std::uint64_t{ring.finger_count() + 8}),
+                   Table::cell(hops.mean()), Table::cell(hops.percentile(99))});
+  }
+
+  {
+    Rng rng(flags.seed);
+    overlay::PastryOverlay pastry(4, 16);
+    pastry.build(nodes, rng);
+    Summary hops;
+    for (int i = 0; i < kTrials; ++i) {
+      const auto r = pastry.route(pastry.random_node(rng), rng.next128());
+      if (r.ok) hops.add(static_cast<double>(r.hops()));
+    }
+    table.add_row({"pastry (b=4, L=16)",
+                   Table::cell(pastry.mean_table_entries()),
+                   Table::cell(hops.mean()), Table::cell(hops.percentile(99))});
+  }
+
+  for (const unsigned dims : {2u, 3u}) {
+    Rng rng(flags.seed);
+    overlay::CanOverlay can(dims, 16);
+    can.build(nodes, rng);
+    Summary hops;
+    double state = 0;
+    for (overlay::CanOverlay::NodeIndex v = 0; v < can.size(); ++v)
+      state += static_cast<double>(can.neighbors(v).size());
+    state /= static_cast<double>(can.size());
+    for (int i = 0; i < kTrials; ++i) {
+      sfc::Point p(dims);
+      for (auto& c : p) c = rng.below(1u << 16);
+      const auto r = can.route(can.random_node(rng), p);
+      if (r.ok) hops.add(static_cast<double>(r.hops()));
+    }
+    table.add_row({"can (" + std::to_string(dims) + "D)", Table::cell(state),
+                   Table::cell(hops.mean()), Table::cell(hops.percentile(99))});
+  }
+
+  emit("Overlay comparison: state vs hops (" + std::to_string(nodes) +
+           " nodes)",
+       table, flags);
+  return 0;
+}

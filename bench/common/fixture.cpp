@@ -1,0 +1,204 @@
+#include "common/fixture.hpp"
+
+#include <cstring>
+#include <iostream>
+
+#include "squid/util/require.hpp"
+
+namespace squid::bench {
+
+Flags Flags::parse(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--csv") {
+      flags.csv = true;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      flags.seed = std::stoull(arg.substr(7));
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      flags.scale = arg.substr(8);
+      SQUID_REQUIRE(flags.scale == "paper" || flags.scale == "small",
+                    "--scale must be 'paper' or 'small'");
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--csv] [--seed=N] [--scale=paper|small]\n";
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+core::SquidConfig balanced_config() {
+  core::SquidConfig config;
+  config.join_samples = 8;
+  return config;
+}
+
+std::vector<ScalePoint> paper_scales(const Flags& flags) {
+  const double f = flags.shrink();
+  const auto scaled = [f](std::size_t v) {
+    return std::max<std::size_t>(16, static_cast<std::size_t>(v * f));
+  };
+  return {{scaled(1000), scaled(20000)},
+          {scaled(2000), scaled(40000)},
+          {scaled(3200), scaled(60000)},
+          {scaled(4300), scaled(80000)},
+          {scaled(5400), scaled(100000)}};
+}
+
+namespace {
+
+/// Publish corpus elements until the system holds `keys` distinct keys.
+template <typename Corpus>
+void fill_keys(core::SquidSystem& sys, const Corpus& corpus, std::size_t keys,
+               Rng& rng) {
+  const std::size_t attempt_cap = keys * 40 + 1000;
+  std::size_t attempts = 0;
+  while (sys.key_count() < keys && attempts++ < attempt_cap)
+    sys.publish(corpus.make_element(rng));
+  SQUID_REQUIRE(sys.key_count() >= keys * 9 / 10,
+                "corpus too small to reach the requested key count");
+}
+
+void grow_network(core::SquidSystem& sys, std::size_t nodes, Rng& rng) {
+  sys.build_network(1, rng);
+  for (std::size_t i = 1; i < nodes; ++i) (void)sys.join_node(rng);
+  for (int sweep = 0; sweep < 6; ++sweep)
+    (void)sys.runtime_balance_sweep(1.3);
+  // Boundary moves leave stale fingers behind (each move is a leave +
+  // rejoin). Measurements assume a converged overlay, so repair exactly
+  // rather than paying for stabilization convergence in the build phase.
+  sys.repair_routing();
+}
+
+} // namespace
+
+KeywordFixture build_keyword_fixture(unsigned dims, const ScalePoint& scale,
+                                     std::uint64_t seed,
+                                     core::SquidConfig config) {
+  Rng rng(seed);
+  // Vocabulary size is FIXED per dimensionality (not scaled with the key
+  // target): growth figures replay the identical query at every scale
+  // point, so the vocabulary — and hence q1(rank)/q2(ranks) — must not
+  // change between points. |V|^d comfortably exceeds 1e5 keys either way.
+  const std::size_t vocab = dims >= 3 ? 400 : 2500;
+  KeywordFixture fixture;
+  fixture.corpus =
+      std::make_unique<workload::KeywordCorpus>(dims, vocab, 0.8, rng);
+  fixture.sys = std::make_unique<core::SquidSystem>(
+      fixture.corpus->make_space(), config);
+  fill_keys(*fixture.sys, *fixture.corpus, scale.keys, rng);
+  grow_network(*fixture.sys, scale.nodes, rng);
+  return fixture;
+}
+
+ResourceFixture build_resource_fixture(const ScalePoint& scale,
+                                       std::uint64_t seed,
+                                       core::SquidConfig config) {
+  Rng rng(seed);
+  ResourceFixture fixture;
+  fixture.corpus = std::make_unique<workload::ResourceCorpus>();
+  fixture.sys = std::make_unique<core::SquidSystem>(
+      fixture.corpus->make_space(), config);
+  fill_keys(*fixture.sys, *fixture.corpus, scale.keys, rng);
+  grow_network(*fixture.sys, scale.nodes, rng);
+  return fixture;
+}
+
+QueryAverages run_query(const core::SquidSystem& sys,
+                        const keyword::Query& query, unsigned repeats,
+                        Rng& rng) {
+  QueryAverages avg;
+  SQUID_REQUIRE(repeats > 0, "need at least one repeat");
+  for (unsigned r = 0; r < repeats; ++r) {
+    const auto result = sys.query(query, sys.ring().random_node(rng));
+    avg.matches += static_cast<double>(result.stats.matches);
+    avg.routing_nodes += static_cast<double>(result.stats.routing_nodes);
+    avg.processing_nodes += static_cast<double>(result.stats.processing_nodes);
+    avg.data_nodes += static_cast<double>(result.stats.data_nodes);
+    avg.messages += static_cast<double>(result.stats.messages);
+  }
+  const double n = repeats;
+  avg.matches /= n;
+  avg.routing_nodes /= n;
+  avg.processing_nodes /= n;
+  avg.data_nodes /= n;
+  avg.messages /= n;
+  return avg;
+}
+
+void emit(const std::string& title, const Table& table, const Flags& flags) {
+  std::cout << "== " << title << " ==\n";
+  if (flags.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "\n";
+}
+
+void run_growth_figure(const std::string& figure, const Flags& flags,
+                       const SetupFactory& setup) {
+  struct Metric {
+    const char* name;
+    double QueryAverages::* field;
+  };
+  const Metric metrics[] = {
+      {"matches", &QueryAverages::matches},
+      {"processing nodes", &QueryAverages::processing_nodes},
+      {"data nodes", &QueryAverages::data_nodes},
+      {"routing nodes", &QueryAverages::routing_nodes},
+      {"messages", &QueryAverages::messages},
+  };
+
+  const auto scales = paper_scales(flags);
+  std::vector<std::vector<QueryAverages>> grid; // [scale][query]
+  std::vector<std::string> labels;
+  for (const auto& scale : scales) {
+    const FigureSetup fs = setup(scale);
+    if (labels.empty())
+      for (const auto& nq : fs.queries) labels.push_back(nq.label);
+    Rng rng(flags.seed ^ 0x517ab1e);
+    std::vector<QueryAverages> row;
+    for (const auto& nq : fs.queries)
+      row.push_back(run_query(*fs.sys, nq.query, 10, rng));
+    grid.push_back(std::move(row));
+  }
+
+  for (const auto& metric : metrics) {
+    std::vector<std::string> headers{"nodes", "keys"};
+    headers.insert(headers.end(), labels.begin(), labels.end());
+    Table table(headers);
+    for (std::size_t s = 0; s < scales.size(); ++s) {
+      std::vector<std::string> row{Table::cell(std::uint64_t{scales[s].nodes}),
+                                   Table::cell(std::uint64_t{scales[s].keys})};
+      for (const auto& avg : grid[s])
+        row.push_back(Table::cell(avg.*(metric.field)));
+      table.add_row(std::move(row));
+    }
+    emit(figure + ": " + metric.name, table, flags);
+  }
+}
+
+void run_metrics_figure(const std::string& figure, const Flags& flags,
+                        const std::vector<ScalePoint>& scales,
+                        const SetupFactory& setup) {
+  for (const auto& scale : scales) {
+    const FigureSetup fs = setup(scale);
+    Rng rng(flags.seed ^ 0x9a77e2);
+    Table table({"query", "matches", "routing nodes", "messages",
+                 "processing nodes", "data nodes"});
+    for (const auto& nq : fs.queries) {
+      const QueryAverages avg = run_query(*fs.sys, nq.query, 10, rng);
+      table.add_row({nq.label, Table::cell(avg.matches),
+                     Table::cell(avg.routing_nodes), Table::cell(avg.messages),
+                     Table::cell(avg.processing_nodes),
+                     Table::cell(avg.data_nodes)});
+    }
+    emit(figure + ": all metrics, " + std::to_string(scale.nodes) +
+             " nodes / " + std::to_string(scale.keys) + " keys",
+         table, flags);
+  }
+}
+
+} // namespace squid::bench

@@ -1,0 +1,111 @@
+// Shared scaffolding for the figure-reproduction benches.
+//
+// Every binary prints the series of one paper figure (see DESIGN.md's
+// per-experiment index): it builds Squid systems at the paper's scales —
+// nodes grown through the load-balancing join, keys from the synthetic
+// keyword/resource corpora — replays the figure's queries from multiple
+// origins, and prints a table per panel. Run with --csv for
+// machine-readable output and --scale=small for a quick smoke run.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "squid/core/system.hpp"
+#include "squid/stats/table.hpp"
+#include "squid/workload/corpus.hpp"
+
+namespace squid::bench {
+
+struct Flags {
+  std::uint64_t seed = 2003; // HPDC 2003
+  bool csv = false;
+  /// "paper" replays the published scales; "small" shrinks everything ~10x
+  /// so the full bench suite smoke-runs quickly.
+  std::string scale = "paper";
+
+  static Flags parse(int argc, char** argv);
+  double shrink() const { return scale == "small" ? 0.1 : 1.0; }
+};
+
+/// One (nodes, keys) operating point of the paper's growth experiments.
+struct ScalePoint {
+  std::size_t nodes;
+  std::size_t keys;
+};
+
+/// The paper's 2D/3D growth schedule: 1000->5400 nodes, 2e4->1e5 keys.
+std::vector<ScalePoint> paper_scales(const Flags& flags);
+
+/// The paper's deployed configuration: load-balancing join enabled.
+core::SquidConfig balanced_config();
+
+struct KeywordFixture {
+  std::unique_ptr<workload::KeywordCorpus> corpus;
+  std::unique_ptr<core::SquidSystem> sys;
+};
+
+/// Build a Squid system at one scale point: corpus keys are published
+/// first, then nodes join through the load-balancing join (the deployed
+/// system the paper measures), followed by a few runtime-balancing sweeps.
+KeywordFixture build_keyword_fixture(unsigned dims, const ScalePoint& scale,
+                                     std::uint64_t seed,
+                                     core::SquidConfig config = balanced_config());
+
+struct ResourceFixture {
+  std::unique_ptr<workload::ResourceCorpus> corpus;
+  std::unique_ptr<core::SquidSystem> sys;
+};
+
+ResourceFixture build_resource_fixture(const ScalePoint& scale,
+                                       std::uint64_t seed,
+                                       core::SquidConfig config = balanced_config());
+
+/// Replay one query from `repeats` random origins and average the stats.
+struct QueryAverages {
+  double matches = 0;
+  double routing_nodes = 0;
+  double processing_nodes = 0;
+  double data_nodes = 0;
+  double messages = 0;
+};
+
+QueryAverages run_query(const core::SquidSystem& sys,
+                        const keyword::Query& query, unsigned repeats,
+                        Rng& rng);
+
+/// Print `table` under a headline, honoring --csv.
+void emit(const std::string& title, const Table& table, const Flags& flags);
+
+/// A named query replayed by a figure bench.
+struct NamedQuery {
+  std::string label;
+  keyword::Query query;
+};
+
+/// A system built at one scale point together with the figure's fixed
+/// query set (queries are derived from the corpus, so they come from the
+/// same factory).
+struct FigureSetup {
+  std::unique_ptr<core::SquidSystem> sys;
+  std::vector<NamedQuery> queries;
+};
+
+using SetupFactory = std::function<FigureSetup(const ScalePoint&)>;
+
+/// Growth figure (Figs 9, 11, 12, 14, 15, 17): replay the fixed queries at
+/// every scale point; prints one table per metric with a row per scale and
+/// a column per query.
+void run_growth_figure(const std::string& figure, const Flags& flags,
+                       const SetupFactory& setup);
+
+/// All-metrics figure (Figs 10, 13, 16): at the given scale points, prints
+/// one table per scale with a row per query and a column per metric.
+void run_metrics_figure(const std::string& figure, const Flags& flags,
+                        const std::vector<ScalePoint>& scales,
+                        const SetupFactory& setup);
+
+} // namespace squid::bench

@@ -1,0 +1,83 @@
+// The fixed query sets replayed by the figure benches (paper 4.1).
+//
+// Q1: one partial keyword, wildcards elsewhere. Q2: two terms, at least one
+// partial. Q3: numeric ranges. Vocabulary ranks are fixed so every scale
+// point of a growth figure replays the identical query, exactly as the
+// paper's query1..queryN series do.
+
+#pragma once
+
+#include "common/fixture.hpp"
+
+namespace squid::bench {
+
+inline std::vector<NamedQuery> q1_queries(const KeywordFixture& fx) {
+  struct Def {
+    std::size_t rank;
+    unsigned prefix_len;
+  };
+  // Ranks span popular to rare words; prefix lengths vary cluster breadth.
+  const Def defs[] = {{0, 3}, {2, 3}, {5, 4}, {12, 3}, {30, 4}, {80, 4}};
+  std::vector<NamedQuery> queries;
+  for (const auto& def : defs) {
+    keyword::Query q = fx.corpus->q1(def.rank, /*partial=*/true, def.prefix_len);
+    queries.push_back({keyword::to_string(q), std::move(q)});
+  }
+  return queries;
+}
+
+inline std::vector<NamedQuery> q2_queries(const KeywordFixture& fx) {
+  struct Def {
+    std::size_t rank_a;
+    std::size_t rank_b;
+    bool partial_b;
+  };
+  const Def defs[] = {
+      {0, 1, true}, {2, 7, false}, {5, 0, true}, {12, 3, false}, {30, 9, true}};
+  std::vector<NamedQuery> queries;
+  for (const auto& def : defs) {
+    keyword::Query q = fx.corpus->q2(def.rank_a, def.rank_b, def.partial_b);
+    queries.push_back({keyword::to_string(q), std::move(q)});
+  }
+  return queries;
+}
+
+/// Q3 of the form (keyword, range, *): storage tier fixed, bandwidth range.
+inline std::vector<NamedQuery> q3_keyword_range_queries(
+    const ResourceFixture& fx) {
+  struct Def {
+    double storage;
+    double bw_lo, bw_hi;
+  };
+  const Def defs[] = {{256, 90, 1100}, {1024, 900, 2600}, {128, 0, 110},
+                      {512, 2200, 10000}};
+  std::vector<NamedQuery> queries;
+  for (const auto& def : defs) {
+    keyword::Query q = fx.corpus->q3_keyword_range(def.storage, def.bw_lo,
+                                                   def.bw_hi);
+    queries.push_back({keyword::to_string(q), std::move(q)});
+  }
+  return queries;
+}
+
+/// Q3 of the form (range, range, range).
+inline std::vector<NamedQuery> q3_all_range_queries(const ResourceFixture& fx) {
+  struct Def {
+    double st_lo, st_hi, bw_lo, bw_hi, c_lo, c_hi;
+  };
+  const Def defs[] = {{200, 600, 0, 10000, 0, 1000},
+                      {60, 140, 90, 1100, 0, 100},
+                      {1000, 4096, 900, 10000, 0, 1000},
+                      {450, 1100, 2200, 2700, 10, 200},
+                      {0, 4096, 0, 10000, 500, 1000}};
+  std::vector<NamedQuery> queries;
+  for (const auto& def : defs) {
+    keyword::Query q = fx.corpus->q3_all_ranges(def.st_lo, def.st_hi,
+                                                def.bw_lo, def.bw_hi,
+                                                def.c_lo, def.c_hi);
+    queries.push_back({keyword::to_string(q), std::move(q)});
+  }
+  return queries;
+}
+
+} // namespace squid::bench

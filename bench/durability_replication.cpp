@@ -1,0 +1,56 @@
+// Durability bench (extension; the paper lists fault tolerance as future
+// work): key survival and repair traffic as functions of replication factor
+// and churn intensity. Failures arrive in waves; repair runs once between
+// waves (so heavier waves defeat lower factors first).
+
+#include "common/fixture.hpp"
+#include "squid/core/replication.hpp"
+#include "squid/workload/corpus.hpp"
+
+int main(int argc, char** argv) {
+  using namespace squid;
+  using namespace squid::bench;
+  const Flags flags = Flags::parse(argc, argv);
+  const std::size_t nodes =
+      std::max<std::size_t>(40, static_cast<std::size_t>(1000 * flags.shrink()));
+  const std::size_t elements = nodes * 20;
+
+  Table table({"factor", "wave size %", "waves", "lost keys %",
+               "repair transfers / key"});
+  for (const unsigned factor : {1u, 2u, 3u, 4u}) {
+    for (const double wave_fraction : {0.02, 0.05, 0.10}) {
+      Rng rng(flags.seed);
+      workload::KeywordCorpus corpus(2, 600, 0.9, rng);
+      core::SquidSystem sys(corpus.make_space());
+      sys.build_network(nodes, rng);
+      for (const auto& e : corpus.make_elements(elements, rng))
+        sys.publish(e);
+      core::ReplicationManager replication(sys, factor);
+
+      constexpr int kWaves = 10;
+      std::size_t transfers = 0;
+      for (int wave = 0; wave < kWaves; ++wave) {
+        const auto kill = static_cast<std::size_t>(
+            wave_fraction * static_cast<double>(sys.ring().size()));
+        for (std::size_t i = 0; i < kill && sys.ring().size() > 3; ++i)
+          replication.fail_node(sys.ring().random_node(rng));
+        // One newcomer per casualty keeps the population roughly stable.
+        for (std::size_t i = 0; i < kill; ++i)
+          (void)replication.join_node(rng);
+        transfers += replication.repair();
+      }
+      const double lost = 100.0 *
+                          static_cast<double>(replication.lost_keys()) /
+                          static_cast<double>(replication.tracked_keys());
+      table.add_row({Table::cell(std::uint64_t{factor}),
+                     Table::cell(wave_fraction * 100),
+                     Table::cell(std::uint64_t{kWaves}), Table::cell(lost),
+                     Table::cell(static_cast<double>(transfers) /
+                                 static_cast<double>(sys.key_count()))});
+    }
+  }
+  emit("Durability: key loss vs replication factor and churn (" +
+           std::to_string(nodes) + " peers)",
+       table, flags);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Hot-spot extension bench: a Zipf-repeating query workload with and
+// without the cluster-owner cache — hit rate, messages, peers touched.
+
+#include "common/fixture.hpp"
+#include "common/query_sets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace squid;
+  using namespace squid::bench;
+  const Flags flags = Flags::parse(argc, argv);
+  const ScalePoint scale = paper_scales(flags)[1]; // 2000 nodes / 4e4 keys
+  constexpr int kWorkload = 300;                   // queries per run
+
+  Table table({"variant", "messages", "routing nodes", "hit rate %"});
+  for (const bool caching : {false, true}) {
+    core::SquidConfig config = balanced_config();
+    config.cache_cluster_owners = caching;
+    KeywordFixture fx = build_keyword_fixture(2, scale, flags.seed, config);
+    const auto queries = q1_queries(fx);
+    Rng rng(flags.seed ^ 0xcac4e);
+    ZipfSampler popularity(queries.size(), 1.1);
+
+    double messages = 0, routing = 0;
+    for (int i = 0; i < kWorkload; ++i) {
+      const auto& nq = queries[popularity.sample(rng)];
+      const auto result =
+          fx.sys->query(nq.query, fx.sys->ring().random_node(rng));
+      messages += static_cast<double>(result.stats.messages);
+      routing += static_cast<double>(result.stats.routing_nodes);
+    }
+    const auto& stats = fx.sys->cache_stats();
+    const double rate =
+        stats.hits + stats.misses == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(stats.hits) /
+                  static_cast<double>(stats.hits + stats.misses);
+    table.add_row({caching ? "owner cache on" : "owner cache off",
+                   Table::cell(messages / kWorkload),
+                   Table::cell(routing / kWorkload), Table::cell(rate)});
+  }
+  emit("Cluster-owner caching under a repeating workload", table, flags);
+  return 0;
+}

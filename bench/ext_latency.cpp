@@ -1,0 +1,54 @@
+// Latency extension bench: critical-path hops (the longest chain of
+// dependent messages) vs system size, per query family. Messages measure
+// network load; the critical path is what a user waits for — independent
+// sub-queries travel in parallel.
+
+#include "common/fixture.hpp"
+#include "common/query_sets.hpp"
+#include "squid/core/timing.hpp"
+
+int main(int argc, char** argv) {
+  using namespace squid;
+  using namespace squid::bench;
+  const Flags flags = Flags::parse(argc, argv);
+
+  Table table({"nodes", "keys", "query", "critical path (hops)", "messages",
+               "chord lookup (hops)", "est. latency p50 (ms)",
+               "est. latency p95 (ms)"});
+  const core::LinkModel link{20.0, 20.0, 1.0}; // WAN-ish: 20-40ms per hop
+  for (const auto& scale : paper_scales(flags)) {
+    KeywordFixture fx = build_keyword_fixture(2, scale, flags.seed);
+    Rng rng(flags.seed ^ 0x1a7);
+    // Reference: a plain Chord lookup at this scale.
+    double lookup_hops = 0;
+    for (int i = 0; i < 50; ++i) {
+      const auto r = fx.sys->ring().route(
+          fx.sys->ring().random_node(rng),
+          rng.next128() & fx.sys->ring().id_mask());
+      lookup_hops += static_cast<double>(r.hops());
+    }
+    lookup_hops /= 50;
+
+    const auto queries = q1_queries(fx);
+    for (std::size_t qi = 0; qi < 2; ++qi) { // broad + mid query suffice
+      double critical = 0, messages = 0;
+      Summary latency;
+      for (int i = 0; i < 10; ++i) {
+        const auto result = fx.sys->query(queries[qi].query,
+                                          fx.sys->ring().random_node(rng));
+        critical += static_cast<double>(result.stats.critical_path_hops);
+        messages += static_cast<double>(result.stats.messages);
+        const Summary est = core::estimate_latency_ms(result, link, rng, 20);
+        for (const double sample : est.samples()) latency.add(sample);
+      }
+      table.add_row({Table::cell(std::uint64_t{scale.nodes}),
+                     Table::cell(std::uint64_t{scale.keys}),
+                     queries[qi].label, Table::cell(critical / 10),
+                     Table::cell(messages / 10), Table::cell(lookup_hops),
+                     Table::cell(latency.percentile(50)),
+                     Table::cell(latency.percentile(95))});
+    }
+  }
+  emit("Query latency: critical-path hops vs system size", table, flags);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Parallel query throughput: SquidSystem::query is a pure reader (with the
+// owner cache disabled), so independent client queries scale across
+// threads. Measures simulator queries/second at 1..hardware threads.
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/fixture.hpp"
+#include "common/query_sets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace squid;
+  using namespace squid::bench;
+  const Flags flags = Flags::parse(argc, argv);
+  const ScalePoint scale = paper_scales(flags)[1]; // 2000 nodes / 4e4 keys
+
+  KeywordFixture fx = build_keyword_fixture(2, scale, flags.seed);
+  (void)fx.sys->key_indices(); // warm the lazy key cache before sharing
+  const auto queries = q1_queries(fx);
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  Table table({"threads", "queries/s", "speedup"});
+  double base_rate = 0;
+  for (unsigned threads = 1; threads <= hw; threads *= 2) {
+    std::atomic<std::size_t> done{0};
+    constexpr int kPerThread = 40;
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        Rng rng(flags.seed ^ (t * 0x9e37));
+        for (int i = 0; i < kPerThread; ++i) {
+          const auto& nq = queries[rng.below(queries.size())];
+          const auto result =
+              fx.sys->query(nq.query, fx.sys->ring().random_node(rng));
+          done.fetch_add(result.stats.matches > 0 ? 1 : 1,
+                         std::memory_order_relaxed);
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const double rate = static_cast<double>(done.load()) / seconds;
+    if (threads == 1) base_rate = rate;
+    table.add_row({Table::cell(std::uint64_t{threads}), Table::cell(rate),
+                   Table::cell(rate / base_rate)});
+  }
+  emit("Parallel query throughput (read-only engine, owner cache off)",
+       table, flags);
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Reproduces Fig 10: all metrics (matches, routing nodes, messages,
+// processing nodes, data nodes) for the Q1 2D queries at the paper's two
+// reference scales — 3200 nodes / 6e4 keys and 5400 nodes / 1e5 keys.
+
+#include "common/fixture.hpp"
+#include "common/query_sets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace squid::bench;
+  const Flags flags = Flags::parse(argc, argv);
+  const auto scales = paper_scales(flags);
+  run_metrics_figure("Fig 10 (Q1 metrics, 2D)", flags,
+                     {scales[2], scales[4]},
+                     [&flags](const ScalePoint& scale) {
+                       KeywordFixture fx =
+                           build_keyword_fixture(2, scale, flags.seed);
+                       FigureSetup setup;
+                       setup.queries = q1_queries(fx);
+                       setup.sys = std::move(fx.sys);
+                       return setup;
+                     });
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Reproduces Fig 12 (Q1, 3D): growth of matches / processing nodes / data nodes
+// (plus routing nodes and messages) as the system scales 1000->5400 nodes
+// and 2e4->1e5 keys. See DESIGN.md and EXPERIMENTS.md.
+
+#include "common/fixture.hpp"
+#include "common/query_sets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace squid::bench;
+  const Flags flags = Flags::parse(argc, argv);
+  run_growth_figure("Fig 12 (Q1, 3D)", flags, [&flags](const ScalePoint& scale) {
+    KeywordFixture fx = build_keyword_fixture(3, scale, flags.seed);
+    FigureSetup setup;
+    setup.queries = q1_queries(fx);
+    setup.sys = std::move(fx.sys);
+    return setup;
+  });
+  return 0;
+}

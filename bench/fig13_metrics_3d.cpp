@@ -1,0 +1,26 @@
+// Reproduces Fig 13: all metrics for the Q1 3D queries at the paper's two
+// reference scales — 3000 nodes / 6e4 keys and 5300 nodes / 1e5 keys.
+
+#include "common/fixture.hpp"
+#include "common/query_sets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace squid::bench;
+  const Flags flags = Flags::parse(argc, argv);
+  const double f = flags.shrink();
+  const auto pt = [f](std::size_t nodes, std::size_t keys) {
+    return ScalePoint{std::max<std::size_t>(16, std::size_t(nodes * f)),
+                      std::max<std::size_t>(16, std::size_t(keys * f))};
+  };
+  run_metrics_figure("Fig 13 (Q1 metrics, 3D)", flags,
+                     {pt(3000, 60000), pt(5300, 100000)},
+                     [&flags](const ScalePoint& scale) {
+                       KeywordFixture fx =
+                           build_keyword_fixture(3, scale, flags.seed);
+                       FigureSetup setup;
+                       setup.queries = q1_queries(fx);
+                       setup.sys = std::move(fx.sys);
+                       return setup;
+                     });
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Reproduces Fig 15: range queries of the form (keyword, range, *) over the
+// 3D grid-resource space — matches, processing nodes, data nodes as the
+// system grows.
+
+#include "common/fixture.hpp"
+#include "common/query_sets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace squid::bench;
+  const Flags flags = Flags::parse(argc, argv);
+  run_growth_figure("Fig 15 (Q3 (keyword, range, *))", flags,
+                    [&flags](const ScalePoint& scale) {
+                      ResourceFixture fx =
+                          build_resource_fixture(scale, flags.seed);
+                      FigureSetup setup;
+                      setup.queries = q3_keyword_range_queries(fx);
+                      setup.sys = std::move(fx.sys);
+                      return setup;
+                    });
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Reproduces Fig 16: all metrics for range queries at the paper's two
+// reference scales — 2750 nodes / 6e4 keys and 4700 nodes / 1e5 keys.
+
+#include "common/fixture.hpp"
+#include "common/query_sets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace squid::bench;
+  const Flags flags = Flags::parse(argc, argv);
+  const double f = flags.shrink();
+  const auto pt = [f](std::size_t nodes, std::size_t keys) {
+    return ScalePoint{std::max<std::size_t>(16, std::size_t(nodes * f)),
+                      std::max<std::size_t>(16, std::size_t(keys * f))};
+  };
+  run_metrics_figure("Fig 16 (Q3 metrics)", flags,
+                     {pt(2750, 60000), pt(4700, 100000)},
+                     [&flags](const ScalePoint& scale) {
+                       ResourceFixture fx =
+                           build_resource_fixture(scale, flags.seed);
+                       FigureSetup setup;
+                       setup.queries = q3_keyword_range_queries(fx);
+                       auto rrr = q3_all_range_queries(fx);
+                       setup.queries.insert(setup.queries.end(),
+                                            rrr.begin(), rrr.end());
+                       setup.sys = std::move(fx.sys);
+                       return setup;
+                     });
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Reproduces Fig 17: range queries of the form (range, range, range) over
+// the 3D grid-resource space — matches, processing nodes, data nodes as the
+// system grows.
+
+#include "common/fixture.hpp"
+#include "common/query_sets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace squid::bench;
+  const Flags flags = Flags::parse(argc, argv);
+  run_growth_figure("Fig 17 (Q3 (range, range, range))", flags,
+                    [&flags](const ScalePoint& scale) {
+                      ResourceFixture fx =
+                          build_resource_fixture(scale, flags.seed);
+                      FigureSetup setup;
+                      setup.queries = q3_all_range_queries(fx);
+                      setup.sys = std::move(fx.sys);
+                      return setup;
+                    });
+  return 0;
+}

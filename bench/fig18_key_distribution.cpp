@@ -1,0 +1,42 @@
+// Reproduces Fig 18: the distribution of keys across the SFC index space,
+// partitioned into 50 equal intervals. The locality-preserving mapping makes
+// the distribution strongly non-uniform — the motivation for load
+// balancing.
+
+#include "common/fixture.hpp"
+#include "squid/stats/summary.hpp"
+
+int main(int argc, char** argv) {
+  using namespace squid;
+  using namespace squid::bench;
+  const Flags flags = Flags::parse(argc, argv);
+  const auto scales = paper_scales(flags);
+  const KeywordFixture fx =
+      build_keyword_fixture(2, scales.back(), flags.seed);
+
+  constexpr std::size_t kIntervals = 50;
+  const u128 interval_width = fx.sys->curve().max_index() / kIntervals + 1;
+  std::vector<std::uint64_t> counts(kIntervals, 0);
+  for (const u128 index : fx.sys->key_indices()) {
+    auto bucket = static_cast<std::size_t>(index / interval_width);
+    if (bucket >= kIntervals) bucket = kIntervals - 1;
+    ++counts[bucket];
+  }
+
+  Table table({"interval", "keys"});
+  for (std::size_t i = 0; i < kIntervals; ++i)
+    table.add_row({Table::cell(std::uint64_t{i}), Table::cell(counts[i])});
+  emit("Fig 18: keys per index-space interval (50 intervals, " +
+           std::to_string(fx.sys->key_count()) + " keys)",
+       table, flags);
+
+  Summary summary;
+  for (const auto c : counts) summary.add(static_cast<double>(c));
+  Table stats({"metric", "value"});
+  stats.add_row({"max interval", Table::cell(summary.max())});
+  stats.add_row({"mean interval", Table::cell(summary.mean())});
+  stats.add_row({"cv", Table::cell(summary.cv())});
+  stats.add_row({"gini", Table::cell(summary.gini())});
+  emit("Fig 18: imbalance summary", stats, flags);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Reproduces Fig 19: the per-node key distribution (a) with load balancing
+// at node join only, and (b) with both join-time and runtime local load
+// balancing — against the unbalanced baseline implied by Fig 18.
+//
+// The paper plots keys-per-node across the node sequence; we print sorted
+// load deciles plus the imbalance summary for each variant, which captures
+// the same comparison numerically.
+
+#include "common/fixture.hpp"
+#include "squid/stats/summary.hpp"
+
+namespace {
+
+using namespace squid;
+using namespace squid::bench;
+
+struct Variant {
+  std::string name;
+  Summary loads;
+};
+
+Variant build_variant(const std::string& name, const Flags& flags,
+                      const ScalePoint& scale, unsigned join_samples,
+                      int runtime_sweeps) {
+  core::SquidConfig config;
+  config.join_samples = join_samples;
+  KeywordFixture fx;
+  {
+    Rng rng(flags.seed);
+    auto corpus = std::make_unique<workload::KeywordCorpus>(
+        2, std::max<std::size_t>(600, scale.keys / 40), 0.8, rng);
+    auto sys = std::make_unique<core::SquidSystem>(corpus->make_space(),
+                                                   config);
+    while (sys->key_count() < scale.keys)
+      sys->publish(corpus->make_element(rng));
+    sys->build_network(1, rng);
+    for (std::size_t i = 1; i < scale.nodes; ++i) (void)sys->join_node(rng);
+    for (int s = 0; s < runtime_sweeps; ++s)
+      (void)sys->runtime_balance_sweep(1.2);
+    sys->repair_routing();
+    fx.corpus = std::move(corpus);
+    fx.sys = std::move(sys);
+  }
+  Variant variant{name, {}};
+  for (const auto& [id, load] : fx.sys->node_loads())
+    variant.loads.add(static_cast<double>(load));
+  return variant;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  const ScalePoint scale = paper_scales(flags)[2]; // 3200 nodes / 6e4 keys
+
+  const std::vector<Variant> variants{
+      build_variant("no balancing (random join)", flags, scale, 1, 0),
+      build_variant("join-time balancing only (Fig 19a)", flags, scale, 8, 0),
+      build_variant("join + runtime balancing (Fig 19b)", flags, scale, 8,
+                    40),
+  };
+
+  Table summary({"variant", "mean", "max", "max/mean", "cv", "gini"});
+  for (const auto& v : variants) {
+    summary.add_row({v.name, Table::cell(v.loads.mean()),
+                     Table::cell(v.loads.max()),
+                     Table::cell(v.loads.max_over_mean()),
+                     Table::cell(v.loads.cv()), Table::cell(v.loads.gini())});
+  }
+  emit("Fig 19: load-balance summary (" + std::to_string(scale.nodes) +
+           " nodes, " + std::to_string(scale.keys) + " keys)",
+       summary, flags);
+
+  Table deciles({"variant", "p10", "p25", "p50", "p75", "p90", "p99",
+                 "p100"});
+  for (const auto& v : variants) {
+    deciles.add_row({v.name, Table::cell(v.loads.percentile(10)),
+                     Table::cell(v.loads.percentile(25)),
+                     Table::cell(v.loads.percentile(50)),
+                     Table::cell(v.loads.percentile(75)),
+                     Table::cell(v.loads.percentile(90)),
+                     Table::cell(v.loads.percentile(99)),
+                     Table::cell(v.loads.percentile(100))});
+  }
+  emit("Fig 19: keys-per-node percentiles", deciles, flags);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Micro-benchmarks: Chord routing, joins, and stabilization throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "squid/overlay/chord.hpp"
+#include "squid/util/rng.hpp"
+
+namespace {
+
+using namespace squid;
+using namespace squid::overlay;
+
+void BM_Route(benchmark::State& state) {
+  Rng rng(1);
+  ChordRing ring(48);
+  ring.build(static_cast<std::size_t>(state.range(0)), rng);
+  const auto ids = ring.node_ids();
+  std::size_t hops = 0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto r = ring.route(ids[i++ % ids.size()],
+                              rng.below128(static_cast<u128>(1) << 48));
+    hops += r.hops();
+    benchmark::DoNotOptimize(r.dest);
+  }
+  state.counters["hops/route"] =
+      static_cast<double>(hops) / static_cast<double>(state.iterations());
+}
+
+void BM_Join(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    ChordRing ring(48);
+    ring.build(static_cast<std::size_t>(state.range(0)), rng);
+    state.ResumeTiming();
+    for (int i = 0; i < 16; ++i)
+      (void)ring.join(ring.random_free_id(rng), ring.random_node(rng));
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+
+void BM_StabilizeSweep(benchmark::State& state) {
+  Rng rng(3);
+  ChordRing ring(48);
+  ring.build(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    ring.stabilize_all(rng, 1);
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_Route)->Arg(1000)->Arg(5000)->Arg(20000);
+BENCHMARK(BM_Join)->Arg(1000)->Arg(5000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_StabilizeSweep)->Arg(1000)->Unit(benchmark::kMillisecond);

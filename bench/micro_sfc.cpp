@@ -1,0 +1,88 @@
+// Micro-benchmarks: SFC mapping throughput (forward and inverse) and
+// rectangle decomposition, across curve families and geometries.
+
+#include <benchmark/benchmark.h>
+
+#include "squid/sfc/hilbert.hpp"
+#include "squid/sfc/refine.hpp"
+#include "squid/sfc/zorder.hpp"
+#include "squid/util/rng.hpp"
+
+namespace {
+
+using namespace squid;
+using namespace squid::sfc;
+
+std::vector<Point> random_points(const Curve& curve, std::size_t count) {
+  Rng rng(1);
+  std::vector<Point> points(count);
+  for (auto& p : points) {
+    p.resize(curve.dims());
+    for (auto& c : p)
+      c = curve.bits_per_dim() >= 64 ? rng()
+                                     : rng.below(curve.max_coord() + 1);
+  }
+  return points;
+}
+
+template <typename CurveT>
+void BM_IndexOf(benchmark::State& state) {
+  const CurveT curve(static_cast<unsigned>(state.range(0)),
+                     static_cast<unsigned>(state.range(1)));
+  const auto points = random_points(curve, 1024);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.index_of(points[i++ & 1023]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+template <typename CurveT>
+void BM_PointOf(benchmark::State& state) {
+  const CurveT curve(static_cast<unsigned>(state.range(0)),
+                     static_cast<unsigned>(state.range(1)));
+  Rng rng(2);
+  std::vector<u128> indices(1024);
+  for (auto& h : indices) h = rng.next128() & curve.max_index();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.point_of(indices[i++ & 1023]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_HilbertDecompose(benchmark::State& state) {
+  const HilbertCurve curve(2, static_cast<unsigned>(state.range(0)));
+  const ClusterRefiner refiner(curve);
+  Rng rng(3);
+  std::vector<Rect> rects;
+  for (int i = 0; i < 64; ++i) {
+    Rect r;
+    for (int d = 0; d < 2; ++d) {
+      const auto a = rng.below(curve.max_coord() + 1);
+      const auto b = rng.below(curve.max_coord() + 1);
+      r.dims.push_back({std::min(a, b), std::max(a, b)});
+    }
+    rects.push_back(std::move(r));
+  }
+  std::size_t i = 0;
+  std::size_t segments = 0;
+  for (auto _ : state) {
+    segments += refiner.decompose(rects[i++ & 63], 8).size();
+  }
+  benchmark::DoNotOptimize(segments);
+}
+
+} // namespace
+
+BENCHMARK(BM_IndexOf<HilbertCurve>)
+    ->Args({2, 24})
+    ->Args({3, 40})
+    ->Args({8, 16});
+BENCHMARK(BM_PointOf<HilbertCurve>)
+    ->Args({2, 24})
+    ->Args({3, 40})
+    ->Args({8, 16});
+BENCHMARK(BM_IndexOf<ZOrderCurve>)->Args({2, 24})->Args({3, 40});
+BENCHMARK(BM_PointOf<ZOrderCurve>)->Args({2, 24})->Args({3, 40});
+BENCHMARK(BM_HilbertDecompose)->Arg(8)->Arg(16)->Arg(24);

@@ -1,0 +1,99 @@
+// Whole-system lifecycle simulation: a deployment lives on the
+// discrete-event engine for a simulated hour — peers join and fail, clients
+// publish and query continuously, replication repair and stabilization run
+// on their own timers. Prints a timeline of health metrics; the shape to
+// look for is steady completeness and bounded repair backlog despite churn.
+
+#include <iostream>
+
+#include "common/fixture.hpp"
+#include "squid/core/replication.hpp"
+#include "squid/sim/engine.hpp"
+#include "squid/workload/corpus.hpp"
+
+int main(int argc, char** argv) {
+  using namespace squid;
+  using namespace squid::bench;
+  const Flags flags = Flags::parse(argc, argv);
+  const std::size_t start_nodes =
+      std::max<std::size_t>(50, static_cast<std::size_t>(500 * flags.shrink()));
+
+  Rng rng(flags.seed);
+  workload::KeywordCorpus corpus(2, 600, 0.9, rng);
+  core::SquidSystem sys(corpus.make_space());
+  sys.build_network(start_nodes, rng);
+  std::vector<core::DataElement> published = corpus.make_elements(
+      start_nodes * 10, rng);
+  for (const auto& e : published) sys.publish(e);
+  core::ReplicationManager replication(sys, 3);
+
+  sim::Engine engine;
+  Rng churn_rng = rng.fork();
+  Rng client_rng = rng.fork();
+  Rng maint_rng = rng.fork();
+
+  constexpr sim::Time kMinute = 60;
+  constexpr sim::Time kHour = 60 * kMinute;
+
+  // Churn: every 10 s, with 50% probability one peer joins or one fails.
+  engine.schedule_periodic(10, [&] {
+    if (churn_rng.chance(0.5)) {
+      if (churn_rng.chance(0.5) || sys.ring().size() < start_nodes / 2) {
+        (void)replication.join_node(churn_rng);
+      } else {
+        replication.fail_node(sys.ring().random_node(churn_rng));
+      }
+    }
+    return engine.now() < kHour;
+  });
+
+  // Clients: one publish and two queries per 5 s.
+  std::size_t queries_run = 0, matches_total = 0;
+  engine.schedule_periodic(5, [&] {
+    published.push_back(corpus.make_element(client_rng));
+    sys.publish(published.back());
+    for (int i = 0; i < 2; ++i) {
+      const auto q = corpus.q1(client_rng.below(30), true);
+      const auto result = sys.query(q, sys.ring().random_node(client_rng));
+      ++queries_run;
+      matches_total += result.stats.matches;
+    }
+    return engine.now() < kHour;
+  });
+
+  // Maintenance: stabilization every 30 s, replica repair every minute.
+  engine.schedule_periodic(30, [&] {
+    sys.stabilize(maint_rng, 1);
+    return engine.now() < kHour;
+  });
+  std::size_t repair_traffic = 0;
+  engine.schedule_periodic(kMinute, [&] {
+    repair_traffic += replication.repair();
+    return engine.now() < kHour;
+  });
+
+  // Reporting every 10 minutes.
+  Table table({"minute", "peers", "keys", "queries run", "avg matches",
+               "under-replicated", "lost keys", "repair transfers"});
+  engine.schedule_periodic(10 * kMinute, [&] {
+    table.add_row(
+        {Table::cell(std::uint64_t{engine.now() / kMinute}),
+         Table::cell(std::uint64_t{sys.ring().size()}),
+         Table::cell(std::uint64_t{sys.key_count()}),
+         Table::cell(std::uint64_t{queries_run}),
+         Table::cell(queries_run ? static_cast<double>(matches_total) /
+                                       static_cast<double>(queries_run)
+                                 : 0.0),
+         Table::cell(std::uint64_t{replication.under_replicated()}),
+         Table::cell(std::uint64_t{replication.lost_keys()}),
+         Table::cell(std::uint64_t{repair_traffic})});
+    return engine.now() < kHour;
+  });
+
+  engine.run(kHour);
+  emit("Lifecycle: one simulated hour under churn (replication factor 3)",
+       table, flags);
+  std::cout << (replication.lost_keys() == 0 ? "no data lost\n"
+                                             : "DATA LOST\n");
+  return replication.lost_keys() == 0 ? 0 : 1;
+}

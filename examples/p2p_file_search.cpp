@@ -1,0 +1,59 @@
+// P2P file sharing with keyword search (the paper's first motivating
+// application): files are described by keywords rather than exact names, so
+// users can find "every document about computer networks" without knowing
+// any filename — with guarantees, unlike Gnutella-style flooding.
+//
+//   $ ./p2p_file_search
+
+#include <iostream>
+
+#include "squid/core/system.hpp"
+#include "squid/workload/corpus.hpp"
+
+int main() {
+  using namespace squid;
+
+  Rng rng(2003);
+  workload::KeywordCorpus corpus(/*dims=*/2, /*vocabulary=*/400,
+                                 /*zipf=*/0.9, rng);
+  core::SquidConfig config;
+  config.join_samples = 8;
+  core::SquidSystem squid(corpus.make_space(), config);
+
+  // A community of 500 peers sharing 20000 files.
+  squid.build_network(1, rng);
+  for (const auto& file : corpus.make_elements(20000, rng))
+    squid.publish(file);
+  for (int i = 1; i < 500; ++i) (void)squid.join_node(rng);
+  for (int s = 0; s < 10; ++s) (void)squid.runtime_balance_sweep(1.3);
+  squid.repair_routing();
+  std::cout << squid.ring().size() << " peers share "
+            << squid.element_count() << " files (" << squid.key_count()
+            << " distinct keyword pairs)\n\n";
+
+  // Users search with whatever they remember of the keywords.
+  const std::string popular = corpus.vocabulary().by_rank(0);
+  const std::string other = corpus.vocabulary().by_rank(5);
+  const std::vector<std::string> searches{
+      "(" + popular + ", *)",                    // one whole keyword
+      "(" + popular.substr(0, 3) + "*, *)",      // partial keyword
+      "(" + popular.substr(0, 3) + "*, " + other.substr(0, 3) + "*)",
+      "(" + popular + ", " + other + ")",        // fully specified
+  };
+
+  for (const auto& text : searches) {
+    const auto result = squid.query(text, rng);
+    const double fraction = 100.0 *
+                            static_cast<double>(result.stats.processing_nodes) /
+                            static_cast<double>(squid.ring().size());
+    std::cout << text << " -> " << result.stats.matches << " files\n"
+              << "  guaranteed complete; touched " << result.stats.processing_nodes
+              << " peers (" << fraction << "% of the network), "
+              << result.stats.messages << " messages\n";
+  }
+
+  std::cout << "\nA flooding network would contact every peer to give the "
+               "same guarantee;\na plain DHT could only resolve the last, "
+               "fully-specified search.\n";
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Interactive Squid shell: drive a simulated deployment from the command
+// line — build a network, publish and remove documents, run flexible
+// queries, inspect load, and snapshot/restore state.
+//
+//   $ ./squid_cli
+//   squid> build 64
+//   squid> publish report.pdf grid data
+//   squid> query (gri*, *)
+//   squid> save /tmp/squid.snapshot
+//
+// Reads commands from stdin (scriptable: `./squid_cli < commands.txt`).
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "squid/core/serialize.hpp"
+#include "squid/core/system.hpp"
+#include "squid/stats/summary.hpp"
+
+namespace {
+
+using namespace squid;
+
+keyword::KeywordSpace make_space() {
+  return keyword::KeywordSpace(
+      {keyword::StringCodec("abcdefghijklmnopqrstuvwxyz", 6),
+       keyword::StringCodec("abcdefghijklmnopqrstuvwxyz", 6)});
+}
+
+void print_help() {
+  std::cout <<
+      "commands:\n"
+      "  build <nodes> [seed]       create a fresh network\n"
+      "  publish <name> <kw1> <kw2> index an element\n"
+      "  unpublish <name> <kw1> <kw2>\n"
+      "  query <text>               e.g. query (comp*, a-m)\n"
+      "  loads                      load distribution summary\n"
+      "  stats                      system counters\n"
+      "  save <file> | load <file>  snapshot to/from disk\n"
+      "  help | quit\n";
+}
+
+} // namespace
+
+int main() {
+  std::unique_ptr<core::SquidSystem> sys;
+  Rng rng(1);
+  std::cout << "squid shell — 2D keyword space, 'help' for commands\n";
+
+  std::string line;
+  while (std::cout << "squid> " << std::flush, std::getline(std::cin, line)) {
+    std::istringstream args(line);
+    std::string command;
+    args >> command;
+    try {
+      if (command.empty()) continue;
+      if (command == "quit" || command == "exit") break;
+      if (command == "help") {
+        print_help();
+      } else if (command == "build") {
+        std::size_t nodes = 64;
+        std::uint64_t seed = 1;
+        args >> nodes >> seed;
+        rng.reseed(seed);
+        sys = std::make_unique<core::SquidSystem>(make_space());
+        sys->build_network(std::max<std::size_t>(1, nodes), rng);
+        std::cout << "network of " << sys->ring().size() << " peers ready\n";
+      } else if (!sys && command != "load") {
+        std::cout << "no network yet — run 'build <nodes>' first\n";
+      } else if (command == "publish" || command == "unpublish") {
+        std::string name, kw1, kw2;
+        args >> name >> kw1 >> kw2;
+        if (kw2.empty()) {
+          std::cout << "usage: " << command << " <name> <kw1> <kw2>\n";
+          continue;
+        }
+        const core::DataElement element{name, {kw1, kw2}};
+        if (command == "publish") {
+          sys->publish(element);
+          std::cout << "indexed under (" << kw1 << ", " << kw2 << ")\n";
+        } else {
+          std::cout << (sys->unpublish(element) ? "removed\n" : "not found\n");
+        }
+      } else if (command == "query") {
+        std::string text;
+        std::getline(args, text);
+        const auto result = sys->query(text, rng);
+        std::cout << result.stats.matches << " matches ("
+                  << result.stats.messages << " msgs, "
+                  << result.stats.processing_nodes << " peers, depth "
+                  << result.stats.critical_path_hops << " hops):";
+        for (const auto& e : result.elements) std::cout << ' ' << e.name;
+        std::cout << '\n';
+      } else if (command == "loads") {
+        Summary loads;
+        for (const auto& [id, load] : sys->node_loads())
+          loads.add(static_cast<double>(load));
+        std::cout << "keys/peer: mean " << loads.mean() << ", max "
+                  << loads.max() << ", cv " << loads.cv() << '\n';
+      } else if (command == "stats") {
+        std::cout << sys->ring().size() << " peers, " << sys->key_count()
+                  << " keys, " << sys->element_count() << " elements, index 2^"
+                  << sys->curve().index_bits() << " (" << sys->curve().name()
+                  << ")\n";
+      } else if (command == "save") {
+        std::string file;
+        args >> file;
+        std::ofstream out(file);
+        if (!out) {
+          std::cout << "cannot write " << file << '\n';
+          continue;
+        }
+        core::save_snapshot(*sys, out);
+        std::cout << "saved to " << file << '\n';
+      } else if (command == "load") {
+        std::string file;
+        args >> file;
+        std::ifstream in(file);
+        if (!in) {
+          std::cout << "cannot read " << file << '\n';
+          continue;
+        }
+        sys = std::make_unique<core::SquidSystem>(make_space());
+        core::load_snapshot(*sys, in);
+        std::cout << "restored " << sys->ring().size() << " peers, "
+                  << sys->element_count() << " elements\n";
+      } else {
+        std::cout << "unknown command '" << command << "' — try 'help'\n";
+      }
+    } catch (const std::exception& error) {
+      std::cout << "error: " << error.what() << '\n';
+    }
+  }
+  std::cout << '\n';
+  return 0;
+}

@@ -1,0 +1,70 @@
+// The Andrzejak-Xu range-query system (P2P 2002) — the one other
+// Hilbert-SFC P2P discovery system the paper discusses (paper 2): a single
+// numeric attribute is mapped through the *inverse* SFC from its
+// 1-dimensional value domain onto CAN's d-dimensional coordinate space, so
+// a value range becomes one contiguous curve segment crossing a set of CAN
+// zones.
+//
+// Contrast with Squid (which this repository reproduces): Squid encodes d
+// attributes through the *forward* SFC into one index, so it resolves
+// multi-attribute queries with a single index; this system needs one
+// overlay instance per attribute and client-side intersection.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "squid/overlay/can.hpp"
+#include "squid/sfc/hilbert.hpp"
+#include "squid/sfc/refine.hpp"
+#include "squid/util/rng.hpp"
+
+namespace squid::baselines {
+
+class CanInverseSfcIndex {
+public:
+  /// Index one attribute with values in [domain_lo, domain_hi) over a CAN
+  /// of `nodes` zones in a `dims`-dimensional space with 2^bits_per_dim
+  /// cells per side. The attribute resolution is dims*bits_per_dim bits.
+  CanInverseSfcIndex(unsigned dims, unsigned bits_per_dim, std::size_t nodes,
+                     double domain_lo, double domain_hi, Rng& rng);
+
+  const overlay::CanOverlay& can() const noexcept { return can_; }
+
+  void publish(const std::string& name, double value);
+  std::size_t element_count() const noexcept { return elements_; }
+
+  struct RangeResult {
+    std::size_t matches = 0;
+    std::size_t messages = 0;
+    std::size_t nodes_visited = 0; ///< zones scanned for matches
+    std::size_t routing_nodes = 0; ///< zones that forwarded anything
+    std::vector<std::string> names;
+  };
+
+  /// Resolve the value range [lo, hi]: the 1-D interval becomes a curve
+  /// segment, recursively refined into zone-sized cells and visited in
+  /// curve order (one message per zone transition).
+  RangeResult range_query(double lo, double hi, Rng& rng) const;
+
+private:
+  u128 index_of_value(double value) const;
+  sfc::Point point_of_value(double value) const;
+
+  sfc::HilbertCurve curve_;
+  overlay::CanOverlay can_;
+  sfc::ClusterRefiner refiner_;
+  double domain_lo_;
+  double domain_hi_;
+  /// Per-zone storage: (curve index, name, value).
+  struct Entry {
+    u128 index;
+    std::string name;
+    double value;
+  };
+  std::vector<std::vector<Entry>> storage_;
+  std::size_t elements_ = 0;
+};
+
+} // namespace squid::baselines

@@ -1,0 +1,30 @@
+// Chord exact-lookup baseline (paper 4.1.1): "in the case of a data lookup
+// system such as Chord, one would have to know all the matches a priori and
+// look them up individually."
+//
+// This baseline is granted that impossible a-priori knowledge: it reads the
+// global key set, selects the keys matching the query, and performs one
+// Chord lookup per key. Its cost therefore scales with the number of
+// matching keys — and it answers nothing without an external index.
+
+#pragma once
+
+#include "squid/core/system.hpp"
+#include "squid/util/rng.hpp"
+
+namespace squid::baselines {
+
+struct OracleResult {
+  std::size_t matches = 0;
+  std::size_t matching_keys = 0;
+  std::size_t messages = 0;
+  std::size_t routing_nodes = 0;
+  std::size_t data_nodes = 0;
+};
+
+/// Resolve `query` against `sys`'s data by individual Chord lookups of
+/// every matching key (which a real deployment could not enumerate).
+OracleResult chord_oracle_query(const core::SquidSystem& sys,
+                                const keyword::Query& query, Rng& rng);
+
+} // namespace squid::baselines

@@ -1,0 +1,54 @@
+// Gnutella-style unstructured search baseline (paper 2, Related Work).
+//
+// Peers form a random connected graph; data elements live wherever their
+// publisher happens to be; queries flood with a TTL. Flooding supports
+// arbitrary predicates but offers no completeness guarantee short of
+// TTL = diameter, at which point it contacts essentially every peer — the
+// cost Squid's evaluation is contrasted against ("a keyword search system
+// like Gnutella would have to query the entire network").
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "squid/core/types.hpp"
+#include "squid/keyword/space.hpp"
+#include "squid/util/rng.hpp"
+
+namespace squid::baselines {
+
+class FloodingNetwork {
+public:
+  /// Connected random graph: a ring backbone plus random chords until the
+  /// average degree reaches `degree`.
+  FloodingNetwork(std::size_t nodes, unsigned degree, Rng& rng);
+
+  std::size_t size() const noexcept { return adjacency_.size(); }
+
+  /// The element is stored at a random peer (unstructured placement).
+  void publish(const core::DataElement& element, Rng& rng);
+
+  struct FloodResult {
+    std::size_t matches = 0;
+    std::size_t nodes_visited = 0;
+    std::size_t messages = 0;
+    std::vector<core::DataElement> elements;
+  };
+
+  /// Flood `query` from a random origin with the given TTL.
+  FloodResult query(const keyword::KeywordSpace& space,
+                    const keyword::Query& query, unsigned ttl,
+                    Rng& rng) const;
+
+  /// Matches reachable by an unbounded flood — the ground truth a TTL-bound
+  /// flood should be compared against.
+  std::size_t total_matches(const keyword::KeywordSpace& space,
+                            const keyword::Query& query) const;
+
+private:
+  std::vector<std::vector<std::uint32_t>> adjacency_;
+  std::vector<std::vector<core::DataElement>> storage_;
+};
+
+} // namespace squid::baselines

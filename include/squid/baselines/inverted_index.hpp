@@ -1,0 +1,73 @@
+// Distributed inverted-index keyword search over a DHT (paper 2: the
+// "structured keyword search systems" of Gnawali's KSS and PeerSearch).
+//
+// Each keyword hashes to a posting node that stores the posting list of
+// elements carrying that keyword; a conjunctive query looks up one posting
+// list per keyword and intersects them. This supports whole-keyword search
+// well, but partial keywords require expanding the prefix over the
+// vocabulary (one lookup per matching word — we grant the baseline a free
+// global vocabulary, a strictly optimistic assumption), and numeric ranges
+// are not expressible at all. Squid's single index handles all three.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "squid/core/types.hpp"
+#include "squid/overlay/chord.hpp"
+#include "squid/util/rng.hpp"
+
+namespace squid::baselines {
+
+class InvertedIndexDht {
+public:
+  InvertedIndexDht(std::size_t nodes, Rng& rng);
+
+  const overlay::ChordRing& ring() const noexcept { return ring_; }
+
+  /// Index `element` under each of its (string) keywords. Numeric tokens
+  /// are indexed under their decimal rendering — the only option an
+  /// inverted index has.
+  void publish(const core::DataElement& element);
+
+  struct LookupResult {
+    std::size_t matches = 0;
+    std::size_t messages = 0;
+    std::size_t routing_nodes = 0;
+    std::size_t posting_nodes = 0;
+    std::vector<core::DataElement> elements;
+  };
+
+  /// Conjunctive whole-keyword query: one posting-list lookup per term
+  /// ("*" terms are free), intersect by element name, then verify the
+  /// element's tokens dimension-wise.
+  LookupResult query_whole(const std::vector<std::string>& terms,
+                           Rng& rng) const;
+
+  /// Partial-keyword query: expand `prefix` over `vocabulary`, then one
+  /// posting lookup per expansion. `dim` selects which dimension the term
+  /// constrains; other dimensions are unconstrained.
+  LookupResult query_prefix(unsigned dim, const std::string& prefix,
+                            const std::vector<std::string>& vocabulary,
+                            Rng& rng) const;
+
+private:
+  struct Posting {
+    core::DataElement element;
+    unsigned dim; ///< which dimension carried the keyword
+  };
+
+  u128 keyword_key(const std::string& word) const;
+  void lookup(const std::string& word, overlay::NodeId origin,
+              LookupResult& result,
+              std::map<std::string, std::vector<Posting>>& found) const;
+
+  overlay::ChordRing ring_;
+  /// posting node -> keyword -> postings.
+  std::map<overlay::NodeId, std::map<std::string, std::vector<Posting>>>
+      postings_;
+};
+
+} // namespace squid::baselines

@@ -1,0 +1,25 @@
+// Snapshot save/load for SquidSystem.
+//
+// A snapshot captures the overlay membership and every published element in
+// a line-oriented text format (versioned header, length-prefixed strings,
+// decimal 128-bit ids). Loading requires a freshly built system with the
+// same keyword space and curve — the geometry is validated from the header,
+// and routing state is rebuilt exactly after membership is restored.
+
+#pragma once
+
+#include <iosfwd>
+
+#include "squid/core/system.hpp"
+
+namespace squid::core {
+
+/// Write a complete snapshot of `sys` (membership + elements) to `out`.
+void save_snapshot(const SquidSystem& sys, std::ostream& out);
+
+/// Restore a snapshot into `sys`, which must be freshly constructed (no
+/// nodes, no data) with a keyword space and curve matching the snapshot's
+/// geometry. Throws std::invalid_argument on format or geometry mismatch.
+void load_snapshot(SquidSystem& sys, std::istream& in);
+
+} // namespace squid::core

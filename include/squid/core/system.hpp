@@ -1,0 +1,209 @@
+// SquidSystem: the paper's P2P information-discovery system, end to end
+// (paper 3): SFC-based locality-preserving index over a Chord ring, with a
+// distributed query engine (recursive refinement + pruning + sub-cluster
+// aggregation) and load balancing at join time and at runtime.
+//
+// This is a simulator in the same sense as the paper's evaluation vehicle:
+// all peers live in one address space, but queries follow the distributed
+// algorithm faithfully — every piece of state a step consumes is local to
+// the peer performing it, every cross-peer interaction is dispatched through
+// overlay routing and counted.
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "squid/core/types.hpp"
+#include "squid/keyword/space.hpp"
+#include "squid/overlay/chord.hpp"
+#include "squid/sfc/curve.hpp"
+#include "squid/sfc/refine.hpp"
+#include "squid/util/rng.hpp"
+
+namespace squid::core {
+
+class SquidSystem {
+public:
+  using NodeId = overlay::NodeId;
+
+  SquidSystem(keyword::KeywordSpace space, SquidConfig config = {});
+
+  const keyword::KeywordSpace& space() const noexcept { return space_; }
+  const sfc::Curve& curve() const noexcept { return *curve_; }
+  const overlay::ChordRing& ring() const noexcept { return ring_; }
+  const SquidConfig& config() const noexcept { return config_; }
+
+  // --- Topology -----------------------------------------------------------
+
+  /// Bootstrap a network of `count` peers with random identifiers and exact
+  /// routing state (experiment setup).
+  void build_network(std::size_t count, Rng& rng);
+
+  /// One peer joins. With config().join_samples > 1 this is the paper's
+  /// load-balancing join: the newcomer probes several candidate identifiers
+  /// and picks the one absorbing the most keys (3.5). Returns the chosen id.
+  NodeId join_node(Rng& rng);
+
+  void leave_node(NodeId id);
+  void fail_node(NodeId id);
+
+  /// Insert a peer at a chosen identifier with exact wiring. Used by the
+  /// virtual-node load balancer, whose split points are computed ids.
+  void add_node_at(NodeId id) { ring_.add_node_exact(id); }
+
+  /// Run `rounds` stabilization sweeps over every live peer (repairs
+  /// successors, predecessors, and one random finger each — the honest
+  /// incremental protocol of paper 3.2).
+  void stabilize(Rng& rng, unsigned rounds = 1) {
+    ring_.stabilize_all(rng, rounds);
+  }
+
+  /// Oracle repair: recompute every routing table exactly. Experiment
+  /// setup only — models the state periodic maintenance converges to,
+  /// without paying for the convergence inside a build phase.
+  void repair_routing() { ring_.repair_all(); }
+
+  // --- Data ---------------------------------------------------------------
+
+  /// Index a data element (instant placement; experiment setup).
+  void publish(const DataElement& element);
+
+  /// Protocol-faithful publish: routes the element's key from `origin` to
+  /// its owner; the result carries the overlay path.
+  overlay::RouteResult publish_routed(const DataElement& element,
+                                      NodeId origin);
+
+  /// Remove one published element (matched by name AND keys). Returns true
+  /// when something was removed; the key vanishes with its last element.
+  bool unpublish(const DataElement& element);
+
+  std::size_t key_count() const noexcept { return store_.size(); }
+  std::size_t element_count() const noexcept { return element_count_; }
+
+  /// Number of distinct keys owned by each live node, in ring order —
+  /// the load metric of Figs 18-19.
+  std::vector<std::pair<NodeId, std::size_t>> node_loads() const;
+
+  /// Keys owned by `id` given current ring membership: indices in
+  /// (predecessor(id), id], wrapping.
+  std::size_t load_of(NodeId id) const;
+
+  /// Identifier that splits node `s`'s keys in half (the index of its median
+  /// stored key), when that is a usable fresh id.
+  std::optional<NodeId> median_split_id(NodeId s) const;
+
+  /// Ground truth: the node currently owning `index`.
+  NodeId owner_of(u128 index) const { return ring_.successor_of(index); }
+
+  /// All stored key indices in ascending order (Fig 18's raw data; also the
+  /// "a priori knowledge" granted to the Chord-lookup baseline).
+  std::vector<u128> key_indices() const { return key_cache(); }
+
+  /// Visit every stored key in ascending index order.
+  void for_each_key(
+      const std::function<void(u128 index, const sfc::Point& point,
+                               const std::vector<DataElement>& elements)>& fn)
+      const {
+    for (const auto& [index, key] : store_) fn(index, key.point, key.elements);
+  }
+
+  // --- Queries ------------------------------------------------------------
+
+  /// Resolve a flexible query starting at `origin`, using the distributed
+  /// refinement engine (3.4). Returns all matching elements plus the cost
+  /// accounting. The system guarantees completeness: every stored element
+  /// matching the query is returned.
+  QueryResult query(const keyword::Query& query, NodeId origin) const;
+
+  /// Convenience: parse-and-query from a random origin.
+  QueryResult query(const std::string& text, Rng& rng) const;
+
+  /// Cardinality probe: how many elements match, without shipping any of
+  /// them back (data nodes reply with counts). Same completeness guarantee
+  /// and resolution cost as query().
+  std::size_t count(const keyword::Query& query, NodeId origin) const;
+
+  /// Naive centralized resolution (the strawman of paper 3.4.1): the origin
+  /// materializes the cluster decomposition itself (progressively deepened
+  /// until `max_segments`) and sends one message per cluster. Complete, but
+  /// its message count scales with the cluster count instead of with the
+  /// data — the comparison bench quantifies the gap.
+  QueryResult query_centralized(const keyword::Query& query, NodeId origin,
+                                std::size_t max_segments = 4096) const;
+
+  // --- Load balancing -----------------------------------------------------
+
+  /// One sweep of the paper's runtime local load balancing: every node
+  /// compares load with its predecessor; when the imbalance exceeds
+  /// `threshold` (ratio), the boundary between them moves so both end up
+  /// near the average. Returns the number of boundary adjustments.
+  std::size_t runtime_balance_sweep(double threshold = 1.5);
+
+  /// Total number of node-identifier moves performed by runtime balancing
+  /// since construction (each corresponds to an O(log N) rewiring in a real
+  /// deployment).
+  std::size_t balance_moves() const noexcept { return balance_moves_; }
+
+  // --- Cluster-owner caching (config().cache_cluster_owners) ---------------
+
+  const CacheStats& cache_stats() const noexcept { return cache_stats_; }
+  void clear_caches() {
+    owner_cache_.clear();
+    cache_stats_ = {};
+  }
+
+private:
+  struct StoredKey {
+    sfc::Point point; ///< cached coordinates (avoids inverse mapping)
+    std::vector<DataElement> elements;
+  };
+
+  struct QueryContext; // defined in query_engine.cpp
+
+  u128 index_of_element(const DataElement& element) const;
+
+  /// Keys a newcomer with identifier `candidate` would absorb.
+  std::size_t absorbed_load(NodeId candidate) const;
+  /// Count of stored keys in the wrapped ring interval (from, to].
+  std::size_t keys_in_range(NodeId from, NodeId to) const;
+
+  void resolve_at_node(QueryContext& ctx, NodeId at,
+                       std::vector<sfc::ClusterNode> clusters,
+                       std::int32_t event) const;
+  void collect_segment(QueryContext& ctx, NodeId at, sfc::Segment segment,
+                       bool covered, std::int32_t event) const;
+  void collect_covered(QueryContext& ctx, NodeId at, sfc::Segment segment,
+                       std::int32_t event) const;
+  void scan_local(QueryContext& ctx, NodeId at, sfc::Segment segment,
+                  bool covered) const;
+  void dispatch_remote(QueryContext& ctx, NodeId from,
+                       const std::vector<sfc::ClusterNode>& clusters,
+                       std::int32_t event) const;
+
+  /// Sorted snapshot of stored key indices, rebuilt lazily; makes the
+  /// O(log K) rank queries behind load probes cheap even at 10^5 keys.
+  const std::vector<u128>& key_cache() const;
+
+  keyword::KeywordSpace space_;
+  SquidConfig config_;
+  std::unique_ptr<sfc::Curve> curve_;
+  sfc::ClusterRefiner refiner_;
+  overlay::ChordRing ring_;
+  std::map<u128, StoredKey> store_; ///< key index -> stored content
+  std::size_t element_count_ = 0;
+  std::size_t balance_moves_ = 0;
+  mutable std::vector<u128> key_cache_;
+  mutable bool key_cache_dirty_ = true;
+  /// Per-peer memory of owners learned from aggregation replies:
+  /// peer -> (cluster level, prefix) -> owner. Only the dispatching peer's
+  /// own entries are consulted (no global knowledge leaks in).
+  mutable std::map<NodeId, std::map<std::pair<unsigned, u128>, NodeId>>
+      owner_cache_;
+  mutable CacheStats cache_stats_;
+};
+
+} // namespace squid::core

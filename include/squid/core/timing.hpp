@@ -1,0 +1,35 @@
+// Wall-clock replay of a query's message-dependency DAG.
+//
+// The engine records, for every message, which earlier message it waited on
+// and how many overlay hops it took (QueryResult::timing). Replaying that
+// DAG under a per-hop link-latency model yields a wall-clock completion
+// estimate: independent branches overlap, dependent chains add up — the
+// structure a deployed Squid would exhibit, without an asynchronous
+// network stack in the simulator.
+
+#pragma once
+
+#include "squid/core/types.hpp"
+#include "squid/stats/summary.hpp"
+#include "squid/util/rng.hpp"
+
+namespace squid::core {
+
+/// Per-hop cost model: each overlay hop costs base + U[0, jitter) ms, and
+/// each message additionally pays the receiving peer's processing time.
+struct LinkModel {
+  double base_ms = 20.0;
+  double jitter_ms = 20.0;
+  double processing_ms = 1.0;
+};
+
+/// One sampled wall-clock completion time (ms) of the query whose timing
+/// DAG is `timing`, under `model`.
+double sample_completion_ms(const std::vector<TimingEvent>& timing,
+                            const LinkModel& model, Rng& rng);
+
+/// Distribution of completion times over `samples` independent replays.
+Summary estimate_latency_ms(const QueryResult& result, const LinkModel& model,
+                            Rng& rng, std::size_t samples = 100);
+
+} // namespace squid::core

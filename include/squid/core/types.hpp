@@ -1,0 +1,84 @@
+// Public value types of the Squid core.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "squid/keyword/space.hpp"
+
+namespace squid::core {
+
+/// A published piece of information: a name/URI plus one descriptive token
+/// per keyword-space dimension (paper: "a data element can be a document, a
+/// file, an XML file describing a resource, ...").
+struct DataElement {
+  std::string name;
+  std::vector<keyword::Token> keys;
+
+  friend bool operator==(const DataElement&, const DataElement&) = default;
+};
+
+/// Per-query accounting, matching the metrics of the paper's evaluation
+/// (4.1): routing nodes, processing nodes, data nodes, and messages.
+/// `messages` counts query messages (cluster dispatches, identifier replies,
+/// and aggregated batches), not per-hop transmissions; `routing_nodes` is
+/// the set of peers that forwarded any dispatch.
+struct QueryStats {
+  std::size_t matches = 0;
+  std::size_t routing_nodes = 0;
+  std::size_t processing_nodes = 0;
+  std::size_t data_nodes = 0;
+  std::size_t messages = 0;
+  /// Latency proxy: overlay hops along the longest chain of *dependent*
+  /// messages (independent sub-queries proceed in parallel, so this is the
+  /// critical path, not the message total).
+  std::size_t critical_path_hops = 0;
+};
+
+/// One message event in a query's dependency DAG: it could only be sent
+/// after its parent event completed, and it took `hops` overlay hops.
+/// Event 0 is the query's start at the origin (parent -1, hops 0).
+struct TimingEvent {
+  std::int32_t parent = -1;
+  std::uint32_t hops = 0;
+};
+
+struct QueryResult {
+  QueryStats stats;
+  std::vector<DataElement> elements;
+  /// The query's message-dependency DAG, for wall-clock replay under a
+  /// link-latency model (core/timing.hpp).
+  std::vector<TimingEvent> timing;
+};
+
+struct SquidConfig {
+  /// Curve family: "hilbert" (paper), "zorder"/"gray" for ablation.
+  std::string curve = "hilbert";
+  /// Chord successor-list length.
+  unsigned successor_list = 8;
+  /// Chord finger base: 2 = classic fingers; larger bases trade bigger
+  /// tables for shorter routes (log_base N hops).
+  unsigned finger_base = 2;
+  /// Identifiers sampled by the load-balancing join (paper suggests 5-10;
+  /// 1 disables the optimization and joins at a random id).
+  unsigned join_samples = 1;
+  /// Enable the sub-cluster aggregation optimization (paper 3.4.2, second
+  /// optimization). Off only for the ablation bench.
+  bool aggregate_subclusters = true;
+  /// Hot-spot extension (paper 5 future work): each peer remembers the
+  /// owner identifiers learned from aggregation replies, keyed by cluster
+  /// prefix, and sends later sub-queries for cached prefixes directly
+  /// (verified on arrival; stale entries fall back to routing).
+  bool cache_cluster_owners = false;
+};
+
+/// Hit/miss counters for the cluster-owner cache.
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t stale = 0; ///< cached owner no longer responsible
+};
+
+} // namespace squid::core

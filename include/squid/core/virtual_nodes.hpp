@@ -1,0 +1,54 @@
+// Virtual-node load balancing (paper 3.5, second runtime algorithm).
+//
+// Each physical peer hosts several virtual nodes (ring identifiers); the
+// peer's load is the sum over its virtual nodes. When a virtual node's load
+// crosses a threshold it splits in two; when a physical peer is overloaded
+// it migrates virtual nodes to less-loaded peers (its neighbors or fingers
+// in the paper — here a small random sample, which models the same limited
+// view). Migration moves only the hosting assignment, so it is much cheaper
+// than the identifier moves of the boundary-exchange algorithm.
+
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "squid/core/system.hpp"
+
+namespace squid::core {
+
+class VirtualNodeManager {
+public:
+  /// Takes over topology management of `sys` (which must have an empty
+  /// network): creates `physical_peers * virtuals_per_peer` virtual nodes
+  /// with random identifiers and deals them out round-robin.
+  VirtualNodeManager(SquidSystem& sys, std::size_t physical_peers,
+                     unsigned virtuals_per_peer, Rng& rng);
+
+  std::size_t physical_count() const noexcept { return physical_count_; }
+  std::size_t virtual_count() const noexcept { return host_of_.size(); }
+
+  /// Sum of virtual-node loads per physical peer.
+  std::vector<std::size_t> physical_loads() const;
+
+  /// One balancing round: split virtual nodes whose load exceeds
+  /// `split_threshold` times the average virtual load, then migrate virtual
+  /// nodes away from physical peers whose load exceeds `migrate_threshold`
+  /// times the average physical load. Returns splits + migrations done.
+  std::size_t balance_round(double split_threshold, double migrate_threshold,
+                            Rng& rng);
+
+  std::size_t splits() const noexcept { return splits_; }
+  std::size_t migrations() const noexcept { return migrations_; }
+
+private:
+  std::size_t load_of_virtual(SquidSystem::NodeId id) const;
+
+  SquidSystem& sys_;
+  std::size_t physical_count_;
+  std::map<SquidSystem::NodeId, std::size_t> host_of_; ///< virtual -> peer
+  std::size_t splits_ = 0;
+  std::size_t migrations_ = 0;
+};
+
+} // namespace squid::core

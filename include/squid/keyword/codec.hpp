@@ -1,0 +1,97 @@
+// Dimension codecs: keywords and attribute values to coordinates (paper 3.1).
+//
+// Each dimension of the keyword space carries either textual keywords
+// (documents described by words — "the keywords can be viewed as base-n
+// numbers") or a numeric attribute (grid resources described by memory, CPU,
+// bandwidth). A codec maps tokens to integer coordinates such that
+// lexicographic / numeric order is preserved, which is what turns partial
+// keywords and value ranges into contiguous coordinate intervals.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "squid/sfc/types.hpp"
+
+namespace squid::keyword {
+
+/// Fixed-length base-(alphabet+1) string codec. Digit 0 is reserved as the
+/// end-of-string pad so that "comp" and "compa" encode distinctly and
+/// shorter words sort before their extensions, exactly like base-n numbers
+/// left-aligned in the paper's keyword space.
+class StringCodec {
+public:
+  /// `alphabet`: ordered characters allowed in keywords (e.g. "a..z").
+  /// `max_len`: keywords longer than this are truncated — the index then
+  /// treats them by their first `max_len` characters, as the paper's base-n
+  /// digit view does.
+  StringCodec(std::string alphabet, unsigned max_len);
+
+  unsigned bits() const noexcept { return bits_; }
+  unsigned max_len() const noexcept { return max_len_; }
+  std::uint64_t base() const noexcept { return base_; }
+  /// Largest coordinate any keyword can take: base^max_len - 1.
+  std::uint64_t max_coord() const noexcept { return max_coord_; }
+
+  /// Whole-keyword coordinate. Unknown characters throw.
+  std::uint64_t encode(std::string_view word) const;
+
+  /// Recover the (possibly truncated) keyword from a coordinate.
+  std::string decode(std::uint64_t coord) const;
+
+  /// Coordinates of all keywords extending `prefix` — the interval a
+  /// partial-keyword term like "comp*" selects.
+  sfc::Interval prefix_interval(std::string_view prefix) const;
+
+  /// The full axis as seen by keywords (excludes the unused coordinates
+  /// above base^max_len, so wildcards do not drag dead space into queries).
+  sfc::Interval any_interval() const noexcept { return {0, max_coord_}; }
+
+  sfc::Interval whole_interval(std::string_view word) const {
+    const std::uint64_t c = encode(word);
+    return {c, c};
+  }
+
+private:
+  std::uint64_t digit_of(char c) const;
+
+  std::string alphabet_;
+  unsigned max_len_;
+  std::uint64_t base_;      // alphabet size + 1 (pad digit)
+  std::uint64_t max_coord_; // base^max_len - 1
+  unsigned bits_;
+};
+
+/// Linear quantizer for a numeric attribute over [lo, hi] into 2^bits
+/// buckets. Order preserving, so value ranges become coordinate intervals.
+class NumericCodec {
+public:
+  NumericCodec(double lo, double hi, unsigned bits);
+
+  unsigned bits() const noexcept { return bits_; }
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+  std::uint64_t max_coord() const noexcept {
+    return (std::uint64_t{1} << bits_) - 1;
+  }
+
+  /// Bucket of `value`; values outside [lo, hi] clamp to the edge buckets.
+  std::uint64_t encode(double value) const noexcept;
+
+  /// Lower edge of a bucket.
+  double decode(std::uint64_t coord) const;
+
+  /// Coordinates selected by the value range [value_lo, value_hi].
+  sfc::Interval range_interval(double value_lo, double value_hi) const;
+
+  sfc::Interval any_interval() const noexcept { return {0, max_coord()}; }
+
+private:
+  double lo_;
+  double hi_;
+  unsigned bits_;
+};
+
+} // namespace squid::keyword

@@ -1,0 +1,106 @@
+// The multidimensional keyword space and the flexible query model
+// (paper 3.1, 3.3).
+//
+// A KeywordSpace fixes the number of dimensions and the codec for each
+// (textual keywords or a numeric attribute). Data elements are described by
+// one token per dimension and become points; queries combine per-dimension
+// terms — whole keyword, partial keyword ("comp*"), wildcard ("*"), numeric
+// range ("256-512", "1000-*") — and become axis-aligned rectangles, which is
+// what makes them resolvable as SFC clusters.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "squid/keyword/codec.hpp"
+#include "squid/sfc/types.hpp"
+
+namespace squid::keyword {
+
+/// One descriptor of a data element along one dimension.
+using Token = std::variant<std::string, double>;
+
+/// Query terms, one per dimension.
+struct Whole {
+  std::string word;
+};
+struct Prefix {
+  std::string prefix; ///< written "prefix*" in query syntax
+};
+struct Any {}; ///< written "*"
+struct NumRange {
+  double lo;
+  double hi;
+};
+/// Lexicographic keyword range, written "alpha-beta": selects every keyword
+/// w with lo <= w <= hi in dictionary order (extensions of hi, such as
+/// "betas", sort after it and are excluded).
+struct StrRange {
+  std::string lo;
+  std::string hi;
+};
+struct NumExact {
+  double value;
+};
+using QueryTerm =
+    std::variant<Whole, Prefix, Any, NumRange, NumExact, StrRange>;
+
+struct Query {
+  std::vector<QueryTerm> terms;
+};
+
+/// Render a query in the paper's "(comp*, network, *)" notation.
+std::string to_string(const Query& query);
+std::string to_string(const Token& token);
+
+class KeywordSpace {
+public:
+  using Dimension = std::variant<StringCodec, NumericCodec>;
+
+  explicit KeywordSpace(std::vector<Dimension> dimensions);
+
+  unsigned dims() const noexcept {
+    return static_cast<unsigned>(dimensions_.size());
+  }
+  /// Uniform per-dimension coordinate width required by the curve: the
+  /// widest codec; narrower dimensions simply leave their top coordinates
+  /// unused (the space is sparse anyway).
+  unsigned bits_per_dim() const noexcept { return bits_per_dim_; }
+
+  const Dimension& dimension(unsigned i) const;
+
+  /// Point for a fully-described data element (one token per dimension).
+  sfc::Point encode(const std::vector<Token>& tokens) const;
+
+  /// Human-readable tokens for a point (string dims decode to keywords,
+  /// numeric dims to bucket lower edges).
+  std::vector<Token> decode(const sfc::Point& point) const;
+
+  /// Query rectangle: the coordinate interval each term selects.
+  sfc::Rect to_rect(const Query& query) const;
+
+  /// True when the element's point falls inside the query's rectangle.
+  bool matches(const Query& query, const std::vector<Token>& tokens) const;
+
+  /// Parse one term for dimension `dim`:
+  ///   "*"        -> Any
+  ///   "comp*"    -> Prefix (string dims)
+  ///   "word"     -> Whole (string dims)
+  ///   "a-b"      -> NumRange (numeric dims; either bound may be "*")
+  ///   "3.5"      -> NumExact (numeric dims)
+  ///   "cat-dog"  -> StrRange (string dims; either bound may be "*")
+  QueryTerm parse_term(unsigned dim, std::string_view text) const;
+
+  /// Parse "(t1, t2, ...)" — parentheses optional — with one term per
+  /// dimension.
+  Query parse(std::string_view text) const;
+
+private:
+  std::vector<Dimension> dimensions_;
+  unsigned bits_per_dim_ = 0;
+};
+
+} // namespace squid::keyword

@@ -1,0 +1,87 @@
+// CAN overlay network (Ratnasamy et al., SIGCOMM 2001) — the substrate of
+// the Andrzejak-Xu inverse-SFC range-query system the paper contrasts
+// itself against (paper 2, Related Work).
+//
+// The coordinate space is a d-dimensional discrete torus of side 2^m. Every
+// node owns an axis-aligned box (zone); a joining node picks a random point
+// and splits the owning zone in half along the dimension cycled round-robin
+// with the zone's split history (the classic CAN construction, which keeps
+// zones near-square). Routing is greedy: forward to the neighbor whose zone
+// is closest to the target point under torus L1 distance.
+
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "squid/sfc/types.hpp"
+#include "squid/util/rng.hpp"
+
+namespace squid::overlay {
+
+class CanOverlay {
+public:
+  using NodeIndex = std::uint32_t;
+
+  struct Zone {
+    std::vector<sfc::Interval> box; ///< inclusive per-dimension extents
+    unsigned next_split_dim = 0;    ///< round-robin split cursor
+
+    bool contains(const sfc::Point& p) const noexcept;
+  };
+
+  struct RouteResult {
+    bool ok = false;
+    NodeIndex dest = 0;
+    std::vector<NodeIndex> path;
+
+    std::size_t hops() const noexcept {
+      return path.empty() ? 0 : path.size() - 1;
+    }
+  };
+
+  CanOverlay(unsigned dims, unsigned bits_per_dim);
+
+  unsigned dims() const noexcept { return dims_; }
+  unsigned bits_per_dim() const noexcept { return bits_per_dim_; }
+  std::size_t size() const noexcept { return zones_.size(); }
+
+  /// Grow the overlay to `count` zones by repeated random-point joins.
+  void build(std::size_t count, Rng& rng);
+
+  /// One join: split the zone owning a random point. Returns the new node.
+  NodeIndex join(Rng& rng);
+
+  const Zone& zone(NodeIndex node) const;
+  const std::set<NodeIndex>& neighbors(NodeIndex node) const;
+
+  /// Ground truth: the node owning `point`.
+  NodeIndex owner_of(const sfc::Point& point) const;
+
+  /// Greedy routing from `from` toward the zone containing `point`.
+  RouteResult route(NodeIndex from, const sfc::Point& point) const;
+
+  NodeIndex random_node(Rng& rng) const {
+    return static_cast<NodeIndex>(rng.below(zones_.size()));
+  }
+
+  /// Sanity: zones partition the torus and neighbor sets are symmetric.
+  bool invariants_hold() const;
+
+private:
+  bool zones_adjacent(const Zone& a, const Zone& b) const noexcept;
+  std::uint64_t torus_axis_distance(std::uint64_t coord,
+                                    const sfc::Interval& extent,
+                                    unsigned dim) const noexcept;
+  std::uint64_t torus_distance(const sfc::Point& p,
+                               const Zone& zone) const noexcept;
+  void rebuild_neighbors(NodeIndex node);
+
+  unsigned dims_;
+  unsigned bits_per_dim_;
+  std::vector<Zone> zones_;
+  std::vector<std::set<NodeIndex>> neighbors_;
+};
+
+} // namespace squid::overlay

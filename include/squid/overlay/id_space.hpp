@@ -1,0 +1,46 @@
+// Circular identifier-space arithmetic for the Chord ring (paper 3.2).
+//
+// Identifiers live in [0, 2^bits) arranged as a circle; all interval tests
+// are clockwise. Following Chord's convention, a zero-length interval like
+// (a, a] denotes the *whole* ring (it is how a single-node ring owns every
+// key), not the empty set.
+
+#pragma once
+
+#include "squid/util/u128.hpp"
+
+namespace squid::overlay {
+
+using NodeId = u128;
+
+/// x in (a, b] clockwise.
+constexpr bool in_open_closed(NodeId a, NodeId b, NodeId x) noexcept {
+  if (a < b) return a < x && x <= b;
+  return x > a || x <= b; // wrapped (or full circle when a == b)
+}
+
+/// x in (a, b) clockwise. (a, a) is the whole ring minus a.
+constexpr bool in_open_open(NodeId a, NodeId b, NodeId x) noexcept {
+  if (a < b) return a < x && x < b;
+  if (a == b) return x != a;
+  return x > a || x < b;
+}
+
+/// x in [a, b) clockwise.
+constexpr bool in_closed_open(NodeId a, NodeId b, NodeId x) noexcept {
+  if (a < b) return a <= x && x < b;
+  return x >= a || x < b;
+}
+
+/// Clockwise distance from a to b in a ring of width `bits`.
+constexpr u128 ring_distance(NodeId a, NodeId b, unsigned bits) noexcept {
+  const u128 mask = low_mask(bits);
+  return (b - a) & mask;
+}
+
+/// (a + 2^k) mod 2^bits — the k-th finger target.
+constexpr NodeId finger_target(NodeId a, unsigned k, unsigned bits) noexcept {
+  return (a + (static_cast<u128>(1) << k)) & low_mask(bits);
+}
+
+} // namespace squid::overlay

@@ -1,0 +1,89 @@
+// Pastry overlay (Rowstron & Druschel, Middleware 2001) — the third overlay
+// family the paper cites (paper 2); built here for the overlay-topology
+// comparison the paper lists as future work ("evaluate other network
+// topologies").
+//
+// Identifiers are 128-bit strings of base-2^b digits. Each node keeps a
+// *leaf set* (the L/2 numerically closest nodes on each side) and a
+// *routing table* with one row per shared-prefix length and one column per
+// digit value. A key is owned by the numerically closest node (with
+// wraparound). Routing resolves one digit per hop: ~log_{2^b} N hops.
+//
+// Scope: this implementation targets converged-state routing comparisons
+// (tables are wired exactly, as repair_all does for Chord); the churn
+// protocol of the paper is out of scope here — Chord remains Squid's
+// maintained substrate.
+
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "squid/util/rng.hpp"
+#include "squid/util/u128.hpp"
+
+namespace squid::overlay {
+
+class PastryOverlay {
+public:
+  /// `digit_bits` = the paper's b (digits are base 2^b; 4 = hex digits).
+  /// `leaf_set` = total leaf-set size L (split evenly to both sides).
+  PastryOverlay(unsigned digit_bits = 4, unsigned leaf_set = 16);
+
+  unsigned digit_bits() const noexcept { return digit_bits_; }
+  unsigned digits() const noexcept { return 128 / digit_bits_; }
+  std::size_t size() const noexcept { return nodes_.size(); }
+
+  void build(std::size_t count, Rng& rng);
+
+  struct RouteResult {
+    bool ok = false;
+    u128 dest = 0;
+    std::vector<u128> path;
+
+    std::size_t hops() const noexcept {
+      return path.empty() ? 0 : path.size() - 1;
+    }
+  };
+
+  /// Ground truth: numerically closest node to `key` (wrapping; ties break
+  /// toward the clockwise neighbor).
+  u128 owner_of(u128 key) const;
+
+  /// Prefix routing from `from` toward `key`, using only the local leaf
+  /// set / routing table of each node on the path.
+  RouteResult route(u128 from, u128 key) const;
+
+  u128 random_node(Rng& rng) const;
+
+  /// Mean number of populated routing-table entries per node (plus the
+  /// leaf set) — the state-size side of the hops/state trade-off.
+  double mean_table_entries() const;
+
+  /// Digits of `id`, most significant first.
+  std::vector<unsigned> digits_of(u128 id) const;
+
+  /// Length of the common digit prefix of two ids.
+  unsigned shared_prefix(u128 a, u128 b) const;
+
+private:
+  struct Node {
+    std::vector<u128> leaves_cw;  ///< clockwise neighbors, nearest first
+    std::vector<u128> leaves_ccw; ///< counter-clockwise, nearest first
+    /// routing[row * (2^b) + col]: a node sharing `row` digits with us whose
+    /// next digit is `col`; 0-width optional encoded via `present`.
+    std::vector<u128> routing;
+    std::vector<bool> present;
+  };
+
+  /// Circular numeric distance (the smaller arc).
+  u128 circular_distance(u128 a, u128 b) const noexcept;
+  void wire_node(u128 id, Node& node);
+  bool leaf_covers(const Node& node, u128 key) const;
+
+  unsigned digit_bits_;
+  unsigned leaf_half_;
+  std::map<u128, Node> nodes_;
+};
+
+} // namespace squid::overlay

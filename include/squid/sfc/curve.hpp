@@ -1,0 +1,72 @@
+// Abstract interface for hierarchical space-filling curves.
+//
+// A curve is a bijection between the d-dimensional discrete cube with m bits
+// per dimension and the 1-dimensional index space [0, 2^(d*m)). Every curve
+// here is *hierarchical* (digitally causal, paper 3.1.1): the level-k cell
+// containing a point determines the first k*d bits of its index. The query
+// engine relies only on this property, so Hilbert, Z-order, and Gray curves
+// are interchangeable (the ablation bench measures what Hilbert's superior
+// locality buys).
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "squid/sfc/types.hpp"
+#include "squid/util/u128.hpp"
+
+namespace squid::sfc {
+
+class Curve {
+public:
+  Curve(unsigned dims, unsigned bits_per_dim);
+  virtual ~Curve() = default;
+
+  Curve(const Curve&) = delete;
+  Curve& operator=(const Curve&) = delete;
+
+  unsigned dims() const noexcept { return dims_; }
+  unsigned bits_per_dim() const noexcept { return bits_per_dim_; }
+  /// Total index width in bits: dims * bits_per_dim, at most 128.
+  unsigned index_bits() const noexcept { return dims_ * bits_per_dim_; }
+  /// One past the largest index: 2^index_bits (u128_max+1 wraps when 128).
+  u128 index_count() const noexcept {
+    return index_bits() >= 128 ? 0 : static_cast<u128>(1) << index_bits();
+  }
+  u128 max_index() const noexcept { return low_mask(index_bits()); }
+  std::uint64_t max_coord() const noexcept {
+    return bits_per_dim_ >= 64 ? ~std::uint64_t{0}
+                               : (std::uint64_t{1} << bits_per_dim_) - 1;
+  }
+
+  virtual std::string name() const = 0;
+
+  /// Map a point to its curve index. The point must have dims()
+  /// coordinates, each at most max_coord().
+  virtual u128 index_of(const Point& point) const = 0;
+
+  /// Inverse map: curve index back to the point it visits.
+  virtual Point point_of(u128 index) const = 0;
+
+  /// Bounds of the level-k cell holding all indices with the given
+  /// (k*dims)-bit prefix. Level 0 is the whole space. This is the geometric
+  /// interpretation of the paper's cluster prefixes and what the refinement
+  /// tree intersects against the query rectangle.
+  Rect cell_of_prefix(u128 prefix, unsigned level) const;
+
+protected:
+  void check_point(const Point& point) const;
+  void check_index(u128 index) const;
+
+private:
+  unsigned dims_;
+  unsigned bits_per_dim_;
+};
+
+/// Factory used by benches/tests to sweep curve families by name:
+/// "hilbert", "zorder", or "gray".
+std::unique_ptr<Curve> make_curve(const std::string& name, unsigned dims,
+                                  unsigned bits_per_dim);
+
+} // namespace squid::sfc

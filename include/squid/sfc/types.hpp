@@ -1,0 +1,84 @@
+// Geometric vocabulary for the SFC index space.
+//
+// The d-dimensional keyword space is a discrete cube of side 2^m (m bits per
+// dimension). Flexible queries (whole keyword, partial keyword, wildcard,
+// numeric range) all translate into one inclusive coordinate interval per
+// dimension (see keyword/query.hpp), i.e. an axis-aligned Rect. The curve
+// maps a Rect to a set of disjoint index Segments — the paper's "clusters".
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "squid/util/u128.hpp"
+
+namespace squid::sfc {
+
+/// A point in the keyword space: one coordinate per dimension.
+using Point = std::vector<std::uint64_t>;
+
+/// Inclusive interval of coordinates along one dimension.
+struct Interval {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  bool contains(std::uint64_t v) const noexcept { return lo <= v && v <= hi; }
+  bool intersects(const Interval& other) const noexcept {
+    return lo <= other.hi && other.lo <= hi;
+  }
+  /// True when this interval covers `other` entirely.
+  bool covers(const Interval& other) const noexcept {
+    return lo <= other.lo && other.hi <= hi;
+  }
+  std::uint64_t width() const noexcept { return hi - lo + 1; }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// Axis-aligned hyper-rectangle: one interval per dimension.
+struct Rect {
+  std::vector<Interval> dims;
+
+  bool contains(const Point& p) const noexcept {
+    if (p.size() != dims.size()) return false;
+    for (std::size_t i = 0; i < dims.size(); ++i)
+      if (!dims[i].contains(p[i])) return false;
+    return true;
+  }
+  bool intersects(const Rect& other) const noexcept {
+    for (std::size_t i = 0; i < dims.size(); ++i)
+      if (!dims[i].intersects(other.dims[i])) return false;
+    return true;
+  }
+  bool covers(const Rect& other) const noexcept {
+    for (std::size_t i = 0; i < dims.size(); ++i)
+      if (!dims[i].covers(other.dims[i])) return false;
+    return true;
+  }
+  /// Number of lattice points inside; saturates at u128 max on overflow.
+  u128 volume() const noexcept {
+    u128 v = 1;
+    for (const auto& d : dims) {
+      const u128 w = d.width();
+      if (w != 0 && v > u128_max / w) return u128_max;
+      v *= w;
+    }
+    return v;
+  }
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+/// Inclusive range of curve indices — one contiguous cluster fragment.
+struct Segment {
+  u128 lo = 0;
+  u128 hi = 0;
+
+  bool contains(u128 v) const noexcept { return lo <= v && v <= hi; }
+  u128 length() const noexcept { return hi - lo + 1; }
+
+  friend bool operator==(const Segment&, const Segment&) = default;
+};
+
+} // namespace squid::sfc

@@ -1,0 +1,36 @@
+// Z-order (Morton) and Gray-code curves.
+//
+// Both are hierarchical bijections like Hilbert but with weaker locality:
+// Z-order simply interleaves coordinate bits; the Gray curve additionally
+// ranks each level's 2^d cells by binary-reflected Gray code, removing some
+// (not all) of Z-order's long jumps. They serve as ablation baselines for
+// the clustering-quality benchmarks (DESIGN.md, `bench/abl_curves`).
+
+#pragma once
+
+#include "squid/sfc/curve.hpp"
+
+namespace squid::sfc {
+
+class ZOrderCurve final : public Curve {
+public:
+  ZOrderCurve(unsigned dims, unsigned bits_per_dim);
+
+  std::string name() const override { return "zorder"; }
+  u128 index_of(const Point& point) const override;
+  Point point_of(u128 index) const override;
+};
+
+/// Simplified Gray-code curve: each d-bit index digit is the Gray rank of
+/// the corresponding interleaved coordinate digit (no orientation
+/// reflection, unlike Hilbert).
+class GrayCurve final : public Curve {
+public:
+  GrayCurve(unsigned dims, unsigned bits_per_dim);
+
+  std::string name() const override { return "gray"; }
+  u128 index_of(const Point& point) const override;
+  Point point_of(u128 index) const override;
+};
+
+} // namespace squid::sfc

@@ -1,0 +1,59 @@
+// Minimal discrete-event simulation kernel.
+//
+// The paper evaluates Squid with a simulator (4): queries run against an
+// in-memory overlay while the harness counts messages and nodes. Most
+// experiments are request/response shaped and execute synchronously, but
+// churn and stabilization are genuinely time-driven; Engine provides the
+// virtual clock and event queue those experiments schedule against.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace squid::sim {
+
+/// Virtual time in abstract ticks (experiments decide the unit).
+using Time = std::uint64_t;
+
+class Engine {
+public:
+  using Action = std::function<void()>;
+
+  Time now() const noexcept { return now_; }
+
+  /// Schedule `action` to run `delay` ticks from now. Events at equal times
+  /// run in scheduling order (FIFO), keeping runs deterministic.
+  void schedule(Time delay, Action action);
+
+  /// Schedule `action` every `period` ticks, starting `period` from now,
+  /// until it returns false.
+  void schedule_periodic(Time period, std::function<bool()> action);
+
+  /// Run events until the queue drains or `until` is passed (events with
+  /// timestamps beyond `until` stay queued). Returns events executed.
+  std::size_t run(Time until = ~Time{0});
+
+  bool empty() const noexcept { return queue_.empty(); }
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+private:
+  struct Event {
+    Time at;
+    std::uint64_t seq; // tie-break: FIFO among equal timestamps
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+} // namespace squid::sim

@@ -1,0 +1,67 @@
+// Descriptive statistics used by the experiment harnesses.
+//
+// The paper's evaluation reports node/message counts per query and load
+// distributions across nodes (Figs 18-19). Summary collects a sample and
+// exposes mean, percentiles, and the imbalance metrics used to judge the
+// load-balancing algorithms (coefficient of variation, max/mean, Gini).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace squid {
+
+class Summary {
+public:
+  Summary() = default;
+  explicit Summary(std::vector<double> samples);
+
+  void add(double value) { samples_.push_back(value); }
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  double sum() const noexcept;
+  double mean() const noexcept;
+  double min() const noexcept;
+  double max() const noexcept;
+  /// Population standard deviation. 0 for fewer than two samples.
+  double stddev() const noexcept;
+  /// Coefficient of variation: stddev/mean. 0 when the mean is 0.
+  double cv() const noexcept;
+  /// max/mean ratio; a perfectly balanced distribution gives 1.0.
+  double max_over_mean() const noexcept;
+  /// Gini coefficient in [0,1); 0 is perfect equality.
+  double gini() const;
+  /// Linear-interpolated percentile, p in [0,100].
+  double percentile(double p) const;
+
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
+private:
+  std::vector<double> samples_;
+};
+
+/// Fixed-width histogram over [lo, hi) with `buckets` equal intervals.
+/// Values outside the range clamp into the first/last bucket; Fig 18
+/// partitions the whole index space so nothing is actually out of range in
+/// the experiments.
+class Histogram {
+public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double value, std::uint64_t weight = 1);
+
+  std::size_t buckets() const noexcept { return counts_.size(); }
+  std::uint64_t count(std::size_t bucket) const { return counts_.at(bucket); }
+  std::uint64_t total() const noexcept;
+  double bucket_lo(std::size_t bucket) const;
+  double bucket_hi(std::size_t bucket) const;
+
+private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+};
+
+} // namespace squid

@@ -1,0 +1,37 @@
+// Plain-text table / CSV emitter for the benchmark harnesses.
+//
+// Every figure-reproduction binary prints one or more tables whose rows match
+// the series the paper plots, so EXPERIMENTS.md can quote them directly.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace squid {
+
+class Table {
+public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic values with %g-style trimming.
+  static std::string cell(double value);
+  static std::string cell(std::uint64_t value);
+
+  /// Aligned, pipe-separated rendering for terminals.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (no quoting needed for our numeric content).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace squid

@@ -1,0 +1,29 @@
+// Precondition checking helpers.
+//
+// SQUID_REQUIRE validates caller-supplied arguments and configuration; it is
+// always active (including Release builds) because simulator misconfiguration
+// must fail loudly, not corrupt an experiment. Hot inner loops use plain
+// assert() instead where the cost would matter.
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace squid::detail {
+
+[[noreturn]] inline void require_failed(const char* condition,
+                                        const char* file, int line,
+                                        const std::string& message) {
+  throw std::invalid_argument(std::string(file) + ":" + std::to_string(line) +
+                              ": requirement `" + condition +
+                              "` failed: " + message);
+}
+
+} // namespace squid::detail
+
+#define SQUID_REQUIRE(cond, message)                                        \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::squid::detail::require_failed(#cond, __FILE__, __LINE__, (message)); \
+  } while (false)

@@ -1,0 +1,125 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// Every stochastic component in the library (node id assignment, workload
+// generation, churn schedules, load-balancing probes) draws from an Rng
+// seeded explicitly by the experiment harness, so identical seeds yield
+// bit-identical runs across platforms.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "squid/util/u128.hpp"
+
+namespace squid {
+
+/// splitmix64: used to expand a single 64-bit seed into generator state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator so it can be
+/// used with <random> distributions, though the members below avoid them for
+/// cross-platform determinism.
+class Rng {
+public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return ~static_cast<result_type>(0);
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be nonzero. Uses rejection
+  /// sampling (Lemire-style threshold) to avoid modulo bias.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform 128-bit value in [0, bound). bound must be nonzero.
+  u128 below128(u128 bound) noexcept;
+
+  /// Uniform u128 over the full 128-bit range.
+  u128 next128() noexcept {
+    const std::uint64_t hi = (*this)();
+    const std::uint64_t lo = (*this)();
+    return make_u128(hi, lo);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = below(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derive an independent child generator; used to give each simulated node
+  /// or workload stream its own deterministic sequence.
+  Rng fork() noexcept { return Rng((*this)() ^ 0xa5a5a5a5a5a5a5a5ull); }
+
+private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+/// Zipf(s, n) sampler over ranks {0, .., n-1}: rank r has probability
+/// proportional to 1/(r+1)^s. Precomputes the CDF; sampling is a binary
+/// search, O(log n). Keyword popularity in P2P corpora is classically
+/// Zipf-distributed, which produces the clustered, non-uniform index space
+/// the paper's load-balancing section targets.
+class ZipfSampler {
+public:
+  ZipfSampler(std::size_t n, double exponent);
+
+  std::size_t sample(Rng& rng) const noexcept;
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+  double exponent() const noexcept { return exponent_; }
+
+private:
+  std::vector<double> cdf_;
+  double exponent_ = 0;
+};
+
+} // namespace squid

@@ -1,0 +1,63 @@
+// 128-bit unsigned index type used for SFC indices and overlay identifiers.
+//
+// Squid maps d-dimensional keyword coordinates onto a single curve index of
+// d*m bits (m bits per dimension). Supporting d*m up to 128 lets us index,
+// e.g., 3 attributes of 42 bits each, or 8-character base-26 keywords in 2-3
+// dimensions, without an arbitrary-precision integer library.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+
+namespace squid {
+
+using u128 = unsigned __int128;
+
+inline constexpr u128 u128_max = ~static_cast<u128>(0);
+
+/// Build a u128 from two 64-bit halves.
+constexpr u128 make_u128(std::uint64_t hi, std::uint64_t lo) noexcept {
+  return (static_cast<u128>(hi) << 64) | lo;
+}
+
+constexpr std::uint64_t hi64(u128 v) noexcept {
+  return static_cast<std::uint64_t>(v >> 64);
+}
+
+constexpr std::uint64_t lo64(u128 v) noexcept {
+  return static_cast<std::uint64_t>(v);
+}
+
+/// Mask with the low `bits` bits set. `bits` must be in [0, 128].
+constexpr u128 low_mask(unsigned bits) noexcept {
+  return bits >= 128 ? u128_max : (static_cast<u128>(1) << bits) - 1;
+}
+
+/// Number of significant bits (position of highest set bit + 1); 0 for v==0.
+constexpr unsigned bit_width(u128 v) noexcept {
+  unsigned w = 0;
+  while (v != 0) {
+    v >>= 1;
+    ++w;
+  }
+  return w;
+}
+
+/// Decimal rendering (u128 has no iostream support in the standard library).
+std::string to_string(u128 v);
+
+/// Fixed-width binary rendering of the low `bits` bits, most significant
+/// first. Useful for inspecting SFC prefixes (digital causality).
+std::string to_binary_string(u128 v, unsigned bits);
+
+/// Hexadecimal rendering with a 0x prefix (no leading-zero padding).
+std::string to_hex_string(u128 v);
+
+/// Parse a decimal string into a u128. Throws std::invalid_argument on bad
+/// input and std::out_of_range on overflow.
+u128 parse_u128(std::string_view text);
+
+} // namespace squid

@@ -1,0 +1,105 @@
+// Workload generation for the experiments (paper 4).
+//
+// The paper evaluates on (a) a P2P storage corpus — data elements described
+// by 2 or 3 keywords drawn from a natural vocabulary, hence a sparse keyword
+// space with lexicographic clusters and Zipf-like popularity — and (b) a
+// grid-resource corpus of numeric attributes. The exact corpora are not
+// published; these generators synthesize equivalents with the properties
+// the paper's analysis depends on (sparsity, prefix clustering, skew).
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "squid/core/types.hpp"
+#include "squid/keyword/space.hpp"
+#include "squid/util/rng.hpp"
+
+namespace squid::workload {
+
+/// Synthesizes an English-like vocabulary (syllable concatenation, which
+/// yields heavy shared-prefix clustering) and samples keywords from it with
+/// Zipf popularity.
+class Vocabulary {
+public:
+  /// `size`: number of distinct words. `zipf`: popularity exponent (0 =
+  /// uniform). Words are 2-10 characters over 'a'..'z'.
+  Vocabulary(std::size_t size, double zipf, Rng& rng);
+
+  const std::vector<std::string>& words() const noexcept { return words_; }
+
+  /// Popularity-weighted draw.
+  const std::string& sample(Rng& rng) const;
+
+  /// Rank r word (0 = most popular).
+  const std::string& by_rank(std::size_t rank) const;
+
+private:
+  std::vector<std::string> words_; // sorted by descending popularity
+  ZipfSampler zipf_;
+};
+
+/// Factory for the paper's keyword corpora: d-dimensional documents whose
+/// tokens are Vocabulary samples.
+class KeywordCorpus {
+public:
+  KeywordCorpus(unsigned dims, std::size_t vocabulary, double zipf, Rng& rng);
+
+  /// The keyword space matching this corpus (one StringCodec per dim).
+  keyword::KeywordSpace make_space(unsigned max_len = 6) const;
+
+  core::DataElement make_element(Rng& rng) const;
+  std::vector<core::DataElement> make_elements(std::size_t count,
+                                               Rng& rng) const;
+
+  const Vocabulary& vocabulary() const noexcept { return vocabulary_; }
+  unsigned dims() const noexcept { return dims_; }
+
+  // --- The paper's query families (4.1) -----------------------------------
+
+  /// Q1: one keyword or partial keyword, wildcards elsewhere, e.g.
+  /// (comp*, *, *). `rank` picks the underlying vocabulary word so that a
+  /// fixed query can be replayed across system sizes.
+  keyword::Query q1(std::size_t rank, bool partial,
+                    unsigned prefix_len = 3) const;
+
+  /// Q2: two to three keywords / partial keywords, at least one partial,
+  /// e.g. (comp*, net*, *).
+  keyword::Query q2(std::size_t rank_a, std::size_t rank_b, bool partial_b,
+                    unsigned prefix_len = 3) const;
+
+private:
+  unsigned dims_;
+  Vocabulary vocabulary_;
+  mutable std::uint64_t counter_ = 0; ///< element-name sequence
+};
+
+/// Grid-resource corpus: numeric attributes with realistic clustering
+/// (memory concentrates on powers of two, bandwidth on standard tiers,
+/// cost spreads log-uniformly).
+class ResourceCorpus {
+public:
+  explicit ResourceCorpus(unsigned bits = 10);
+
+  keyword::KeywordSpace make_space() const;
+  core::DataElement make_element(Rng& rng) const;
+  std::vector<core::DataElement> make_elements(std::size_t count,
+                                               Rng& rng) const;
+
+  /// Q3 range queries of the paper's two shapes.
+  /// (keyword, range, *): exact storage tier, bandwidth range, any cost.
+  keyword::Query q3_keyword_range(double storage, double bw_lo,
+                                  double bw_hi) const;
+  /// (range, range, range).
+  keyword::Query q3_all_ranges(double st_lo, double st_hi, double bw_lo,
+                               double bw_hi, double cost_lo,
+                               double cost_hi) const;
+
+private:
+  unsigned bits_;
+  mutable std::uint64_t counter_ = 0; ///< element-name sequence
+};
+
+} // namespace squid::workload

@@ -1,0 +1,30 @@
+// Free-text keyword extraction: turns a document into the descriptive
+// keywords Squid indexes it under (paper 1: "a document is better described
+// by keywords than by its filename").
+//
+// Deliberately simple and deterministic: lowercase alphabetic tokens,
+// stopwords removed, ranked by frequency (ties broken toward longer, then
+// lexicographically smaller words) — no external NLP dependencies.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace squid::workload {
+
+/// True for words too common to describe anything ("the", "of", ...).
+bool is_stopword(std::string_view word);
+
+/// Lowercased alphabetic tokens of `text`, in order of appearance;
+/// non-alphabetic characters separate tokens.
+std::vector<std::string> tokenize(std::string_view text);
+
+/// The top `max_keywords` descriptive keywords of `text` after stopword
+/// removal, most characteristic first. Fewer are returned when the text is
+/// short; the result is padded with "" only by the caller if needed.
+std::vector<std::string> extract_keywords(std::string_view text,
+                                          std::size_t max_keywords);
+
+} // namespace squid::workload

@@ -1,0 +1,111 @@
+#include "squid/baselines/can_inverse_sfc.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "squid/util/require.hpp"
+
+namespace squid::baselines {
+
+CanInverseSfcIndex::CanInverseSfcIndex(unsigned dims, unsigned bits_per_dim,
+                                       std::size_t nodes, double domain_lo,
+                                       double domain_hi, Rng& rng)
+    : curve_(dims, bits_per_dim), can_(dims, bits_per_dim), refiner_(curve_),
+      domain_lo_(domain_lo), domain_hi_(domain_hi) {
+  SQUID_REQUIRE(domain_hi > domain_lo, "attribute domain must be nonempty");
+  SQUID_REQUIRE(curve_.index_bits() <= 63,
+                "attribute resolution beyond 63 bits is not supported");
+  can_.build(nodes, rng);
+  storage_.resize(can_.size());
+}
+
+u128 CanInverseSfcIndex::index_of_value(double value) const {
+  if (value <= domain_lo_) return 0;
+  if (value >= domain_hi_) return curve_.max_index();
+  const double unit = (value - domain_lo_) / (domain_hi_ - domain_lo_);
+  const auto max64 = static_cast<double>(
+      static_cast<std::uint64_t>(curve_.max_index()) + 1);
+  auto index = static_cast<std::uint64_t>(unit * max64);
+  if (index > static_cast<std::uint64_t>(curve_.max_index()))
+    index = static_cast<std::uint64_t>(curve_.max_index());
+  return index;
+}
+
+sfc::Point CanInverseSfcIndex::point_of_value(double value) const {
+  return curve_.point_of(index_of_value(value));
+}
+
+void CanInverseSfcIndex::publish(const std::string& name, double value) {
+  const u128 index = index_of_value(value);
+  const auto owner = can_.owner_of(curve_.point_of(index));
+  storage_[owner].push_back(Entry{index, name, value});
+  ++elements_;
+}
+
+CanInverseSfcIndex::RangeResult CanInverseSfcIndex::range_query(
+    double lo, double hi, Rng& rng) const {
+  SQUID_REQUIRE(lo <= hi, "value range is empty");
+  RangeResult result;
+  const u128 ilo = index_of_value(lo);
+  const u128 ihi = index_of_value(hi);
+
+  std::set<overlay::CanOverlay::NodeIndex> scanned;
+  std::set<overlay::CanOverlay::NodeIndex> routing;
+  overlay::CanOverlay::NodeIndex at = can_.random_node(rng);
+  routing.insert(at);
+
+  const auto scan = [&](overlay::CanOverlay::NodeIndex node) {
+    if (!scanned.insert(node).second) return;
+    ++result.nodes_visited;
+    for (const Entry& entry : storage_[node]) {
+      if (entry.index >= ilo && entry.index <= ihi && entry.value >= lo &&
+          entry.value <= hi) {
+        ++result.matches;
+        result.names.push_back(entry.name);
+      }
+    }
+  };
+
+  const auto move_to = [&](const sfc::Point& target) -> bool {
+    const auto owner = can_.owner_of(target);
+    if (owner == at) return true;
+    const auto route = can_.route(at, target);
+    if (!route.ok) return false;
+    ++result.messages;
+    routing.insert(route.path.begin(), route.path.end());
+    at = route.dest;
+    return true;
+  };
+
+  // Recursively visit the curve segment cell by cell, in curve order. A
+  // cell wholly inside the current owner's zone is settled with one scan;
+  // otherwise it splits (the distributed refinement of Andrzejak-Xu).
+  const unsigned dims = curve_.dims();
+  const auto visit_cell = [&](const auto& self, u128 prefix,
+                              unsigned level) -> void {
+    const unsigned seg_bits = (curve_.bits_per_dim() - level) * dims;
+    const u128 cell_lo = prefix << seg_bits;
+    const u128 cell_hi = cell_lo + low_mask(seg_bits);
+    if (cell_hi < ilo || cell_lo > ihi) return;
+    const sfc::Rect cell = curve_.cell_of_prefix(prefix, level);
+    sfc::Point representative = curve_.point_of(cell_lo);
+    if (!move_to(representative)) return;
+    const sfc::Rect zone{can_.zone(at).box};
+    if (zone.covers(cell)) {
+      scan(at);
+      return;
+    }
+    SQUID_REQUIRE(level < curve_.bits_per_dim(),
+                  "unit cell not contained in any zone");
+    const u128 fanout = static_cast<u128>(1) << dims;
+    for (u128 child = 0; child < fanout; ++child)
+      self(self, (prefix << dims) | child, level + 1);
+  };
+  visit_cell(visit_cell, 0, 0);
+
+  result.routing_nodes = routing.size();
+  std::sort(result.names.begin(), result.names.end());
+  return result;
+}
+
+} // namespace squid::baselines

@@ -1,0 +1,31 @@
+#include "squid/baselines/chord_oracle.hpp"
+
+#include <set>
+
+namespace squid::baselines {
+
+OracleResult chord_oracle_query(const core::SquidSystem& sys,
+                                const keyword::Query& query, Rng& rng) {
+  OracleResult result;
+  const sfc::Rect rect = sys.space().to_rect(query);
+  const auto origin = sys.ring().random_node(rng);
+  std::set<core::SquidSystem::NodeId> routing;
+  std::set<core::SquidSystem::NodeId> data;
+  routing.insert(origin);
+  sys.for_each_key([&](u128 index, const sfc::Point& point,
+                       const std::vector<core::DataElement>& elements) {
+    if (!rect.contains(point)) return;
+    ++result.matching_keys;
+    result.matches += elements.size();
+    const overlay::RouteResult r = sys.ring().route(origin, index);
+    if (!r.ok) return;
+    result.messages += 2; // the lookup and its response
+    routing.insert(r.path.begin(), r.path.end());
+    data.insert(r.dest);
+  });
+  result.routing_nodes = routing.size();
+  result.data_nodes = data.size();
+  return result;
+}
+
+} // namespace squid::baselines

@@ -1,0 +1,83 @@
+#include "squid/baselines/flooding.hpp"
+
+#include <deque>
+
+#include "squid/util/require.hpp"
+
+namespace squid::baselines {
+
+FloodingNetwork::FloodingNetwork(std::size_t nodes, unsigned degree,
+                                 Rng& rng) {
+  SQUID_REQUIRE(nodes >= 3, "flooding network needs at least 3 nodes");
+  SQUID_REQUIRE(degree >= 2, "average degree must be at least 2");
+  adjacency_.resize(nodes);
+  storage_.resize(nodes);
+  // Ring backbone guarantees connectivity.
+  for (std::uint32_t v = 0; v < nodes; ++v) {
+    const auto next = static_cast<std::uint32_t>((v + 1) % nodes);
+    adjacency_[v].push_back(next);
+    adjacency_[next].push_back(v);
+  }
+  // Random chords up to the requested average degree.
+  const std::size_t target_edges = nodes * degree / 2;
+  std::size_t edges = nodes;
+  while (edges < target_edges) {
+    const auto a = static_cast<std::uint32_t>(rng.below(nodes));
+    const auto b = static_cast<std::uint32_t>(rng.below(nodes));
+    if (a == b) continue;
+    bool duplicate = false;
+    for (const auto n : adjacency_[a]) duplicate |= (n == b);
+    if (duplicate) continue;
+    adjacency_[a].push_back(b);
+    adjacency_[b].push_back(a);
+    ++edges;
+  }
+}
+
+void FloodingNetwork::publish(const core::DataElement& element, Rng& rng) {
+  storage_[rng.below(storage_.size())].push_back(element);
+}
+
+FloodingNetwork::FloodResult FloodingNetwork::query(
+    const keyword::KeywordSpace& space, const keyword::Query& query,
+    unsigned ttl, Rng& rng) const {
+  FloodResult result;
+  std::vector<bool> seen(adjacency_.size(), false);
+  std::deque<std::pair<std::uint32_t, unsigned>> frontier; // node, ttl left
+  const auto origin = static_cast<std::uint32_t>(rng.below(adjacency_.size()));
+  frontier.emplace_back(origin, ttl);
+  seen[origin] = true;
+  while (!frontier.empty()) {
+    const auto [node, left] = frontier.front();
+    frontier.pop_front();
+    ++result.nodes_visited;
+    for (const auto& element : storage_[node]) {
+      if (space.matches(query, element.keys)) {
+        ++result.matches;
+        result.elements.push_back(element);
+      }
+    }
+    if (left == 0) continue;
+    // Gnutella semantics: forward to every neighbor; duplicates are
+    // detected by the receiver but the transmissions still happened.
+    for (const auto neighbor : adjacency_[node]) {
+      ++result.messages;
+      if (!seen[neighbor]) {
+        seen[neighbor] = true;
+        frontier.emplace_back(neighbor, left - 1);
+      }
+    }
+  }
+  return result;
+}
+
+std::size_t FloodingNetwork::total_matches(const keyword::KeywordSpace& space,
+                                           const keyword::Query& query) const {
+  std::size_t total = 0;
+  for (const auto& node : storage_)
+    for (const auto& element : node)
+      total += space.matches(query, element.keys);
+  return total;
+}
+
+} // namespace squid::baselines

@@ -1,0 +1,115 @@
+#include "squid/baselines/inverted_index.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "squid/util/require.hpp"
+
+namespace squid::baselines {
+
+namespace {
+
+std::string token_text(const keyword::Token& token) {
+  if (const auto* word = std::get_if<std::string>(&token)) return *word;
+  std::ostringstream os;
+  os << std::get<double>(token);
+  return os.str();
+}
+
+} // namespace
+
+InvertedIndexDht::InvertedIndexDht(std::size_t nodes, Rng& rng) : ring_(64) {
+  ring_.build(nodes, rng);
+}
+
+u128 InvertedIndexDht::keyword_key(const std::string& word) const {
+  // 64-bit FNV-1a, then mixed through splitmix64 — consistent hashing of
+  // keywords onto the ring, exactly what KSS/PeerSearch do.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : word) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return splitmix64(h);
+}
+
+void InvertedIndexDht::publish(const core::DataElement& element) {
+  for (unsigned dim = 0; dim < element.keys.size(); ++dim) {
+    const std::string word = token_text(element.keys[dim]);
+    const overlay::NodeId owner = ring_.successor_of(keyword_key(word));
+    postings_[owner][word].push_back(Posting{element, dim});
+  }
+}
+
+void InvertedIndexDht::lookup(
+    const std::string& word, overlay::NodeId origin, LookupResult& result,
+    std::map<std::string, std::vector<Posting>>& found) const {
+  const overlay::RouteResult r = ring_.route(origin, keyword_key(word));
+  SQUID_REQUIRE(r.ok, "inverted-index lookup failed to route");
+  result.messages += 2; // the lookup and the posting-list reply
+  result.routing_nodes += r.path.size();
+  ++result.posting_nodes;
+  const auto node_it = postings_.find(r.dest);
+  if (node_it == postings_.end()) return;
+  const auto word_it = node_it->second.find(word);
+  if (word_it == node_it->second.end()) return;
+  auto& bucket = found[word];
+  bucket.insert(bucket.end(), word_it->second.begin(), word_it->second.end());
+}
+
+InvertedIndexDht::LookupResult InvertedIndexDht::query_whole(
+    const std::vector<std::string>& terms, Rng& rng) const {
+  LookupResult result;
+  const overlay::NodeId origin = ring_.random_node(rng);
+  std::map<std::string, std::vector<Posting>> found;
+  std::vector<unsigned> constrained;
+  for (unsigned dim = 0; dim < terms.size(); ++dim) {
+    if (terms[dim] == "*") continue;
+    constrained.push_back(dim);
+    lookup(terms[dim], origin, result, found);
+  }
+  SQUID_REQUIRE(!constrained.empty(),
+                "an inverted index cannot answer an all-wildcard query");
+
+  // Intersect: start from the first constrained dimension's postings and
+  // verify every other constraint directly on the element.
+  std::set<std::string> seen;
+  for (const Posting& posting : found[terms[constrained.front()]]) {
+    if (posting.dim != constrained.front()) continue;
+    if (!seen.insert(posting.element.name).second) continue;
+    bool all = true;
+    for (const unsigned dim : constrained)
+      all &= (token_text(posting.element.keys[dim]) == terms[dim]);
+    if (all) {
+      ++result.matches;
+      result.elements.push_back(posting.element);
+    }
+  }
+  return result;
+}
+
+InvertedIndexDht::LookupResult InvertedIndexDht::query_prefix(
+    unsigned dim, const std::string& prefix,
+    const std::vector<std::string>& vocabulary, Rng& rng) const {
+  LookupResult result;
+  const overlay::NodeId origin = ring_.random_node(rng);
+  std::map<std::string, std::vector<Posting>> found;
+  // The index has no notion of prefixes: every vocabulary word extending
+  // the prefix costs one full posting lookup.
+  std::set<std::string> seen;
+  for (const std::string& word : vocabulary) {
+    if (word.size() < prefix.size() || word.compare(0, prefix.size(), prefix))
+      continue;
+    lookup(word, origin, result, found);
+    for (const Posting& posting : found[word]) {
+      if (posting.dim != dim) continue;
+      if (seen.insert(posting.element.name).second) {
+        ++result.matches;
+        result.elements.push_back(posting.element);
+      }
+    }
+  }
+  return result;
+}
+
+} // namespace squid::baselines

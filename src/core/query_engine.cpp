@@ -1,0 +1,356 @@
+// The distributed query engine (paper 3.4): translate the query to
+// refinement-tree clusters, embed the tree into the overlay, prune branches
+// that resolve locally, and aggregate sub-clusters headed to the same peer.
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "squid/core/system.hpp"
+#include "squid/util/require.hpp"
+
+namespace squid::core {
+
+using overlay::in_open_closed;
+
+struct SquidSystem::QueryContext {
+  sfc::Rect rect;
+  std::set<NodeId> routing;
+  std::set<NodeId> processing;
+  std::set<NodeId> data_nodes;
+  std::size_t messages = 0;
+  bool count_only = false; ///< count matches without shipping elements
+  std::size_t count = 0;
+  std::vector<DataElement> results;
+  /// Message-dependency DAG; event 0 is the query start at the origin.
+  std::vector<TimingEvent> timing{TimingEvent{}};
+  /// Pending cross-node work: clusters already assigned to their owner,
+  /// plus the timing event that delivered them.
+  struct Task {
+    NodeId node;
+    std::vector<sfc::ClusterNode> clusters;
+    std::int32_t event = 0;
+  };
+  std::deque<Task> tasks;
+
+  std::int32_t add_event(std::int32_t parent, std::size_t hops) {
+    timing.push_back(TimingEvent{parent, static_cast<std::uint32_t>(hops)});
+    return static_cast<std::int32_t>(timing.size() - 1);
+  }
+  /// Safety valve for inconsistent rings (heavy churn): a real query would
+  /// time out; we stop dispatching and return what was found.
+  std::size_t dispatch_budget = 0;
+};
+
+namespace {
+
+/// The largest prefix of `seg` owned by node `at` (whose range is
+/// (pred, at]), given that `at` owns seg.lo. Returns the clipped segment.
+sfc::Segment clip_local(overlay::NodeId at, sfc::Segment seg) {
+  if (at < seg.lo) return seg; // wrapped ownership: owns through space end
+  return {seg.lo, std::min(seg.hi, at)};
+}
+
+/// True when the whole segment lives on `at` (which owns seg.lo).
+bool entirely_local(overlay::NodeId at, const sfc::Segment& seg) {
+  return at >= seg.hi || at < seg.lo;
+}
+
+} // namespace
+
+void SquidSystem::scan_local(QueryContext& ctx, NodeId at, sfc::Segment seg,
+                             bool covered) const {
+  ctx.processing.insert(at);
+  bool found = false;
+  for (auto it = store_.lower_bound(seg.lo);
+       it != store_.end() && it->first <= seg.hi; ++it) {
+    if (!covered && !ctx.rect.contains(it->second.point)) continue;
+    found = true;
+    if (ctx.count_only) {
+      ctx.count += it->second.elements.size();
+    } else {
+      ctx.results.insert(ctx.results.end(), it->second.elements.begin(),
+                         it->second.elements.end());
+    }
+  }
+  if (found) ctx.data_nodes.insert(at);
+}
+
+void SquidSystem::collect_segment(QueryContext& ctx, NodeId at,
+                                  sfc::Segment seg, bool covered,
+                                  std::int32_t event) const {
+  // Scan every owner of `seg` in ring order. The paper notes a cluster "may
+  // be mapped to one or more adjacent nodes"; each forward to the next
+  // owner is one neighbor message. `covered` skips per-key filtering when
+  // the whole segment is known to match.
+  const NodeId pred = ring_.predecessor_of(at);
+  if (!in_open_closed(pred, at, seg.lo)) {
+    if (ctx.dispatch_budget == 0) return;
+    --ctx.dispatch_budget;
+    const overlay::RouteResult r = ring_.route(at, seg.lo);
+    if (!r.ok) return;
+    ctx.messages += 1;
+    ctx.routing.insert(r.path.begin(), r.path.end());
+    at = r.dest;
+    event = ctx.add_event(event, r.hops());
+  }
+  for (;;) {
+    const sfc::Segment local = clip_local(at, seg);
+    scan_local(ctx, at, local, covered);
+    if (entirely_local(at, seg)) return;
+    if (ctx.dispatch_budget == 0) return;
+    --ctx.dispatch_budget;
+    const NodeId next = ring_.successor_of((at + 1) & ring_.id_mask());
+    ctx.messages += 1;
+    ctx.routing.insert(at);
+    ctx.routing.insert(next);
+    seg.lo = local.hi + 1;
+    at = next;
+    event = ctx.add_event(event, 1); // one neighbor forward
+  }
+}
+
+void SquidSystem::collect_covered(QueryContext& ctx, NodeId at,
+                                  sfc::Segment seg, std::int32_t event) const {
+  collect_segment(ctx, at, seg, /*covered=*/true, event);
+}
+
+void SquidSystem::dispatch_remote(
+    QueryContext& ctx, NodeId from,
+    const std::vector<sfc::ClusterNode>& clusters,
+    std::int32_t event) const {
+  // Paper 3.4.2, second optimization: the clusters are in ascending curve
+  // order; probe with the first, learn the owner's identifier from its
+  // reply, then ship every further cluster owned by the same peer as one
+  // aggregated message. Without aggregation each cluster is its own routed
+  // message.
+  std::size_t i = 0;
+  while (i < clusters.size()) {
+    if (ctx.dispatch_budget == 0) return;
+    --ctx.dispatch_budget;
+    const u128 head_lo = refiner_.segment_of(clusters[i]).lo;
+
+    NodeId dest = 0;
+    bool resolved = false;
+    bool from_cache = false;
+    if (config_.cache_cluster_owners) {
+      // Consult only the dispatching peer's own memory of past replies.
+      const auto cache_it = owner_cache_.find(from);
+      if (cache_it != owner_cache_.end()) {
+        const auto hit = cache_it->second.find(
+            {clusters[i].level, clusters[i].prefix});
+        if (hit != cache_it->second.end() && ring_.contains(hit->second) &&
+            in_open_closed(ring_.predecessor_of(hit->second), hit->second,
+                           head_lo)) {
+          dest = hit->second;
+          resolved = true;
+          from_cache = true;
+          ++cache_stats_.hits;
+          ctx.messages += 1; // one direct message, no overlay routing
+          ctx.routing.insert(from);
+          ctx.routing.insert(dest);
+        } else if (hit != cache_it->second.end()) {
+          ++cache_stats_.stale;
+          cache_it->second.erase(hit);
+        }
+      }
+      if (!resolved) ++cache_stats_.misses;
+    }
+
+    std::size_t dispatch_hops = 1; // direct send when the cache resolved it
+    if (!resolved) {
+      const overlay::RouteResult r = ring_.route(from, head_lo);
+      if (!r.ok) return;
+      ctx.messages += 1; // the head sub-query
+      ctx.routing.insert(r.path.begin(), r.path.end());
+      dest = r.dest;
+      dispatch_hops = std::max<std::size_t>(r.hops(), 1);
+    }
+
+    std::size_t batch_end = i + 1;
+    if (config_.aggregate_subclusters) {
+      if (!from_cache) ctx.messages += 1; // the owner's identifier reply
+      if (config_.cache_cluster_owners) {
+        owner_cache_[from][{clusters[i].level, clusters[i].prefix}] = dest;
+      }
+      const NodeId dest_pred = ring_.predecessor_of(dest);
+      while (batch_end < clusters.size() &&
+             in_open_closed(dest_pred, dest,
+                            refiner_.segment_of(clusters[batch_end]).lo)) {
+        ++batch_end;
+      }
+      if (batch_end > i + 1) ctx.messages += 1; // one aggregated batch
+    }
+    // The head travels with the probe; aggregated siblings wait for the
+    // identifier reply and then one direct hop (reply + batch = 2 hops).
+    const std::int32_t batch_event = ctx.add_event(
+        event, dispatch_hops + (batch_end > i + 1 ? 2 : 0));
+    ctx.tasks.push_back({dest,
+                         std::vector<sfc::ClusterNode>(
+                             clusters.begin() + i, clusters.begin() + batch_end),
+                         batch_event});
+    i = batch_end;
+  }
+}
+
+void SquidSystem::resolve_at_node(QueryContext& ctx, NodeId at,
+                                  std::vector<sfc::ClusterNode> clusters,
+                                  std::int32_t event) const {
+  ctx.processing.insert(at);
+  const NodeId pred = ring_.predecessor_of(at);
+  std::vector<sfc::ClusterNode> remote;
+
+  // Refine everything assigned to this node as deep as local knowledge
+  // allows (paper Figs 6-8): clusters fully inside our key range are matched
+  // against the store without further refinement; covered clusters sweep
+  // their owner chain; boundary-crossing clusters refine one level, their
+  // children either staying local or queueing for dispatch.
+  std::deque<sfc::ClusterNode> work(clusters.begin(), clusters.end());
+  while (!work.empty()) {
+    const sfc::ClusterNode cluster = work.front();
+    work.pop_front();
+    const auto relation = refiner_.classify(cluster, ctx.rect);
+    if (relation == sfc::ClusterRefiner::CellRelation::disjoint) continue;
+    const sfc::Segment seg = refiner_.segment_of(cluster);
+    if (relation == sfc::ClusterRefiner::CellRelation::covered) {
+      collect_covered(ctx, at, seg, event);
+      continue;
+    }
+    const bool owns_lo = in_open_closed(pred, at, seg.lo);
+    if (owns_lo && entirely_local(at, seg)) {
+      // Fig 8's pruning: the owner's identifier is past the cluster's last
+      // index, so every possible match is stored here.
+      scan_local(ctx, at, seg, /*covered=*/false);
+      continue;
+    }
+    for (const auto& child : refiner_.refine(cluster, ctx.rect)) {
+      if (in_open_closed(pred, at, refiner_.segment_of(child).lo)) {
+        work.push_back(child);
+      } else {
+        remote.push_back(child);
+      }
+    }
+  }
+
+  std::sort(remote.begin(), remote.end(),
+            [this](const sfc::ClusterNode& a, const sfc::ClusterNode& b) {
+              return refiner_.segment_of(a).lo < refiner_.segment_of(b).lo;
+            });
+  dispatch_remote(ctx, at, remote, event);
+}
+
+namespace {
+
+/// Longest root-to-leaf hop total of a timing DAG (events reference earlier
+/// parents only, so one forward pass suffices).
+std::size_t critical_path_of(const std::vector<TimingEvent>& timing) {
+  std::vector<std::size_t> depth(timing.size(), 0);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < timing.size(); ++i) {
+    depth[i] = depth[static_cast<std::size_t>(timing[i].parent)] +
+               timing[i].hops;
+    best = std::max(best, depth[i]);
+  }
+  return best;
+}
+
+} // namespace
+
+QueryResult SquidSystem::query(const keyword::Query& query,
+                               NodeId origin) const {
+  SQUID_REQUIRE(ring_.contains(origin), "query origin is not a live node");
+  QueryContext ctx;
+  ctx.rect = space_.to_rect(query);
+  ctx.dispatch_budget = 64 * (ring_.size() + 8); // churn safety valve
+  ctx.routing.insert(origin);
+
+  bool is_point = true;
+  for (const auto& iv : ctx.rect.dims) is_point &= (iv.lo == iv.hi);
+  if (is_point) {
+    // Paper 3.4.1: a query of whole keywords maps to at most one index and
+    // resolves with the plain data-lookup protocol.
+    sfc::Point point;
+    for (const auto& iv : ctx.rect.dims) point.push_back(iv.lo);
+    const u128 index = curve_->index_of(point);
+    const overlay::RouteResult r = ring_.route(origin, index);
+    if (r.ok) {
+      ctx.messages += 1;
+      ctx.routing.insert(r.path.begin(), r.path.end());
+      (void)ctx.add_event(0, r.hops());
+      scan_local(ctx, r.dest, sfc::Segment{index, index}, /*covered=*/true);
+    }
+  } else {
+    ctx.tasks.push_back({origin, std::vector<sfc::ClusterNode>{{0, 0}}, 0});
+    while (!ctx.tasks.empty()) {
+      auto task = std::move(ctx.tasks.front());
+      ctx.tasks.pop_front();
+      resolve_at_node(ctx, task.node, std::move(task.clusters), task.event);
+    }
+  }
+
+  QueryResult result;
+  result.elements = std::move(ctx.results);
+  result.stats.matches = result.elements.size();
+  result.stats.routing_nodes = ctx.routing.size();
+  result.stats.processing_nodes = ctx.processing.size();
+  result.stats.data_nodes = ctx.data_nodes.size();
+  result.stats.messages = ctx.messages;
+  result.timing = std::move(ctx.timing);
+  result.stats.critical_path_hops = critical_path_of(result.timing);
+  return result;
+}
+
+QueryResult SquidSystem::query(const std::string& text, Rng& rng) const {
+  return query(space_.parse(text), ring_.random_node(rng));
+}
+
+std::size_t SquidSystem::count(const keyword::Query& query,
+                               NodeId origin) const {
+  // Same resolution as query(), but data nodes reply with counts instead of
+  // shipping elements — the cheap existence/cardinality probe.
+  SQUID_REQUIRE(ring_.contains(origin), "query origin is not a live node");
+  QueryContext ctx;
+  ctx.rect = space_.to_rect(query);
+  ctx.dispatch_budget = 64 * (ring_.size() + 8);
+  ctx.count_only = true;
+  ctx.routing.insert(origin);
+  ctx.tasks.push_back({origin, std::vector<sfc::ClusterNode>{{0, 0}}, 0});
+  while (!ctx.tasks.empty()) {
+    auto task = std::move(ctx.tasks.front());
+    ctx.tasks.pop_front();
+    resolve_at_node(ctx, task.node, std::move(task.clusters), task.event);
+  }
+  return ctx.count;
+}
+
+QueryResult SquidSystem::query_centralized(const keyword::Query& query,
+                                           NodeId origin,
+                                           std::size_t max_segments) const {
+  SQUID_REQUIRE(ring_.contains(origin), "query origin is not a live node");
+  QueryContext ctx;
+  ctx.rect = space_.to_rect(query);
+  ctx.dispatch_budget = 64 * (ring_.size() + 8) + 4 * max_segments;
+  ctx.routing.insert(origin);
+  ctx.processing.insert(origin);
+
+  // The origin expands the refinement tree by itself (paper 3.4.1's
+  // unscalable straw man) and sends one message per cluster. Segments are
+  // an over-approximation when the cap bites, so owners filter locally.
+  for (const sfc::Segment& seg :
+       refiner_.decompose_capped(ctx.rect, max_segments)) {
+    collect_segment(ctx, origin, seg, /*covered=*/false, /*event=*/0);
+  }
+
+  QueryResult result;
+  result.elements = std::move(ctx.results);
+  result.stats.matches = result.elements.size();
+  result.stats.routing_nodes = ctx.routing.size();
+  result.stats.processing_nodes = ctx.processing.size();
+  result.stats.data_nodes = ctx.data_nodes.size();
+  result.stats.messages = ctx.messages;
+  result.timing = std::move(ctx.timing);
+  result.stats.critical_path_hops = critical_path_of(result.timing);
+  return result;
+}
+
+} // namespace squid::core

@@ -1,0 +1,111 @@
+#include "squid/core/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "squid/util/require.hpp"
+
+namespace squid::core {
+
+namespace {
+
+constexpr const char* kMagic = "SQUID-SNAPSHOT-1";
+
+void write_string(std::ostream& out, const std::string& s) {
+  out << s.size() << ':' << s;
+}
+
+std::string read_string(std::istream& in) {
+  std::size_t length = 0;
+  char colon = 0;
+  in >> length >> colon;
+  SQUID_REQUIRE(in && colon == ':', "snapshot: malformed string header");
+  std::string s(length, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(length));
+  SQUID_REQUIRE(in, "snapshot: truncated string");
+  return s;
+}
+
+} // namespace
+
+void save_snapshot(const SquidSystem& sys, std::ostream& out) {
+  out << kMagic << '\n';
+  out << sys.curve().name() << ' ' << sys.space().dims() << ' '
+      << sys.space().bits_per_dim() << '\n';
+
+  const auto ids = sys.ring().node_ids();
+  out << ids.size() << '\n';
+  for (const auto id : ids) out << to_string(id) << '\n';
+
+  out << sys.element_count() << '\n';
+  sys.for_each_key([&](u128, const sfc::Point&,
+                       const std::vector<DataElement>& elements) {
+    for (const auto& element : elements) {
+      write_string(out, element.name);
+      out << ' ' << element.keys.size();
+      for (const auto& token : element.keys) {
+        if (const auto* word = std::get_if<std::string>(&token)) {
+          out << " s";
+          write_string(out, *word);
+        } else {
+          out << " n" << std::get<double>(token);
+        }
+      }
+      out << '\n';
+    }
+  });
+}
+
+void load_snapshot(SquidSystem& sys, std::istream& in) {
+  SQUID_REQUIRE(sys.ring().size() == 0 && sys.element_count() == 0,
+                "snapshot must load into a fresh system");
+  std::string magic;
+  in >> magic;
+  SQUID_REQUIRE(magic == kMagic, "snapshot: bad magic");
+  std::string curve;
+  unsigned dims = 0, bits = 0;
+  in >> curve >> dims >> bits;
+  SQUID_REQUIRE(curve == sys.curve().name(), "snapshot: curve mismatch");
+  SQUID_REQUIRE(dims == sys.space().dims(), "snapshot: dimension mismatch");
+  SQUID_REQUIRE(bits == sys.space().bits_per_dim(),
+                "snapshot: resolution mismatch");
+
+  std::size_t node_count = 0;
+  in >> node_count;
+  SQUID_REQUIRE(in && node_count >= 1, "snapshot: bad node count");
+  for (std::size_t i = 0; i < node_count; ++i) {
+    std::string id_text;
+    in >> id_text;
+    sys.add_node_at(parse_u128(id_text));
+  }
+
+  std::size_t element_count = 0;
+  in >> element_count;
+  SQUID_REQUIRE(in, "snapshot: bad element count");
+  for (std::size_t i = 0; i < element_count; ++i) {
+    DataElement element;
+    element.name = read_string(in);
+    std::size_t token_count = 0;
+    in >> token_count;
+    SQUID_REQUIRE(in && token_count == dims,
+                  "snapshot: element arity mismatch");
+    for (std::size_t t = 0; t < token_count; ++t) {
+      char kind = 0;
+      in >> kind;
+      if (kind == 's') {
+        element.keys.emplace_back(read_string(in));
+      } else if (kind == 'n') {
+        double value = 0;
+        in >> value;
+        SQUID_REQUIRE(in, "snapshot: malformed numeric token");
+        element.keys.emplace_back(value);
+      } else {
+        SQUID_REQUIRE(false, "snapshot: unknown token kind");
+      }
+    }
+    sys.publish(element);
+  }
+  sys.repair_routing();
+}
+
+} // namespace squid::core

@@ -1,0 +1,232 @@
+#include "squid/core/system.hpp"
+
+#include <algorithm>
+
+#include "squid/util/require.hpp"
+
+namespace squid::core {
+
+SquidSystem::SquidSystem(keyword::KeywordSpace space, SquidConfig config)
+    : space_(std::move(space)), config_(std::move(config)),
+      curve_(sfc::make_curve(config_.curve, space_.dims(),
+                             space_.bits_per_dim())),
+      refiner_(*curve_),
+      ring_(curve_->index_bits(), config_.successor_list, config_.finger_base) {}
+
+u128 SquidSystem::index_of_element(const DataElement& element) const {
+  return curve_->index_of(space_.encode(element.keys));
+}
+
+void SquidSystem::build_network(std::size_t count, Rng& rng) {
+  ring_.build(count, rng);
+}
+
+SquidSystem::NodeId SquidSystem::join_node(Rng& rng) {
+  SQUID_REQUIRE(ring_.size() > 0, "join_node needs a bootstrapped network");
+  const unsigned samples = std::max(1u, config_.join_samples);
+  // Paper 3.5, load balancing at node join: generate several identifiers,
+  // send join probes, let the logical successors report their loads, and
+  // keep the identifier whose successor is the most loaded — that places
+  // the newcomer in the most loaded part of the network, where it absorbs
+  // the keys of the sub-arc it takes over.
+  NodeId best = ring_.random_free_id(rng);
+  std::size_t best_load = load_of(ring_.successor_of(best));
+  for (unsigned probe = 1; probe < samples; ++probe) {
+    const NodeId candidate = ring_.random_free_id(rng);
+    const std::size_t successor_load = load_of(ring_.successor_of(candidate));
+    if (successor_load > best_load) {
+      best = candidate;
+      best_load = successor_load;
+    }
+  }
+  // Join so the most loaded sampled successor sheds half its keys: it knows
+  // its own key set, so it can report the median key position along with its
+  // load (a mild strengthening of the paper's "use the identifier that will
+  // place it in the most loaded part" — same probes, same message cost, but
+  // the split lands inside the dense region instead of at a random point of
+  // the arc; see DESIGN.md).
+  if (samples > 1) {
+    if (const auto median = median_split_id(ring_.successor_of(best))) {
+      best = *median;
+    }
+  }
+  ring_.add_node_exact(best);
+  return best;
+}
+
+void SquidSystem::leave_node(NodeId id) { ring_.leave(id); }
+
+void SquidSystem::fail_node(NodeId id) { ring_.fail(id); }
+
+void SquidSystem::publish(const DataElement& element) {
+  const u128 index = index_of_element(element);
+  StoredKey& key = store_[index];
+  if (key.elements.empty()) {
+    key.point = space_.encode(element.keys);
+    key_cache_dirty_ = true;
+  }
+  key.elements.push_back(element);
+  ++element_count_;
+}
+
+const std::vector<u128>& SquidSystem::key_cache() const {
+  if (key_cache_dirty_) {
+    key_cache_.clear();
+    key_cache_.reserve(store_.size());
+    for (const auto& [index, key] : store_) key_cache_.push_back(index);
+    key_cache_dirty_ = false;
+  }
+  return key_cache_;
+}
+
+bool SquidSystem::unpublish(const DataElement& element) {
+  const u128 index = index_of_element(element);
+  const auto it = store_.find(index);
+  if (it == store_.end()) return false;
+  auto& elements = it->second.elements;
+  const auto pos = std::find(elements.begin(), elements.end(), element);
+  if (pos == elements.end()) return false;
+  elements.erase(pos);
+  --element_count_;
+  if (elements.empty()) {
+    store_.erase(it);
+    key_cache_dirty_ = true;
+  }
+  return true;
+}
+
+overlay::RouteResult SquidSystem::publish_routed(const DataElement& element,
+                                                 NodeId origin) {
+  const overlay::RouteResult route =
+      ring_.route(origin, index_of_element(element));
+  if (route.ok) publish(element);
+  return route;
+}
+
+std::size_t SquidSystem::keys_in_range(NodeId from, NodeId to) const {
+  // Stored keys with index in the clockwise interval (from, to].
+  const auto& keys = key_cache();
+  if (keys.empty()) return 0;
+  const auto rank = [&keys](u128 v) {
+    return static_cast<std::size_t>(
+        std::upper_bound(keys.begin(), keys.end(), v) - keys.begin());
+  };
+  if (from < to) return rank(to) - rank(from);
+  // Wrapped (or from == to: the whole ring).
+  return (keys.size() - rank(from)) + rank(to);
+}
+
+std::optional<SquidSystem::NodeId> SquidSystem::median_split_id(
+    NodeId s) const {
+  if (ring_.size() < 1) return std::nullopt;
+  const NodeId pred = ring_.size() == 1 ? s : ring_.predecessor_of(s);
+  const std::size_t count =
+      ring_.size() == 1 ? store_.size() : keys_in_range(pred, s);
+  if (count < 2) return std::nullopt;
+  auto it = store_.upper_bound(pred);
+  NodeId boundary = pred;
+  for (std::size_t k = 0; k < count / 2; ++k) {
+    if (it == store_.end()) it = store_.begin();
+    boundary = it->first;
+    ++it;
+  }
+  if (boundary == pred || boundary == s || ring_.contains(boundary))
+    return std::nullopt;
+  return boundary;
+}
+
+std::size_t SquidSystem::load_of(NodeId id) const {
+  if (ring_.size() == 1) return store_.size();
+  return keys_in_range(ring_.predecessor_of(id), id);
+}
+
+std::size_t SquidSystem::absorbed_load(NodeId candidate) const {
+  if (ring_.size() == 0) return store_.size();
+  return keys_in_range(ring_.predecessor_of(candidate), candidate);
+}
+
+std::vector<std::pair<SquidSystem::NodeId, std::size_t>>
+SquidSystem::node_loads() const {
+  std::vector<std::pair<NodeId, std::size_t>> loads;
+  const auto ids = ring_.node_ids();
+  loads.reserve(ids.size());
+  for (const NodeId id : ids) loads.emplace_back(id, 0);
+  if (loads.empty()) return loads;
+  // Single sweep over the store: each key belongs to its successor node.
+  auto it = loads.begin();
+  std::size_t wrapped = 0; // keys past the last node wrap to the first
+  for (const auto& [index, key] : store_) {
+    while (it != loads.end() && it->first < index) ++it;
+    if (it == loads.end()) {
+      ++wrapped;
+    } else {
+      ++it->second;
+    }
+  }
+  loads.front().second += wrapped;
+  return loads;
+}
+
+std::size_t SquidSystem::runtime_balance_sweep(double threshold) {
+  SQUID_REQUIRE(threshold >= 1.0, "imbalance threshold must be >= 1");
+  if (ring_.size() < 3 || store_.empty()) return 0;
+  std::size_t moves = 0;
+  // Walk a snapshot of the ring; each step may move the *predecessor* of
+  // the node under consideration, which never invalidates later snapshot
+  // entries (only ids between predecessor-of-predecessor and node change).
+  for (const NodeId id : ring_.node_ids()) {
+    if (!ring_.contains(id)) continue; // moved away earlier in this sweep
+    const NodeId pred = ring_.predecessor_of(id);
+    const NodeId pred2 = ring_.predecessor_of(pred);
+    if (pred == id || pred2 == pred) continue; // degenerate tiny ring
+    const std::size_t load_self = keys_in_range(pred, id);
+    const std::size_t load_pred = keys_in_range(pred2, pred);
+
+    if (static_cast<double>(load_self) >
+        threshold * static_cast<double>(std::max<std::size_t>(load_pred, 1))) {
+      // This node is overloaded: the predecessor slides clockwise to absorb
+      // the first half of the surplus (paper 3.5: "the most loaded nodes
+      // give a part of their load to their neighbors").
+      const std::size_t shed = (load_self - load_pred) / 2;
+      if (shed == 0) continue;
+      // Find the shed-th key in (pred, id].
+      auto it = store_.upper_bound(pred);
+      NodeId boundary = pred;
+      for (std::size_t k = 0; k < shed; ++k) {
+        if (it == store_.end()) it = store_.begin();
+        boundary = it->first;
+        ++it;
+      }
+      if (boundary == pred || ring_.contains(boundary)) continue;
+      ring_.fail(pred); // the move is leave+rejoin in a real deployment
+      ring_.add_node_exact(boundary);
+      ++moves;
+      ++balance_moves_;
+    } else if (static_cast<double>(load_pred) >
+               threshold *
+                   static_cast<double>(std::max<std::size_t>(load_self, 1))) {
+      // The predecessor is overloaded: it slides counter-clockwise, shedding
+      // its top keys to this node.
+      const std::size_t shed = (load_pred - load_self) / 2;
+      if (shed == 0) continue;
+      // New boundary: the key `shed` positions before pred in (pred2, pred].
+      const std::size_t keep = load_pred - shed;
+      auto it = store_.upper_bound(pred2);
+      NodeId boundary = pred;
+      if (keep == 0) continue; // would empty the predecessor entirely
+      for (std::size_t k = 0; k < keep; ++k) {
+        if (it == store_.end()) it = store_.begin();
+        boundary = it->first;
+        ++it;
+      }
+      if (boundary == pred || ring_.contains(boundary)) continue;
+      ring_.fail(pred);
+      ring_.add_node_exact(boundary);
+      ++moves;
+      ++balance_moves_;
+    }
+  }
+  return moves;
+}
+
+} // namespace squid::core

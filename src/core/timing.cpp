@@ -1,0 +1,38 @@
+#include "squid/core/timing.hpp"
+
+#include <algorithm>
+
+#include "squid/util/require.hpp"
+
+namespace squid::core {
+
+double sample_completion_ms(const std::vector<TimingEvent>& timing,
+                            const LinkModel& model, Rng& rng) {
+  SQUID_REQUIRE(model.base_ms >= 0 && model.jitter_ms >= 0 &&
+                    model.processing_ms >= 0,
+                "link model costs must be nonnegative");
+  if (timing.empty()) return 0.0;
+  std::vector<double> at(timing.size(), 0.0);
+  double completion = 0.0;
+  for (std::size_t i = 1; i < timing.size(); ++i) {
+    const auto parent = static_cast<std::size_t>(timing[i].parent);
+    SQUID_REQUIRE(parent < i, "timing DAG must reference earlier events");
+    double transit = 0.0;
+    for (std::uint32_t hop = 0; hop < timing[i].hops; ++hop)
+      transit += model.base_ms + model.jitter_ms * rng.uniform();
+    at[i] = at[parent] + transit + model.processing_ms;
+    completion = std::max(completion, at[i]);
+  }
+  return completion;
+}
+
+Summary estimate_latency_ms(const QueryResult& result, const LinkModel& model,
+                            Rng& rng, std::size_t samples) {
+  SQUID_REQUIRE(samples >= 1, "need at least one sample");
+  Summary summary;
+  for (std::size_t s = 0; s < samples; ++s)
+    summary.add(sample_completion_ms(result.timing, model, rng));
+  return summary;
+}
+
+} // namespace squid::core

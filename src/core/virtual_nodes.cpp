@@ -1,0 +1,115 @@
+#include "squid/core/virtual_nodes.hpp"
+
+#include <algorithm>
+
+#include "squid/util/require.hpp"
+
+namespace squid::core {
+
+VirtualNodeManager::VirtualNodeManager(SquidSystem& sys,
+                                       std::size_t physical_peers,
+                                       unsigned virtuals_per_peer, Rng& rng)
+    : sys_(sys), physical_count_(physical_peers) {
+  SQUID_REQUIRE(physical_peers >= 1, "need at least one physical peer");
+  SQUID_REQUIRE(virtuals_per_peer >= 1, "need at least one virtual node");
+  SQUID_REQUIRE(sys.ring().size() == 0,
+                "VirtualNodeManager must create the network itself");
+  sys_.build_network(physical_peers * virtuals_per_peer, rng);
+  std::size_t peer = 0;
+  for (const auto id : sys_.ring().node_ids()) {
+    host_of_[id] = peer;
+    peer = (peer + 1) % physical_peers;
+  }
+}
+
+std::size_t VirtualNodeManager::load_of_virtual(SquidSystem::NodeId id) const {
+  return sys_.load_of(id);
+}
+
+std::vector<std::size_t> VirtualNodeManager::physical_loads() const {
+  std::vector<std::size_t> loads(physical_count_, 0);
+  for (const auto& [id, load] : sys_.node_loads()) {
+    const auto it = host_of_.find(id);
+    SQUID_REQUIRE(it != host_of_.end(), "virtual node without a host");
+    loads[it->second] += load;
+  }
+  return loads;
+}
+
+std::size_t VirtualNodeManager::balance_round(double split_threshold,
+                                              double migrate_threshold,
+                                              Rng& rng) {
+  SQUID_REQUIRE(split_threshold > 1.0 && migrate_threshold > 1.0,
+                "thresholds must exceed 1");
+  std::size_t actions = 0;
+
+  // Phase 1 — split hot virtual nodes: a virtual node whose load exceeds
+  // split_threshold times the average virtual load splits at its median
+  // key; the new half is hosted by the least-loaded peer of a small random
+  // sample ("neighbors or fingers" in the paper: a constant-size view).
+  const double avg_virtual =
+      static_cast<double>(sys_.key_count()) /
+      static_cast<double>(std::max<std::size_t>(1, virtual_count()));
+  std::vector<SquidSystem::NodeId> hot;
+  for (const auto& [id, host] : host_of_) {
+    if (static_cast<double>(load_of_virtual(id)) >
+        split_threshold * std::max(1.0, avg_virtual)) {
+      hot.push_back(id);
+    }
+  }
+  for (const auto id : hot) {
+    const auto split = sys_.median_split_id(id);
+    if (!split) continue;
+    const auto loads = physical_loads();
+    std::size_t target = rng.below(physical_count_);
+    for (int probe = 0; probe < 4; ++probe) {
+      const std::size_t candidate = rng.below(physical_count_);
+      if (loads[candidate] < loads[target]) target = candidate;
+    }
+    // The split id takes the first half of `id`'s keys as a new virtual
+    // node on the chosen peer.
+    sys_.add_node_at(*split);
+    host_of_[*split] = target;
+    ++splits_;
+    ++actions;
+  }
+
+  // Phase 2 — migrate from overloaded peers: move the heaviest virtual node
+  // of any peer loaded beyond migrate_threshold x average to the
+  // least-loaded sampled peer. Only the hosting assignment changes.
+  const auto loads = physical_loads();
+  const double avg_physical =
+      static_cast<double>(sys_.key_count()) /
+      static_cast<double>(physical_count_);
+  for (std::size_t peer = 0; peer < physical_count_; ++peer) {
+    if (static_cast<double>(loads[peer]) <=
+        migrate_threshold * std::max(1.0, avg_physical)) {
+      continue;
+    }
+    // Heaviest virtual node hosted by `peer`.
+    SquidSystem::NodeId heaviest = 0;
+    std::size_t heaviest_load = 0;
+    for (const auto& [id, host] : host_of_) {
+      if (host != peer) continue;
+      const std::size_t load = load_of_virtual(id);
+      if (load >= heaviest_load) {
+        heaviest = id;
+        heaviest_load = load;
+      }
+    }
+    if (heaviest_load == 0) continue;
+    std::size_t target = rng.below(physical_count_);
+    for (int probe = 0; probe < 4; ++probe) {
+      const std::size_t candidate = rng.below(physical_count_);
+      if (loads[candidate] < loads[target]) target = candidate;
+    }
+    if (loads[target] + heaviest_load < loads[peer]) {
+      host_of_[heaviest] = target;
+      ++migrations_;
+      ++actions;
+    }
+  }
+  return actions;
+}
+
+} // namespace squid::core

@@ -1,0 +1,102 @@
+#include "squid/keyword/codec.hpp"
+
+#include <cmath>
+
+#include "squid/util/require.hpp"
+#include "squid/util/u128.hpp"
+
+namespace squid::keyword {
+
+StringCodec::StringCodec(std::string alphabet, unsigned max_len)
+    : alphabet_(std::move(alphabet)), max_len_(max_len),
+      base_(alphabet_.size() + 1) {
+  SQUID_REQUIRE(!alphabet_.empty(), "alphabet must be nonempty");
+  SQUID_REQUIRE(max_len_ >= 1, "max_len must be at least 1");
+  for (std::size_t i = 0; i < alphabet_.size(); ++i)
+    for (std::size_t j = i + 1; j < alphabet_.size(); ++j)
+      SQUID_REQUIRE(alphabet_[i] != alphabet_[j], "alphabet has duplicates");
+  // max_coord = base^max_len - 1, guarding 64-bit overflow.
+  u128 cap = 1;
+  for (unsigned i = 0; i < max_len_; ++i) {
+    cap *= base_;
+    SQUID_REQUIRE(cap <= (static_cast<u128>(1) << 63),
+                  "alphabet^max_len exceeds the 64-bit coordinate space");
+  }
+  max_coord_ = static_cast<std::uint64_t>(cap - 1);
+  bits_ = bit_width(static_cast<u128>(max_coord_));
+}
+
+std::uint64_t StringCodec::digit_of(char c) const {
+  const auto pos = alphabet_.find(c);
+  SQUID_REQUIRE(pos != std::string::npos,
+                std::string("character '") + c + "' not in the alphabet");
+  return static_cast<std::uint64_t>(pos) + 1; // 0 is the pad digit
+}
+
+std::uint64_t StringCodec::encode(std::string_view word) const {
+  std::uint64_t coord = 0;
+  for (unsigned i = 0; i < max_len_; ++i) {
+    const std::uint64_t digit = i < word.size() ? digit_of(word[i]) : 0;
+    coord = coord * base_ + digit;
+  }
+  return coord;
+}
+
+std::string StringCodec::decode(std::uint64_t coord) const {
+  SQUID_REQUIRE(coord <= max_coord_, "coordinate out of keyword range");
+  std::string out;
+  std::uint64_t scale = 1;
+  for (unsigned i = 1; i < max_len_; ++i) scale *= base_;
+  for (unsigned i = 0; i < max_len_; ++i) {
+    const std::uint64_t digit = coord / scale;
+    coord %= scale;
+    scale /= base_;
+    if (digit == 0) break; // pad digit: end of word
+    out.push_back(alphabet_[digit - 1]);
+  }
+  return out;
+}
+
+sfc::Interval StringCodec::prefix_interval(std::string_view prefix) const {
+  SQUID_REQUIRE(prefix.size() <= max_len_, "prefix longer than max_len");
+  // lo = prefix padded with 0 digits; hi = prefix followed by the largest
+  // digit in every remaining position.
+  std::uint64_t lo = 0, hi = 0;
+  for (unsigned i = 0; i < max_len_; ++i) {
+    const std::uint64_t digit = i < prefix.size() ? digit_of(prefix[i]) : 0;
+    lo = lo * base_ + digit;
+    hi = hi * base_ + (i < prefix.size() ? digit : base_ - 1);
+  }
+  return {lo, hi};
+}
+
+NumericCodec::NumericCodec(double lo, double hi, unsigned bits)
+    : lo_(lo), hi_(hi), bits_(bits) {
+  SQUID_REQUIRE(bits_ >= 1 && bits_ < 64, "numeric bits must be in [1,63]");
+  SQUID_REQUIRE(hi_ > lo_, "numeric range must be nonempty");
+  SQUID_REQUIRE(std::isfinite(lo_) && std::isfinite(hi_),
+                "numeric range must be finite");
+}
+
+std::uint64_t NumericCodec::encode(double value) const noexcept {
+  if (value <= lo_) return 0;
+  if (value >= hi_) return max_coord();
+  const double unit = (value - lo_) / (hi_ - lo_);
+  const auto bucket = static_cast<std::uint64_t>(
+      unit * static_cast<double>(max_coord() + 1));
+  return bucket > max_coord() ? max_coord() : bucket;
+}
+
+double NumericCodec::decode(std::uint64_t coord) const {
+  SQUID_REQUIRE(coord <= max_coord(), "coordinate out of range");
+  return lo_ + (hi_ - lo_) * static_cast<double>(coord) /
+                   static_cast<double>(max_coord() + 1);
+}
+
+sfc::Interval NumericCodec::range_interval(double value_lo,
+                                           double value_hi) const {
+  SQUID_REQUIRE(value_lo <= value_hi, "numeric query range is empty");
+  return {encode(value_lo), encode(value_hi)};
+}
+
+} // namespace squid::keyword

@@ -1,0 +1,216 @@
+#include "squid/keyword/space.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "squid/util/require.hpp"
+
+namespace squid::keyword {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
+    s.remove_suffix(1);
+  return s;
+}
+
+double parse_number(std::string_view text) {
+  double value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  SQUID_REQUIRE(ec == std::errc{} && ptr == text.data() + text.size(),
+                "malformed number in query term: " + std::string(text));
+  return value;
+}
+
+} // namespace
+
+std::string to_string(const Token& token) {
+  if (const auto* word = std::get_if<std::string>(&token)) return *word;
+  std::ostringstream os;
+  os << std::get<double>(token);
+  return os.str();
+}
+
+std::string to_string(const Query& query) {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < query.terms.size(); ++i) {
+    if (i) os << ", ";
+    const auto& term = query.terms[i];
+    if (const auto* w = std::get_if<Whole>(&term)) {
+      os << w->word;
+    } else if (const auto* p = std::get_if<Prefix>(&term)) {
+      os << p->prefix << '*';
+    } else if (std::holds_alternative<Any>(term)) {
+      os << '*';
+    } else if (const auto* r = std::get_if<NumRange>(&term)) {
+      os << r->lo << '-' << r->hi;
+    } else if (const auto* sr = std::get_if<StrRange>(&term)) {
+      os << sr->lo << '-' << sr->hi;
+    } else {
+      os << std::get<NumExact>(term).value;
+    }
+  }
+  os << ')';
+  return os.str();
+}
+
+KeywordSpace::KeywordSpace(std::vector<Dimension> dimensions)
+    : dimensions_(std::move(dimensions)) {
+  SQUID_REQUIRE(!dimensions_.empty(), "keyword space needs >= 1 dimension");
+  for (const auto& dim : dimensions_) {
+    const unsigned bits = std::visit([](const auto& c) { return c.bits(); }, dim);
+    bits_per_dim_ = std::max(bits_per_dim_, bits);
+  }
+  SQUID_REQUIRE(dims() * bits_per_dim_ <= 128,
+                "keyword space exceeds the 128-bit index budget");
+}
+
+const KeywordSpace::Dimension& KeywordSpace::dimension(unsigned i) const {
+  SQUID_REQUIRE(i < dims(), "dimension index out of range");
+  return dimensions_[i];
+}
+
+sfc::Point KeywordSpace::encode(const std::vector<Token>& tokens) const {
+  SQUID_REQUIRE(tokens.size() == dims(),
+                "data element needs one token per dimension");
+  sfc::Point point;
+  point.reserve(dims());
+  for (unsigned i = 0; i < dims(); ++i) {
+    const auto& dim = dimensions_[i];
+    if (const auto* codec = std::get_if<StringCodec>(&dim)) {
+      const auto* word = std::get_if<std::string>(&tokens[i]);
+      SQUID_REQUIRE(word != nullptr, "string dimension got a numeric token");
+      point.push_back(codec->encode(*word));
+    } else {
+      const auto* value = std::get_if<double>(&tokens[i]);
+      SQUID_REQUIRE(value != nullptr, "numeric dimension got a string token");
+      point.push_back(std::get<NumericCodec>(dim).encode(*value));
+    }
+  }
+  return point;
+}
+
+std::vector<Token> KeywordSpace::decode(const sfc::Point& point) const {
+  SQUID_REQUIRE(point.size() == dims(), "point dimensionality mismatch");
+  std::vector<Token> tokens;
+  tokens.reserve(dims());
+  for (unsigned i = 0; i < dims(); ++i) {
+    if (const auto* codec = std::get_if<StringCodec>(&dimensions_[i])) {
+      tokens.emplace_back(codec->decode(point[i]));
+    } else {
+      tokens.emplace_back(std::get<NumericCodec>(dimensions_[i]).decode(point[i]));
+    }
+  }
+  return tokens;
+}
+
+sfc::Rect KeywordSpace::to_rect(const Query& query) const {
+  SQUID_REQUIRE(query.terms.size() == dims(),
+                "query needs one term per dimension");
+  sfc::Rect rect;
+  rect.dims.reserve(dims());
+  for (unsigned i = 0; i < dims(); ++i) {
+    const auto& dim = dimensions_[i];
+    const auto& term = query.terms[i];
+    if (const auto* codec = std::get_if<StringCodec>(&dim)) {
+      if (const auto* w = std::get_if<Whole>(&term)) {
+        rect.dims.push_back(codec->whole_interval(w->word));
+      } else if (const auto* p = std::get_if<Prefix>(&term)) {
+        rect.dims.push_back(codec->prefix_interval(p->prefix));
+      } else if (std::holds_alternative<Any>(term)) {
+        rect.dims.push_back(codec->any_interval());
+      } else if (const auto* sr = std::get_if<StrRange>(&term)) {
+        const std::uint64_t lo = codec->encode(sr->lo);
+        const std::uint64_t hi = codec->encode(sr->hi);
+        SQUID_REQUIRE(lo <= hi, "string range bounds out of order: " +
+                                    sr->lo + " > " + sr->hi);
+        rect.dims.push_back(sfc::Interval{lo, hi});
+      } else {
+        SQUID_REQUIRE(false, "numeric term on a string dimension");
+      }
+    } else {
+      const auto& numeric = std::get<NumericCodec>(dim);
+      if (const auto* r = std::get_if<NumRange>(&term)) {
+        rect.dims.push_back(numeric.range_interval(r->lo, r->hi));
+      } else if (const auto* e = std::get_if<NumExact>(&term)) {
+        rect.dims.push_back(numeric.range_interval(e->value, e->value));
+      } else if (std::holds_alternative<Any>(term)) {
+        rect.dims.push_back(numeric.any_interval());
+      } else {
+        SQUID_REQUIRE(false, "string term on a numeric dimension");
+      }
+    }
+  }
+  return rect;
+}
+
+bool KeywordSpace::matches(const Query& query,
+                           const std::vector<Token>& tokens) const {
+  return to_rect(query).contains(encode(tokens));
+}
+
+QueryTerm KeywordSpace::parse_term(unsigned dim, std::string_view text) const {
+  SQUID_REQUIRE(dim < dims(), "dimension index out of range");
+  text = trim(text);
+  SQUID_REQUIRE(!text.empty(), "empty query term");
+  if (text == "*") return Any{};
+
+  if (std::holds_alternative<StringCodec>(dimensions_[dim])) {
+    // Ranges first: '-' cannot occur inside a keyword (alphabets are
+    // alphabetic), and a range bound may itself be "*" ("m-*").
+    if (const auto dash = text.find('-'); dash != std::string_view::npos) {
+      const std::string_view lo_text = trim(text.substr(0, dash));
+      const std::string_view hi_text = trim(text.substr(dash + 1));
+      const auto& codec = std::get<StringCodec>(dimensions_[dim]);
+      const std::string lo(lo_text == "*" ? "" : std::string(lo_text));
+      const std::string hi(hi_text == "*" ? codec.decode(codec.max_coord())
+                                          : std::string(hi_text));
+      return StrRange{lo, hi};
+    }
+    if (text.back() == '*') {
+      text.remove_suffix(1);
+      SQUID_REQUIRE(!text.empty(), "bare '*' already handled; '**' invalid");
+      return Prefix{std::string(text)};
+    }
+    return Whole{std::string(text)};
+  }
+
+  const auto& codec = std::get<NumericCodec>(dimensions_[dim]);
+  const auto dash = text.find('-', text.front() == '-' ? 1 : 0);
+  if (dash == std::string_view::npos) return NumExact{parse_number(text)};
+  const std::string_view lo_text = trim(text.substr(0, dash));
+  const std::string_view hi_text = trim(text.substr(dash + 1));
+  const double lo = lo_text == "*" ? codec.lo() : parse_number(lo_text);
+  const double hi = hi_text == "*" ? codec.hi() : parse_number(hi_text);
+  return NumRange{lo, hi};
+}
+
+Query KeywordSpace::parse(std::string_view text) const {
+  text = trim(text);
+  if (!text.empty() && text.front() == '(' && text.back() == ')') {
+    text.remove_prefix(1);
+    text.remove_suffix(1);
+  }
+  std::vector<std::string_view> pieces;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = text.find(',', start);
+    pieces.push_back(text.substr(start, comma - start));
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  SQUID_REQUIRE(pieces.size() == dims(),
+                "query needs exactly one term per dimension: " +
+                    std::string(text));
+  Query query;
+  for (unsigned dim = 0; dim < dims(); ++dim)
+    query.terms.push_back(parse_term(dim, pieces[dim]));
+  return query;
+}
+
+} // namespace squid::keyword

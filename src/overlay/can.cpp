@@ -1,0 +1,196 @@
+#include "squid/overlay/can.hpp"
+
+#include <algorithm>
+
+#include "squid/util/require.hpp"
+
+namespace squid::overlay {
+
+bool CanOverlay::Zone::contains(const sfc::Point& p) const noexcept {
+  if (p.size() != box.size()) return false;
+  for (std::size_t d = 0; d < box.size(); ++d)
+    if (!box[d].contains(p[d])) return false;
+  return true;
+}
+
+CanOverlay::CanOverlay(unsigned dims, unsigned bits_per_dim)
+    : dims_(dims), bits_per_dim_(bits_per_dim) {
+  SQUID_REQUIRE(dims >= 1, "CAN needs at least one dimension");
+  SQUID_REQUIRE(bits_per_dim >= 1 && bits_per_dim < 64,
+                "CAN coordinate bits must be in [1,63]");
+  Zone root;
+  const std::uint64_t side_max = (std::uint64_t{1} << bits_per_dim) - 1;
+  for (unsigned d = 0; d < dims; ++d) root.box.push_back({0, side_max});
+  zones_.push_back(std::move(root));
+  neighbors_.emplace_back();
+}
+
+void CanOverlay::build(std::size_t count, Rng& rng) {
+  SQUID_REQUIRE(count >= 1, "CAN needs at least one zone");
+  while (zones_.size() < count) (void)join(rng);
+}
+
+CanOverlay::NodeIndex CanOverlay::join(Rng& rng) {
+  const std::uint64_t side = std::uint64_t{1} << bits_per_dim_;
+  for (int attempt = 0; attempt < 1024; ++attempt) {
+    sfc::Point p(dims_);
+    for (auto& c : p) c = rng.below(side);
+    const NodeIndex victim = owner_of(p);
+    Zone& zone = zones_[victim];
+    // Find a splittable dimension starting at the round-robin cursor.
+    unsigned dim = zone.next_split_dim;
+    bool splittable = false;
+    for (unsigned probe = 0; probe < dims_; ++probe) {
+      if (zone.box[dim].width() >= 2) {
+        splittable = true;
+        break;
+      }
+      dim = (dim + 1) % dims_;
+    }
+    if (!splittable) continue; // unit zone; try another point
+
+    const std::uint64_t lo = zone.box[dim].lo;
+    const std::uint64_t hi = zone.box[dim].hi;
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    Zone upper = zone;
+    zone.box[dim] = {lo, mid};
+    upper.box[dim] = {mid + 1, hi};
+    zone.next_split_dim = (dim + 1) % dims_;
+    upper.next_split_dim = (dim + 1) % dims_;
+
+    const auto fresh = static_cast<NodeIndex>(zones_.size());
+    zones_.push_back(std::move(upper));
+    neighbors_.emplace_back();
+    // Affected adjacency: the victim, the newcomer, and everything that was
+    // adjacent to the victim's old (larger) zone.
+    std::set<NodeIndex> affected = neighbors_[victim];
+    affected.insert(victim);
+    affected.insert(fresh);
+    for (const NodeIndex node : affected) rebuild_neighbors(node);
+    return fresh;
+  }
+  SQUID_REQUIRE(false, "CAN join failed: coordinate space exhausted");
+  return 0;
+}
+
+const CanOverlay::Zone& CanOverlay::zone(NodeIndex node) const {
+  SQUID_REQUIRE(node < zones_.size(), "unknown CAN node");
+  return zones_[node];
+}
+
+const std::set<CanOverlay::NodeIndex>& CanOverlay::neighbors(
+    NodeIndex node) const {
+  SQUID_REQUIRE(node < neighbors_.size(), "unknown CAN node");
+  return neighbors_[node];
+}
+
+CanOverlay::NodeIndex CanOverlay::owner_of(const sfc::Point& point) const {
+  SQUID_REQUIRE(point.size() == dims_, "point dimensionality mismatch");
+  for (NodeIndex node = 0; node < zones_.size(); ++node)
+    if (zones_[node].contains(point)) return node;
+  SQUID_REQUIRE(false, "CAN zones failed to cover a point");
+  return 0;
+}
+
+bool CanOverlay::zones_adjacent(const Zone& a, const Zone& b) const noexcept {
+  const std::uint64_t side = std::uint64_t{1} << bits_per_dim_;
+  unsigned abutting = 0;
+  for (unsigned d = 0; d < dims_; ++d) {
+    const auto& ia = a.box[d];
+    const auto& ib = b.box[d];
+    if (ia.intersects(ib)) continue;
+    const bool abut = ((ia.hi + 1) % side == ib.lo) ||
+                      ((ib.hi + 1) % side == ia.lo);
+    if (!abut) return false;
+    ++abutting;
+  }
+  // Adjacent means they share a (d-1)-dimensional face: abut in exactly one
+  // dimension and overlap in every other. (For d == 1 any two distinct arcs
+  // abut at both ends.)
+  return abutting == 1;
+}
+
+std::uint64_t CanOverlay::torus_axis_distance(
+    std::uint64_t coord, const sfc::Interval& extent,
+    unsigned /*dim*/) const noexcept {
+  if (extent.contains(coord)) return 0;
+  const std::uint64_t side = std::uint64_t{1} << bits_per_dim_;
+  const std::uint64_t up = (extent.lo - coord) % side;   // wrap-safe: uint
+  const std::uint64_t down = (coord - extent.hi) % side; // arithmetic mod 2^64
+  return std::min(up & (side - 1), down & (side - 1));
+}
+
+std::uint64_t CanOverlay::torus_distance(const sfc::Point& p,
+                                         const Zone& zone) const noexcept {
+  std::uint64_t total = 0;
+  for (unsigned d = 0; d < dims_; ++d)
+    total += torus_axis_distance(p[d], zone.box[d], d);
+  return total;
+}
+
+CanOverlay::RouteResult CanOverlay::route(NodeIndex from,
+                                          const sfc::Point& point) const {
+  SQUID_REQUIRE(from < zones_.size(), "unknown CAN node");
+  SQUID_REQUIRE(point.size() == dims_, "point dimensionality mismatch");
+  RouteResult result;
+  NodeIndex cur = from;
+  result.path.push_back(cur);
+  std::vector<bool> visited(zones_.size(), false);
+  visited[cur] = true;
+  while (!zones_[cur].contains(point)) {
+    const std::uint64_t here = torus_distance(point, zones_[cur]);
+    NodeIndex best = cur;
+    std::uint64_t best_distance = here;
+    for (const NodeIndex nbr : neighbors_[cur]) {
+      const std::uint64_t d = torus_distance(point, zones_[nbr]);
+      if (d < best_distance || (d == best_distance && !visited[nbr] &&
+                                best == cur)) {
+        best = nbr;
+        best_distance = d;
+      }
+    }
+    if (best == cur || visited[best]) return result; // greedy dead end
+    visited[best] = true;
+    result.path.push_back(best);
+    cur = best;
+  }
+  result.ok = true;
+  result.dest = cur;
+  return result;
+}
+
+void CanOverlay::rebuild_neighbors(NodeIndex node) {
+  std::set<NodeIndex> fresh;
+  for (NodeIndex other = 0; other < zones_.size(); ++other) {
+    if (other == node) continue;
+    if (zones_adjacent(zones_[node], zones_[other])) fresh.insert(other);
+  }
+  // Symmetrize against all previously recorded edges.
+  for (const NodeIndex old : neighbors_[node])
+    if (!fresh.count(old)) neighbors_[old].erase(node);
+  for (const NodeIndex now : fresh) neighbors_[now].insert(node);
+  neighbors_[node] = std::move(fresh);
+}
+
+bool CanOverlay::invariants_hold() const {
+  // Volumes partition the torus.
+  u128 volume = 0;
+  for (const auto& zone : zones_) {
+    sfc::Rect rect{zone.box};
+    volume += rect.volume();
+  }
+  u128 full = 1;
+  for (unsigned d = 0; d < dims_; ++d)
+    full *= static_cast<u128>(1) << bits_per_dim_;
+  if (volume != full) return false;
+  // Neighbor symmetry and correctness.
+  for (NodeIndex a = 0; a < zones_.size(); ++a) {
+    for (const NodeIndex b : neighbors_[a]) {
+      if (!neighbors_[b].count(a)) return false;
+      if (!zones_adjacent(zones_[a], zones_[b])) return false;
+    }
+  }
+  return true;
+}
+
+} // namespace squid::overlay

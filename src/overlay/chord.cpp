@@ -1,0 +1,320 @@
+#include "squid/overlay/chord.hpp"
+
+#include <algorithm>
+
+#include "squid/util/require.hpp"
+
+namespace squid::overlay {
+
+ChordRing::ChordRing(unsigned id_bits, unsigned successors,
+                     unsigned finger_base)
+    : id_bits_(id_bits), successor_list_len_(successors),
+      finger_base_(finger_base) {
+  SQUID_REQUIRE(id_bits >= 1 && id_bits <= 128, "id_bits must be in [1,128]");
+  SQUID_REQUIRE(successors >= 1, "successor list needs at least one entry");
+  SQUID_REQUIRE(finger_base >= 2, "finger base must be at least 2");
+  finger_targets_ = finger_offsets();
+}
+
+std::vector<u128> ChordRing::finger_offsets() const {
+  // Offsets j * base^k for j in [1, base) while the offset fits the ring.
+  // For base 2 this is exactly the classic 2^k finger set.
+  std::vector<u128> offsets;
+  const u128 limit = id_mask();
+  u128 scale = 1;
+  for (;;) {
+    bool any = false;
+    for (unsigned j = 1; j < finger_base_; ++j) {
+      const u128 offset = scale * j;
+      if (offset > limit || offset / j != scale) break; // overflow guard
+      offsets.push_back(offset);
+      any = true;
+    }
+    if (!any) break;
+    if (scale > limit / finger_base_) break;
+    scale *= finger_base_;
+  }
+  return offsets;
+}
+
+NodeId ChordRing::successor_of(u128 key) const {
+  SQUID_REQUIRE(!nodes_.empty(), "successor_of on an empty ring");
+  const auto it = nodes_.lower_bound(key);
+  return it == nodes_.end() ? nodes_.begin()->first : it->first;
+}
+
+NodeId ChordRing::predecessor_of(u128 key) const {
+  SQUID_REQUIRE(!nodes_.empty(), "predecessor_of on an empty ring");
+  const auto it = nodes_.lower_bound(key);
+  return it == nodes_.begin() ? nodes_.rbegin()->first : std::prev(it)->first;
+}
+
+const ChordNode& ChordRing::node(NodeId id) const {
+  const auto it = nodes_.find(id);
+  SQUID_REQUIRE(it != nodes_.end(), "unknown node id");
+  return it->second;
+}
+
+ChordNode& ChordRing::node(NodeId id) {
+  const auto it = nodes_.find(id);
+  SQUID_REQUIRE(it != nodes_.end(), "unknown node id");
+  return it->second;
+}
+
+std::vector<NodeId> ChordRing::node_ids() const {
+  std::vector<NodeId> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& [id, _] : nodes_) ids.push_back(id);
+  return ids;
+}
+
+NodeId ChordRing::random_node(Rng& rng) const {
+  SQUID_REQUIRE(!nodes_.empty(), "random_node on an empty ring");
+  auto it = nodes_.begin();
+  std::advance(it, static_cast<std::ptrdiff_t>(rng.below(nodes_.size())));
+  return it->first;
+}
+
+NodeId ChordRing::random_free_id(Rng& rng) const {
+  for (;;) {
+    const NodeId id = id_bits_ >= 128 ? rng.next128()
+                                      : rng.below128(static_cast<u128>(1)
+                                                     << id_bits_);
+    if (!nodes_.count(id)) return id;
+  }
+}
+
+void ChordRing::wire_node(ChordNode& n) const {
+  n.predecessor = predecessor_of(n.id);
+  n.has_predecessor = true;
+  n.successors.clear();
+  // Walk clockwise from just past n collecting up to successor_list_len_
+  // distinct nodes (the node itself closes the list on tiny rings).
+  auto it = nodes_.upper_bound(n.id);
+  for (unsigned i = 0; i < successor_list_len_; ++i) {
+    if (it == nodes_.end()) it = nodes_.begin();
+    n.successors.push_back(it->first);
+    if (it->first == n.id) break; // wrapped all the way around
+    ++it;
+  }
+  n.fingers.assign(finger_count(), 0);
+  for (std::size_t k = 0; k < finger_count(); ++k)
+    n.fingers[k] = successor_of(finger_target_of(n.id, k));
+}
+
+void ChordRing::repair_all() {
+  for (auto& [id, n] : nodes_) wire_node(n);
+}
+
+void ChordRing::add_node_exact(NodeId id) {
+  SQUID_REQUIRE(id <= id_mask(), "node id exceeds the identifier space");
+  SQUID_REQUIRE(!nodes_.count(id), "duplicate node id");
+  ChordNode n;
+  n.id = id;
+  nodes_.emplace(id, std::move(n));
+  wire_node(nodes_[id]);
+  // Splice the neighbors so the ring stays exactly consistent: the new
+  // node's predecessor gains it as immediate successor, the successor gains
+  // it as predecessor. Remote fingers elsewhere stay stale by design.
+  if (nodes_.size() > 1) {
+    ChordNode& self = nodes_[id];
+    ChordNode& pred = node(self.predecessor);
+    pred.successors.insert(pred.successors.begin(), id);
+    if (pred.successors.size() > successor_list_len_)
+      pred.successors.pop_back();
+    ChordNode& succ = node(self.successors.front());
+    succ.predecessor = id;
+    succ.has_predecessor = true;
+  }
+}
+
+void ChordRing::build(std::size_t count, Rng& rng) {
+  SQUID_REQUIRE(count >= 1, "cannot build an empty ring");
+  while (nodes_.size() < count) {
+    ChordNode n;
+    n.id = random_free_id(rng);
+    nodes_.emplace(n.id, std::move(n));
+  }
+  repair_all();
+}
+
+std::optional<NodeId> ChordRing::first_alive_successor(
+    const ChordNode& n) const {
+  for (const NodeId s : n.successors)
+    if (nodes_.count(s)) return s;
+  return std::nullopt;
+}
+
+NodeId ChordRing::closest_preceding_alive(const ChordNode& n, u128 key) const {
+  // Pick the live finger that makes the most clockwise progress toward key
+  // while staying strictly before it. (With base-2 fingers in ascending
+  // offset order this matches the classic descending scan.)
+  NodeId best = n.id;
+  u128 best_progress = 0;
+  for (std::size_t k = n.fingers.size(); k-- > 0;) {
+    const NodeId f = n.fingers[k];
+    if (!nodes_.count(f) || !in_open_open(n.id, key, f)) continue;
+    const u128 progress = ring_distance(n.id, f, id_bits_);
+    if (progress > best_progress) {
+      best = f;
+      best_progress = progress;
+    }
+  }
+  return best;
+}
+
+RouteResult ChordRing::route(NodeId from, u128 key) const {
+  RouteResult result;
+  SQUID_REQUIRE(nodes_.count(from), "route source is not in the ring");
+  SQUID_REQUIRE(key <= id_mask(), "key exceeds the identifier space");
+  NodeId cur = from;
+  result.path.push_back(cur);
+  for (std::size_t hop = 0; hop < max_route_hops(); ++hop) {
+    const ChordNode& n = node(cur);
+    const auto succ = first_alive_successor(n);
+    if (!succ) return result; // partitioned: no live successor known
+    if (in_open_closed(cur, *succ, key)) {
+      result.ok = true;
+      result.dest = *succ;
+      if (*succ != cur) result.path.push_back(*succ);
+      return result;
+    }
+    NodeId next = closest_preceding_alive(n, key);
+    if (next == cur) next = *succ; // fingers useless: crawl the ring
+    if (next == cur) return result; // single stale node: no progress
+    result.path.push_back(next);
+    cur = next;
+  }
+  return result; // hop budget exhausted (routing loop under heavy churn)
+}
+
+RouteResult ChordRing::join(NodeId new_id, NodeId bootstrap) {
+  SQUID_REQUIRE(new_id <= id_mask(), "node id exceeds the identifier space");
+  SQUID_REQUIRE(!nodes_.count(new_id), "duplicate node id");
+  RouteResult r = route(bootstrap, new_id);
+  if (!r.ok) return r;
+
+  ChordNode n;
+  n.id = new_id;
+  const ChordNode& succ = node(r.dest);
+  n.successors.push_back(r.dest);
+  for (const NodeId s : succ.successors) {
+    if (n.successors.size() >= successor_list_len_) break;
+    if (s != new_id) n.successors.push_back(s);
+  }
+  // Seed fingers from the successor's table (standard bootstrap
+  // approximation); stabilization tightens them over time.
+  n.fingers = succ.fingers;
+  if (n.fingers.empty()) n.fingers.assign(finger_count(), r.dest);
+  n.fingers[0] = r.dest;
+  if (succ.has_predecessor) {
+    n.predecessor = succ.predecessor;
+    n.has_predecessor = true;
+  }
+  nodes_.emplace(new_id, std::move(n));
+
+  ChordNode& succ_mut = node(r.dest);
+  succ_mut.predecessor = new_id;
+  succ_mut.has_predecessor = true;
+  // Eager notify of the predecessor keeps the ring routable immediately, as
+  // the first post-join stabilize round would.
+  if (nodes_[new_id].has_predecessor &&
+      nodes_.count(nodes_[new_id].predecessor)) {
+    ChordNode& pred = node(nodes_[new_id].predecessor);
+    pred.successors.insert(pred.successors.begin(), new_id);
+    if (pred.successors.size() > successor_list_len_)
+      pred.successors.pop_back();
+  }
+  return r;
+}
+
+void ChordRing::leave(NodeId id) {
+  ChordNode& n = node(id);
+  const auto succ = first_alive_successor(n);
+  // Patch the neighbors (paper 3.2 Node Departures); distant finger tables
+  // stay stale until their owners stabilize.
+  if (succ && *succ != id) {
+    ChordNode& s = node(*succ);
+    if (n.has_predecessor && nodes_.count(n.predecessor)) {
+      s.predecessor = n.predecessor;
+      s.has_predecessor = true;
+      ChordNode& p = node(n.predecessor);
+      std::erase(p.successors, id);
+      p.successors.insert(p.successors.begin(), *succ);
+    }
+  }
+  nodes_.erase(id);
+}
+
+void ChordRing::fail(NodeId id) {
+  SQUID_REQUIRE(nodes_.count(id), "unknown node id");
+  nodes_.erase(id);
+}
+
+void ChordRing::stabilize(NodeId id, Rng& rng) {
+  if (!nodes_.count(id)) return;
+  ChordNode& n = node(id);
+
+  // 1. Successor repair: drop dead list entries from the front.
+  auto succ = first_alive_successor(n);
+  if (!succ) {
+    // All known successors died (catastrophic). A real node would re-join
+    // through an out-of-band bootstrap; model that directly.
+    succ = successor_of((id + 1) & id_mask());
+  }
+
+  // 2. Classic stabilize: adopt the successor's predecessor if closer.
+  {
+    const ChordNode& s = node(*succ);
+    if (s.has_predecessor && nodes_.count(s.predecessor) &&
+        in_open_open(id, *succ, s.predecessor)) {
+      succ = s.predecessor;
+    }
+  }
+
+  // 3. Refresh the successor list from the (possibly new) successor.
+  std::vector<NodeId> fresh{*succ};
+  for (const NodeId s : node(*succ).successors) {
+    if (fresh.size() >= successor_list_len_) break;
+    if (s != id && nodes_.count(s)) fresh.push_back(s);
+  }
+  n.successors = std::move(fresh);
+
+  // 4. Notify the successor about us.
+  {
+    ChordNode& s = node(*succ);
+    if (!s.has_predecessor || !nodes_.count(s.predecessor) ||
+        in_open_open(s.predecessor, s.id, id)) {
+      s.predecessor = id;
+      s.has_predecessor = true;
+    }
+  }
+
+  // 5. Fix one random finger via a routed lookup (paper: each node
+  // periodically "chooses a random entry in its finger table, checks for its
+  // state, and updates it if required").
+  if (n.fingers.empty()) n.fingers.assign(finger_count(), *succ);
+  const auto k = static_cast<std::size_t>(rng.below(finger_count()));
+  const RouteResult r = route(id, finger_target_of(id, k));
+  if (r.ok) node(id).fingers[k] = r.dest;
+  node(id).fingers[0] = *succ;
+}
+
+void ChordRing::stabilize_all(Rng& rng, unsigned rounds) {
+  for (unsigned round = 0; round < rounds; ++round) {
+    std::vector<NodeId> order = node_ids();
+    rng.shuffle(order);
+    for (const NodeId id : order) stabilize(id, rng);
+  }
+}
+
+bool ChordRing::ring_consistent() const {
+  for (const auto& [id, n] : nodes_) {
+    const auto succ = first_alive_successor(n);
+    if (!succ) return false;
+    if (*succ != successor_of((id + 1) & id_mask())) return false;
+  }
+  return true;
+}
+
+} // namespace squid::overlay

@@ -1,0 +1,199 @@
+#include "squid/overlay/pastry.hpp"
+
+#include <algorithm>
+
+#include "squid/overlay/id_space.hpp"
+#include "squid/util/require.hpp"
+
+namespace squid::overlay {
+
+PastryOverlay::PastryOverlay(unsigned digit_bits, unsigned leaf_set)
+    : digit_bits_(digit_bits), leaf_half_(leaf_set / 2) {
+  SQUID_REQUIRE(digit_bits >= 1 && digit_bits <= 8,
+                "digit bits must be in [1,8]");
+  SQUID_REQUIRE(128 % digit_bits == 0, "digit bits must divide 128");
+  SQUID_REQUIRE(leaf_set >= 2 && leaf_set % 2 == 0,
+                "leaf set must be even and >= 2");
+}
+
+u128 PastryOverlay::circular_distance(u128 a, u128 b) const noexcept {
+  const u128 d = a - b; // natural mod-2^128 wrap
+  const u128 other = u128(0) - d;
+  return d < other ? d : other;
+}
+
+std::vector<unsigned> PastryOverlay::digits_of(u128 id) const {
+  std::vector<unsigned> out(digits());
+  const u128 mask = low_mask(digit_bits_);
+  for (unsigned i = 0; i < digits(); ++i) {
+    const unsigned shift = 128 - (i + 1) * digit_bits_;
+    out[i] = static_cast<unsigned>((id >> shift) & mask);
+  }
+  return out;
+}
+
+unsigned PastryOverlay::shared_prefix(u128 a, u128 b) const {
+  const u128 mask = low_mask(digit_bits_);
+  for (unsigned i = 0; i < digits(); ++i) {
+    const unsigned shift = 128 - (i + 1) * digit_bits_;
+    if (((a >> shift) & mask) != ((b >> shift) & mask)) return i;
+  }
+  return digits();
+}
+
+void PastryOverlay::build(std::size_t count, Rng& rng) {
+  SQUID_REQUIRE(count >= 1, "cannot build an empty overlay");
+  while (nodes_.size() < count) {
+    const u128 id = rng.next128();
+    nodes_.emplace(id, Node{});
+  }
+  for (auto& [id, node] : nodes_) wire_node(id, node);
+}
+
+void PastryOverlay::wire_node(u128 id, Node& node) {
+  // Leaf sets: the numerically nearest peers on each side, ring order.
+  node.leaves_cw.clear();
+  node.leaves_ccw.clear();
+  auto cw = nodes_.upper_bound(id);
+  for (unsigned i = 0; i < leaf_half_; ++i) {
+    if (cw == nodes_.end()) cw = nodes_.begin();
+    if (cw->first == id) break; // wrapped around a tiny overlay
+    node.leaves_cw.push_back(cw->first);
+    ++cw;
+  }
+  auto ccw = nodes_.lower_bound(id);
+  for (unsigned i = 0; i < leaf_half_; ++i) {
+    if (ccw == nodes_.begin()) ccw = nodes_.end();
+    --ccw;
+    if (ccw->first == id) break;
+    node.leaves_ccw.push_back(ccw->first);
+  }
+
+  // Routing table: per (shared-prefix row, next-digit column), keep the
+  // numerically closest qualifying peer.
+  const unsigned cols = 1u << digit_bits_;
+  node.routing.assign(static_cast<std::size_t>(digits()) * cols, 0);
+  node.present.assign(static_cast<std::size_t>(digits()) * cols, false);
+  for (const auto& [other, _] : nodes_) {
+    if (other == id) continue;
+    const unsigned row = shared_prefix(id, other);
+    if (row >= digits()) continue;
+    const unsigned col = digits_of(other)[row];
+    const std::size_t slot = static_cast<std::size_t>(row) * cols + col;
+    if (!node.present[slot] ||
+        circular_distance(other, id) <
+            circular_distance(node.routing[slot], id)) {
+      node.routing[slot] = other;
+      node.present[slot] = true;
+    }
+  }
+}
+
+u128 PastryOverlay::owner_of(u128 key) const {
+  SQUID_REQUIRE(!nodes_.empty(), "owner_of on an empty overlay");
+  auto up = nodes_.lower_bound(key);
+  const u128 succ = up == nodes_.end() ? nodes_.begin()->first : up->first;
+  const u128 pred = up == nodes_.begin() ? nodes_.rbegin()->first
+                                         : std::prev(up)->first;
+  const u128 ds = circular_distance(succ, key);
+  const u128 dp = circular_distance(pred, key);
+  return ds <= dp ? succ : pred; // ties break clockwise
+}
+
+bool PastryOverlay::leaf_covers(const Node& node, u128 key) const {
+  if (node.leaves_cw.size() < leaf_half_ ||
+      node.leaves_ccw.size() < leaf_half_) {
+    return true; // overlay smaller than the leaf set: we know everyone
+  }
+  const u128 cw_edge = node.leaves_cw.back();
+  const u128 ccw_edge = node.leaves_ccw.back();
+  // key within [ccw_edge, cw_edge] going clockwise through self (the open
+  // bound at ccw_edge-1 makes the lower edge inclusive; u128 wraps safely).
+  return in_open_closed(ccw_edge - 1, cw_edge, key);
+}
+
+u128 PastryOverlay::random_node(Rng& rng) const {
+  SQUID_REQUIRE(!nodes_.empty(), "random_node on an empty overlay");
+  auto it = nodes_.begin();
+  std::advance(it, static_cast<std::ptrdiff_t>(rng.below(nodes_.size())));
+  return it->first;
+}
+
+double PastryOverlay::mean_table_entries() const {
+  if (nodes_.empty()) return 0;
+  std::size_t total = 0;
+  for (const auto& [id, node] : nodes_) {
+    total += node.leaves_cw.size() + node.leaves_ccw.size();
+    for (const bool p : node.present) total += p;
+  }
+  return static_cast<double>(total) / static_cast<double>(nodes_.size());
+}
+
+PastryOverlay::RouteResult PastryOverlay::route(u128 from, u128 key) const {
+  RouteResult result;
+  SQUID_REQUIRE(nodes_.count(from), "route source is not in the overlay");
+  u128 cur = from;
+  result.path.push_back(cur);
+  const std::size_t hop_cap = 4 * digits() + 2 * leaf_half_ + 8;
+  for (std::size_t hop = 0; hop < hop_cap; ++hop) {
+    const Node& node = nodes_.at(cur);
+
+    if (leaf_covers(node, key)) {
+      // Within leaf-set coverage: jump to the numerically closest known.
+      u128 best = cur;
+      u128 best_distance = circular_distance(cur, key);
+      for (const auto& leaves : {node.leaves_cw, node.leaves_ccw}) {
+        for (const u128 leaf : leaves) {
+          const u128 d = circular_distance(leaf, key);
+          if (d < best_distance) {
+            best = leaf;
+            best_distance = d;
+          }
+        }
+      }
+      if (best == cur) {
+        result.ok = true;
+        result.dest = cur;
+        return result;
+      }
+      result.path.push_back(best);
+      cur = best;
+      continue;
+    }
+
+    // Prefix routing: fix the next digit.
+    const unsigned row = shared_prefix(cur, key);
+    const unsigned cols = 1u << digit_bits_;
+    const unsigned col = digits_of(key)[row];
+    const std::size_t slot = static_cast<std::size_t>(row) * cols + col;
+    u128 next = 0;
+    bool have_next = false;
+    if (node.present[slot]) {
+      next = node.routing[slot];
+      have_next = true;
+    } else {
+      // Rare case: no exact entry. Take any known peer that is strictly
+      // numerically closer to the key and shares at least as long a prefix.
+      const u128 here = circular_distance(cur, key);
+      const auto consider = [&](u128 candidate) {
+        if (shared_prefix(candidate, key) < row) return;
+        if (circular_distance(candidate, key) >= here) return;
+        if (!have_next || circular_distance(candidate, key) <
+                              circular_distance(next, key)) {
+          next = candidate;
+          have_next = true;
+        }
+      };
+      for (const u128 leaf : node.leaves_cw) consider(leaf);
+      for (const u128 leaf : node.leaves_ccw) consider(leaf);
+      for (std::size_t s = 0; s < node.routing.size(); ++s)
+        if (node.present[s]) consider(node.routing[s]);
+    }
+    if (!have_next) return result; // dead end
+    result.path.push_back(next);
+    cur = next;
+  }
+  return result; // hop cap exceeded
+}
+
+} // namespace squid::overlay

@@ -1,0 +1,83 @@
+#include "squid/sfc/hilbert.hpp"
+
+#include <array>
+
+#include "interleave.hpp"
+#include "squid/util/require.hpp"
+
+namespace squid::sfc {
+namespace {
+
+using detail::kMaxDims;
+
+// Skilling's in-place transforms between axis coordinates and the
+// "transposed" Hilbert representation (b bits per word, n words).
+// Public-domain algorithm from AIP Conf. Proc. 707, 381 (2004).
+
+void axes_to_transpose(std::uint64_t* x, unsigned b, unsigned n) noexcept {
+  const std::uint64_t m = std::uint64_t{1} << (b - 1);
+  // Inverse undo of the rotation/reflection applied at each level.
+  for (std::uint64_t q = m; q > 1; q >>= 1) {
+    const std::uint64_t p = q - 1;
+    for (unsigned i = 0; i < n; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p; // invert low bits of axis 0
+      } else {
+        const std::uint64_t t = (x[0] ^ x[i]) & p; // exchange low bits
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (unsigned i = 1; i < n; ++i) x[i] ^= x[i - 1];
+  std::uint64_t t = 0;
+  for (std::uint64_t q = m; q > 1; q >>= 1) {
+    if (x[n - 1] & q) t ^= q - 1;
+  }
+  for (unsigned i = 0; i < n; ++i) x[i] ^= t;
+}
+
+void transpose_to_axes(std::uint64_t* x, unsigned b, unsigned n) noexcept {
+  const std::uint64_t top = std::uint64_t{2} << (b - 1);
+  // Gray decode by H ^ (H/2).
+  std::uint64_t t = x[n - 1] >> 1;
+  for (unsigned i = n - 1; i > 0; --i) x[i] ^= x[i - 1];
+  x[0] ^= t;
+  // Undo excess work.
+  for (std::uint64_t q = 2; q != top; q <<= 1) {
+    const std::uint64_t p = q - 1;
+    for (unsigned i = n; i-- > 0;) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+}
+
+} // namespace
+
+HilbertCurve::HilbertCurve(unsigned dims, unsigned bits_per_dim)
+    : Curve(dims, bits_per_dim) {}
+
+u128 HilbertCurve::index_of(const Point& point) const {
+  check_point(point);
+  std::array<std::uint64_t, kMaxDims> x{};
+  for (unsigned i = 0; i < dims(); ++i) x[i] = point[i];
+  axes_to_transpose(x.data(), bits_per_dim(), dims());
+  return detail::interleave(x.data(), dims(), bits_per_dim());
+}
+
+Point HilbertCurve::point_of(u128 index) const {
+  check_index(index);
+  std::array<std::uint64_t, kMaxDims> x{};
+  detail::deinterleave(index, x.data(), dims(), bits_per_dim());
+  transpose_to_axes(x.data(), bits_per_dim(), dims());
+  return Point(x.begin(), x.begin() + dims());
+}
+
+} // namespace squid::sfc

@@ -1,0 +1,51 @@
+// Internal bit-interleaving helpers shared by the curve implementations.
+//
+// Convention: the index digit for refinement level l (l = 0 is the most
+// significant) packs bit (m-1-l) of axis 0 first (most significant within
+// the digit) through axis d-1 last. This makes the first k*d index bits the
+// level-k cell digits, which is the digital-causality layout the cluster
+// refiner depends on.
+
+#pragma once
+
+#include <cstdint>
+
+#include "squid/util/u128.hpp"
+
+namespace squid::sfc::detail {
+
+inline constexpr unsigned kMaxDims = 128;
+
+inline u128 interleave(const std::uint64_t* axes, unsigned dims,
+                       unsigned bits) noexcept {
+  u128 index = 0;
+  for (unsigned bit = bits; bit-- > 0;) {
+    for (unsigned axis = 0; axis < dims; ++axis) {
+      index = (index << 1) | ((axes[axis] >> bit) & 1u);
+    }
+  }
+  return index;
+}
+
+inline void deinterleave(u128 index, std::uint64_t* axes, unsigned dims,
+                         unsigned bits) noexcept {
+  for (unsigned axis = 0; axis < dims; ++axis) axes[axis] = 0;
+  for (unsigned bit = 0; bit < bits; ++bit) {
+    for (unsigned axis = dims; axis-- > 0;) {
+      axes[axis] |= static_cast<std::uint64_t>(index & 1u) << bit;
+      index >>= 1;
+    }
+  }
+}
+
+/// Binary-reflected Gray code and its inverse (over up to 64-bit words).
+inline constexpr std::uint64_t gray_encode(std::uint64_t v) noexcept {
+  return v ^ (v >> 1);
+}
+
+inline constexpr std::uint64_t gray_decode(std::uint64_t g) noexcept {
+  for (std::uint64_t shift = 1; shift < 64; shift <<= 1) g ^= g >> shift;
+  return g;
+}
+
+} // namespace squid::sfc::detail

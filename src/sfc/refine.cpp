@@ -1,0 +1,147 @@
+#include "squid/sfc/refine.hpp"
+
+#include <algorithm>
+
+#include "squid/util/require.hpp"
+
+namespace squid::sfc {
+
+void ClusterRefiner::check_query(const Rect& query) const {
+  SQUID_REQUIRE(query.dims.size() == curve_.dims(),
+                "query dimensionality does not match the curve");
+  for (const auto& iv : query.dims) {
+    SQUID_REQUIRE(iv.lo <= iv.hi, "query interval is empty (lo > hi)");
+    SQUID_REQUIRE(iv.hi <= curve_.max_coord(),
+                  "query interval exceeds curve resolution");
+  }
+}
+
+ClusterRefiner::CellRelation ClusterRefiner::classify(const ClusterNode& node,
+                                                      const Rect& query) const {
+  check_query(query);
+  const Rect cell = curve_.cell_of_prefix(node.prefix, node.level);
+  if (!cell.intersects(query)) return CellRelation::disjoint;
+  if (query.covers(cell)) return CellRelation::covered;
+  return CellRelation::partial;
+}
+
+std::vector<ClusterNode> ClusterRefiner::refine(const ClusterNode& node,
+                                                const Rect& query) const {
+  check_query(query);
+  SQUID_REQUIRE(node.level < curve_.bits_per_dim(),
+                "cannot refine a leaf-level cluster");
+  std::vector<ClusterNode> children;
+  const u128 base = node.prefix << curve_.dims();
+  const u128 fanout = static_cast<u128>(1) << curve_.dims();
+  for (u128 child = 0; child < fanout; ++child) {
+    const ClusterNode candidate{base | child, node.level + 1};
+    const Rect cell = curve_.cell_of_prefix(candidate.prefix, candidate.level);
+    if (cell.intersects(query)) children.push_back(candidate);
+  }
+  return children;
+}
+
+Segment ClusterRefiner::segment_of(const ClusterNode& node) const {
+  SQUID_REQUIRE(node.level <= curve_.bits_per_dim(),
+                "cluster level exceeds curve depth");
+  const unsigned shift = (curve_.bits_per_dim() - node.level) * curve_.dims();
+  // shift == 128 only at the root (prefix 0), where a literal shift is UB.
+  const u128 lo = shift >= 128 ? 0 : node.prefix << shift;
+  return Segment{lo, lo + low_mask(shift)};
+}
+
+namespace {
+
+void emit_merged(std::vector<Segment>& out, const Segment& seg) {
+  if (!out.empty() && out.back().hi + 1 == seg.lo) {
+    out.back().hi = seg.hi; // adjacent in curve order: same cluster
+  } else {
+    out.push_back(seg);
+  }
+}
+
+} // namespace
+
+std::vector<Segment> ClusterRefiner::decompose(const Rect& query,
+                                               unsigned max_level) const {
+  check_query(query);
+  const unsigned depth = std::min(max_level, curve_.bits_per_dim());
+  std::vector<Segment> out;
+
+  // Explicit stack of (node, next child to visit) to keep curve order while
+  // avoiding recursion depth issues at high resolutions.
+  struct Frame {
+    ClusterNode node;
+    u128 next_child = 0;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({ClusterNode{0, 0}, 0});
+  const u128 fanout = static_cast<u128>(1) << curve_.dims();
+
+  // The root frame itself needs classification before descending.
+  {
+    const auto rel = classify(stack.back().node, query);
+    if (rel == CellRelation::covered || depth == 0) {
+      return {segment_of(ClusterNode{0, 0})};
+    }
+    if (rel == CellRelation::disjoint) return {};
+  }
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_child == fanout) {
+      stack.pop_back();
+      continue;
+    }
+    const u128 child_digit = frame.next_child++;
+    const ClusterNode child{(frame.node.prefix << curve_.dims()) | child_digit,
+                            frame.node.level + 1};
+    const Rect cell = curve_.cell_of_prefix(child.prefix, child.level);
+    if (!cell.intersects(query)) continue;
+    if (query.covers(cell) || child.level >= depth) {
+      emit_merged(out, segment_of(child));
+    } else {
+      stack.push_back({child, 0});
+    }
+  }
+  return out;
+}
+
+std::vector<Segment> ClusterRefiner::decompose_capped(
+    const Rect& query, std::size_t max_segments) const {
+  SQUID_REQUIRE(max_segments >= 1, "segment cap must be positive");
+  std::vector<Segment> best = decompose(query, 1);
+  for (unsigned level = 2; level <= curve_.bits_per_dim(); ++level) {
+    std::vector<Segment> next = decompose(query, level);
+    if (next.size() > max_segments) break;
+    const bool converged = next == best;
+    best = std::move(next);
+    // Heuristic early exit: two consecutive identical levels almost always
+    // mean the decomposition is exact. Callers filter matches locally, so
+    // stopping on an over-approximation is safe either way.
+    if (converged) break;
+  }
+  return best;
+}
+
+std::size_t ClusterRefiner::count_tree_nodes(const Rect& query,
+                                             unsigned max_level) const {
+  check_query(query);
+  const unsigned depth = std::min(max_level, curve_.bits_per_dim());
+  std::size_t visited = 1; // root
+  std::vector<ClusterNode> frontier{ClusterNode{0, 0}};
+  if (classify(frontier.front(), query) != CellRelation::partial || depth == 0)
+    return visited;
+  while (!frontier.empty()) {
+    const ClusterNode node = frontier.back();
+    frontier.pop_back();
+    for (const auto& child : refine(node, query)) {
+      ++visited;
+      const Rect cell = curve_.cell_of_prefix(child.prefix, child.level);
+      if (!query.covers(cell) && child.level < depth) frontier.push_back(child);
+    }
+  }
+  return visited;
+}
+
+} // namespace squid::sfc

@@ -1,0 +1,65 @@
+#include "squid/sfc/zorder.hpp"
+
+#include <array>
+
+#include "interleave.hpp"
+#include "squid/util/require.hpp"
+
+namespace squid::sfc {
+
+using detail::kMaxDims;
+
+ZOrderCurve::ZOrderCurve(unsigned dims, unsigned bits_per_dim)
+    : Curve(dims, bits_per_dim) {}
+
+u128 ZOrderCurve::index_of(const Point& point) const {
+  check_point(point);
+  std::array<std::uint64_t, kMaxDims> x{};
+  for (unsigned i = 0; i < dims(); ++i) x[i] = point[i];
+  return detail::interleave(x.data(), dims(), bits_per_dim());
+}
+
+Point ZOrderCurve::point_of(u128 index) const {
+  check_index(index);
+  std::array<std::uint64_t, kMaxDims> x{};
+  detail::deinterleave(index, x.data(), dims(), bits_per_dim());
+  return Point(x.begin(), x.begin() + dims());
+}
+
+GrayCurve::GrayCurve(unsigned dims, unsigned bits_per_dim)
+    : Curve(dims, bits_per_dim) {
+  SQUID_REQUIRE(dims < 64, "GrayCurve digit arithmetic requires dims < 64");
+}
+
+u128 GrayCurve::index_of(const Point& point) const {
+  check_point(point);
+  std::array<std::uint64_t, kMaxDims> x{};
+  for (unsigned i = 0; i < dims(); ++i) x[i] = point[i];
+  const u128 z = detail::interleave(x.data(), dims(), bits_per_dim());
+  // Replace each d-bit cell digit by its Gray rank so that successive cells
+  // at every level differ in a single coordinate bit.
+  const std::uint64_t digit_mask = (std::uint64_t{1} << dims()) - 1;
+  u128 out = 0;
+  for (unsigned level = 0; level < bits_per_dim(); ++level) {
+    const unsigned shift = (bits_per_dim() - 1 - level) * dims();
+    const auto digit = static_cast<std::uint64_t>(z >> shift) & digit_mask;
+    out = (out << dims()) | detail::gray_decode(digit);
+  }
+  return out;
+}
+
+Point GrayCurve::point_of(u128 index) const {
+  check_index(index);
+  const std::uint64_t digit_mask = (std::uint64_t{1} << dims()) - 1;
+  u128 z = 0;
+  for (unsigned level = 0; level < bits_per_dim(); ++level) {
+    const unsigned shift = (bits_per_dim() - 1 - level) * dims();
+    const auto digit = static_cast<std::uint64_t>(index >> shift) & digit_mask;
+    z = (z << dims()) | detail::gray_encode(digit);
+  }
+  std::array<std::uint64_t, kMaxDims> x{};
+  detail::deinterleave(z, x.data(), dims(), bits_per_dim());
+  return Point(x.begin(), x.begin() + dims());
+}
+
+} // namespace squid::sfc

@@ -1,0 +1,34 @@
+#include "squid/sim/engine.hpp"
+
+#include "squid/util/require.hpp"
+
+namespace squid::sim {
+
+void Engine::schedule(Time delay, Action action) {
+  SQUID_REQUIRE(static_cast<bool>(action), "cannot schedule an empty action");
+  queue_.push(Event{now_ + delay, next_seq_++, std::move(action)});
+}
+
+void Engine::schedule_periodic(Time period, std::function<bool()> action) {
+  SQUID_REQUIRE(period > 0, "periodic events need a positive period");
+  SQUID_REQUIRE(static_cast<bool>(action), "cannot schedule an empty action");
+  schedule(period, [this, period, action = std::move(action)]() mutable {
+    if (action()) schedule_periodic(period, std::move(action));
+  });
+}
+
+std::size_t Engine::run(Time until) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().at <= until) {
+    // Copy out before pop so the action may schedule further events.
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.at;
+    event.action();
+    ++executed;
+  }
+  if (now_ < until && until != ~Time{0}) now_ = until;
+  return executed;
+}
+
+} // namespace squid::sim

@@ -1,0 +1,107 @@
+#include "squid/stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "squid/util/require.hpp"
+
+namespace squid {
+
+Summary::Summary(std::vector<double> samples) : samples_(std::move(samples)) {}
+
+double Summary::sum() const noexcept {
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double Summary::mean() const noexcept {
+  return samples_.empty() ? 0.0 : sum() / static_cast<double>(samples_.size());
+}
+
+double Summary::min() const noexcept {
+  return samples_.empty() ? 0.0
+                          : *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const noexcept {
+  return samples_.empty() ? 0.0
+                          : *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::stddev() const noexcept {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0;
+  for (double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+double Summary::cv() const noexcept {
+  const double m = mean();
+  return m == 0.0 ? 0.0 : stddev() / m;
+}
+
+double Summary::max_over_mean() const noexcept {
+  const double m = mean();
+  return m == 0.0 ? 0.0 : max() / m;
+}
+
+double Summary::gini() const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double total = sum();
+  if (total == 0.0) return 0.0;
+  // Gini = (2 * sum_i i*x_i) / (n * total) - (n + 1) / n, with 1-based i over
+  // ascending x.
+  double weighted = 0;
+  for (std::size_t i = 0; i < sorted.size(); ++i)
+    weighted += static_cast<double>(i + 1) * sorted[i];
+  const double n = static_cast<double>(sorted.size());
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+double Summary::percentile(double p) const {
+  SQUID_REQUIRE(!samples_.empty(), "percentile of empty sample");
+  SQUID_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p out of [0,100]");
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  SQUID_REQUIRE(buckets > 0, "histogram needs at least one bucket");
+  SQUID_REQUIRE(hi > lo, "histogram range must be nonempty");
+}
+
+void Histogram::add(double value, std::uint64_t weight) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bucket = value <= lo_ ? 0
+              : static_cast<std::size_t>((value - lo_) / width);
+  if (bucket >= counts_.size()) bucket = counts_.size() - 1;
+  counts_[bucket] += weight;
+}
+
+std::uint64_t Histogram::total() const noexcept {
+  std::uint64_t acc = 0;
+  for (auto c : counts_) acc += c;
+  return acc;
+}
+
+double Histogram::bucket_lo(std::size_t bucket) const {
+  SQUID_REQUIRE(bucket < counts_.size(), "bucket out of range");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bucket);
+}
+
+double Histogram::bucket_hi(std::size_t bucket) const {
+  return bucket_lo(bucket) + (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+} // namespace squid

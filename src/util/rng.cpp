@@ -1,0 +1,46 @@
+#include "squid/util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace squid {
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  // Rejection sampling: draw until the value falls inside the largest
+  // multiple of `bound` representable in 64 bits, then reduce.
+  const std::uint64_t threshold = (~bound + 1) % bound; // == 2^64 mod bound
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+u128 Rng::below128(u128 bound) noexcept {
+  const u128 threshold = (~bound + 1) % bound; // == 2^128 mod bound
+  for (;;) {
+    const u128 r = next128();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent)
+    : exponent_(exponent) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be positive");
+  cdf_.resize(n);
+  double acc = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r + 1), exponent);
+    cdf_[r] = acc;
+  }
+  for (double& c : cdf_) c /= acc;
+  cdf_.back() = 1.0; // guard against floating point shortfall
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const noexcept {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+} // namespace squid

@@ -1,0 +1,55 @@
+#include "squid/util/u128.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace squid {
+
+std::string to_string(u128 v) {
+  if (v == 0) return "0";
+  std::string out;
+  while (v != 0) {
+    out.push_back(static_cast<char>('0' + static_cast<unsigned>(v % 10)));
+    v /= 10;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string to_binary_string(u128 v, unsigned bits) {
+  if (bits > 128) throw std::invalid_argument("to_binary_string: bits > 128");
+  std::string out(bits, '0');
+  for (unsigned i = 0; i < bits; ++i) {
+    if ((v >> i) & 1) out[bits - 1 - i] = '1';
+  }
+  return out;
+}
+
+std::string to_hex_string(u128 v) {
+  static constexpr char digits[] = "0123456789abcdef";
+  if (v == 0) return "0x0";
+  std::string out;
+  while (v != 0) {
+    out.push_back(digits[static_cast<unsigned>(v & 0xf)]);
+    v >>= 4;
+  }
+  out += "x0";
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+u128 parse_u128(std::string_view text) {
+  if (text.empty()) throw std::invalid_argument("parse_u128: empty input");
+  u128 value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9')
+      throw std::invalid_argument("parse_u128: non-digit character");
+    const u128 digit = static_cast<u128>(c - '0');
+    if (value > (u128_max - digit) / 10)
+      throw std::out_of_range("parse_u128: overflow");
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+} // namespace squid

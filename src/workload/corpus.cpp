@@ -1,0 +1,169 @@
+#include "squid/workload/corpus.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "squid/util/require.hpp"
+
+namespace squid::workload {
+
+namespace {
+
+constexpr const char* kAlphabet = "abcdefghijklmnopqrstuvwxyz";
+
+/// Syllables chosen to produce pronounceable words with many shared
+/// prefixes ("com", "con", "net", ...), which is what clusters real
+/// vocabularies lexicographically.
+const std::vector<std::string>& syllables() {
+  static const std::vector<std::string> kSyllables{
+      "com", "con", "net", "dat", "dis", "pro", "pre", "per", "res", "ser",
+      "sto", "str", "sys", "tra", "gri", "que", "ind", "inf", "int", "mem",
+      "ban", "bal", "clu", "cur", "dec", "dim", "loa", "loc", "map", "nod",
+      "ove", "pee", "ran", "rou", "sea", "sha", "spa", "tab", "top", "wil",
+      "pu",  "ter", "wor", "ing", "er",  "or",  "al",  "ic",  "ive", "ity"};
+  return kSyllables;
+}
+
+} // namespace
+
+Vocabulary::Vocabulary(std::size_t size, double zipf, Rng& rng)
+    : zipf_(size == 0 ? 1 : size, zipf) {
+  SQUID_REQUIRE(size >= 1, "vocabulary must be nonempty");
+  std::set<std::string> seen;
+  const auto& parts = syllables();
+  while (words_.size() < size) {
+    std::string word = parts[rng.below(parts.size())];
+    const auto extra = rng.below(3); // 1-3 syllables
+    for (std::uint64_t i = 0; i < extra; ++i)
+      word += parts[rng.below(parts.size())];
+    if (word.size() > 10) word.resize(10);
+    if (seen.insert(word).second) words_.push_back(std::move(word));
+  }
+  // Popularity rank is independent of spelling: shuffle, then rank order is
+  // simply vector order.
+  rng.shuffle(words_);
+}
+
+const std::string& Vocabulary::sample(Rng& rng) const {
+  return words_[zipf_.sample(rng)];
+}
+
+const std::string& Vocabulary::by_rank(std::size_t rank) const {
+  SQUID_REQUIRE(rank < words_.size(), "vocabulary rank out of range");
+  return words_[rank];
+}
+
+KeywordCorpus::KeywordCorpus(unsigned dims, std::size_t vocabulary,
+                             double zipf, Rng& rng)
+    : dims_(dims), vocabulary_(vocabulary, zipf, rng) {
+  SQUID_REQUIRE(dims >= 1, "corpus needs at least one dimension");
+}
+
+keyword::KeywordSpace KeywordCorpus::make_space(unsigned max_len) const {
+  std::vector<keyword::KeywordSpace::Dimension> dimensions;
+  for (unsigned d = 0; d < dims_; ++d)
+    dimensions.push_back(keyword::StringCodec(kAlphabet, max_len));
+  return keyword::KeywordSpace(std::move(dimensions));
+}
+
+core::DataElement KeywordCorpus::make_element(Rng& rng) const {
+  core::DataElement element;
+  element.name = "elem" + std::to_string(counter_++);
+  for (unsigned d = 0; d < dims_; ++d)
+    element.keys.emplace_back(vocabulary_.sample(rng));
+  return element;
+}
+
+std::vector<core::DataElement> KeywordCorpus::make_elements(std::size_t count,
+                                                            Rng& rng) const {
+  std::vector<core::DataElement> elements;
+  elements.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    elements.push_back(make_element(rng));
+  return elements;
+}
+
+keyword::Query KeywordCorpus::q1(std::size_t rank, bool partial,
+                                 unsigned prefix_len) const {
+  keyword::Query query;
+  const std::string& word = vocabulary_.by_rank(rank);
+  if (partial) {
+    std::string prefix = word.substr(0, std::max<unsigned>(1, prefix_len));
+    query.terms.push_back(keyword::Prefix{std::move(prefix)});
+  } else {
+    query.terms.push_back(keyword::Whole{word});
+  }
+  for (unsigned d = 1; d < dims_; ++d) query.terms.push_back(keyword::Any{});
+  return query;
+}
+
+keyword::Query KeywordCorpus::q2(std::size_t rank_a, std::size_t rank_b,
+                                 bool partial_b, unsigned prefix_len) const {
+  SQUID_REQUIRE(dims_ >= 2, "Q2 needs at least two dimensions");
+  keyword::Query query;
+  query.terms.push_back(keyword::Prefix{
+      vocabulary_.by_rank(rank_a).substr(0, std::max<unsigned>(1, prefix_len))});
+  const std::string& word_b = vocabulary_.by_rank(rank_b);
+  if (partial_b) {
+    query.terms.push_back(keyword::Prefix{
+        word_b.substr(0, std::max<unsigned>(1, prefix_len))});
+  } else {
+    query.terms.push_back(keyword::Whole{word_b});
+  }
+  for (unsigned d = 2; d < dims_; ++d) query.terms.push_back(keyword::Any{});
+  return query;
+}
+
+ResourceCorpus::ResourceCorpus(unsigned bits) : bits_(bits) {
+  SQUID_REQUIRE(bits >= 4 && bits < 32, "resource bits must be in [4,31]");
+}
+
+keyword::KeywordSpace ResourceCorpus::make_space() const {
+  // storage space (GB), base bandwidth (Mbps), cost — paper Fig 1(b).
+  return keyword::KeywordSpace({keyword::NumericCodec(0, 4096, bits_),
+                                keyword::NumericCodec(0, 10000, bits_),
+                                keyword::NumericCodec(0, 1000, bits_)});
+}
+
+core::DataElement ResourceCorpus::make_element(Rng& rng) const {
+  // Storage concentrates on power-of-two tiers with jitter.
+  const double tiers[] = {64, 128, 256, 512, 1024, 2048, 4096};
+  const double storage = tiers[rng.below(std::size(tiers))] *
+                         (0.9 + 0.2 * rng.uniform());
+  // Bandwidth concentrates on standard link rates.
+  const double rates[] = {10, 100, 1000, 2500, 10000};
+  const double bandwidth =
+      rates[rng.below(std::size(rates))] * (0.9 + 0.2 * rng.uniform());
+  // Cost spreads widely (roughly log-uniform over [1, 1000]).
+  double cost = 1.0;
+  for (int i = 0; i < 3; ++i) cost *= 1.0 + 9.0 * rng.uniform();
+  cost = std::min(cost, 1000.0);
+  return core::DataElement{"res" + std::to_string(counter_++),
+                           {storage, bandwidth, cost}};
+}
+
+std::vector<core::DataElement> ResourceCorpus::make_elements(std::size_t count,
+                                                             Rng& rng) const {
+  std::vector<core::DataElement> elements;
+  elements.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    elements.push_back(make_element(rng));
+  return elements;
+}
+
+keyword::Query ResourceCorpus::q3_keyword_range(double storage, double bw_lo,
+                                                double bw_hi) const {
+  return keyword::Query{{keyword::NumExact{storage},
+                         keyword::NumRange{bw_lo, bw_hi}, keyword::Any{}}};
+}
+
+keyword::Query ResourceCorpus::q3_all_ranges(double st_lo, double st_hi,
+                                             double bw_lo, double bw_hi,
+                                             double cost_lo,
+                                             double cost_hi) const {
+  return keyword::Query{{keyword::NumRange{st_lo, st_hi},
+                         keyword::NumRange{bw_lo, bw_hi},
+                         keyword::NumRange{cost_lo, cost_hi}}};
+}
+
+} // namespace squid::workload

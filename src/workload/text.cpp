@@ -1,0 +1,59 @@
+#include "squid/workload/text.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+
+namespace squid::workload {
+
+bool is_stopword(std::string_view word) {
+  static const std::set<std::string, std::less<>> kStopwords{
+      "a",    "an",   "and",  "are",  "as",   "at",   "be",   "by",
+      "can",  "for",  "from", "has",  "have", "in",   "is",   "it",
+      "its",  "of",   "on",   "or",   "our",  "such", "that", "the",
+      "their", "these", "this", "to",  "was",  "we",   "were", "which",
+      "with", "will", "not",  "all",  "also", "but",  "they", "been"};
+  return kStopwords.count(word) != 0;
+}
+
+std::vector<std::string> tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const char raw : text) {
+    const auto c = static_cast<unsigned char>(raw);
+    if (std::isalpha(c)) {
+      current.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::vector<std::string> extract_keywords(std::string_view text,
+                                          std::size_t max_keywords) {
+  std::map<std::string, std::size_t> counts;
+  for (auto& token : tokenize(text)) {
+    if (token.size() < 2 || is_stopword(token)) continue;
+    ++counts[token];
+  }
+  std::vector<std::pair<std::string, std::size_t>> ranked(counts.begin(),
+                                                          counts.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second; // more frequent
+    if (a.first.size() != b.first.size())
+      return a.first.size() > b.first.size(); // longer = more specific
+    return a.first < b.first;
+  });
+  std::vector<std::string> keywords;
+  for (const auto& [word, count] : ranked) {
+    if (keywords.size() >= max_keywords) break;
+    keywords.push_back(word);
+  }
+  return keywords;
+}
+
+} // namespace squid::workload

@@ -1,0 +1,71 @@
+#include "squid/baselines/can_inverse_sfc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "squid/util/rng.hpp"
+
+namespace squid::baselines {
+namespace {
+
+struct World {
+  std::unique_ptr<CanInverseSfcIndex> index;
+  std::vector<std::pair<std::string, double>> all;
+};
+
+World make_world(std::uint64_t seed, std::size_t nodes, std::size_t count) {
+  World world;
+  Rng rng(seed);
+  world.index = std::make_unique<CanInverseSfcIndex>(2, 10, nodes, 0.0,
+                                                     1024.0, rng);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double value = rng.uniform() * 1024.0;
+    world.all.emplace_back("m" + std::to_string(i), value);
+    world.index->publish(world.all.back().first, value);
+  }
+  return world;
+}
+
+TEST(CanInverseSfc, RangeQueriesAreComplete) {
+  World world = make_world(81, 100, 2000);
+  Rng rng(82);
+  for (int trial = 0; trial < 20; ++trial) {
+    const double a = rng.uniform() * 1024.0;
+    const double b = rng.uniform() * 1024.0;
+    const double lo = std::min(a, b), hi = std::max(a, b);
+    const auto result = world.index->range_query(lo, hi, rng);
+    std::vector<std::string> expected;
+    for (const auto& [name, value] : world.all)
+      if (value >= lo && value <= hi) expected.push_back(name);
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(result.names, expected) << "[" << lo << "," << hi << "]";
+  }
+}
+
+TEST(CanInverseSfc, PointQueriesTouchFewZones) {
+  World world = make_world(83, 200, 2000);
+  Rng rng(84);
+  const auto result = world.index->range_query(512.0, 513.0, rng);
+  EXPECT_LE(result.nodes_visited, 4u);
+}
+
+TEST(CanInverseSfc, CostScalesWithRangeCoverage) {
+  World world = make_world(85, 200, 2000);
+  Rng rng(86);
+  const auto narrow = world.index->range_query(100.0, 120.0, rng);
+  const auto wide = world.index->range_query(0.0, 1024.0, rng);
+  EXPECT_LT(narrow.nodes_visited, wide.nodes_visited);
+  // The full domain sweeps every zone holding data.
+  EXPECT_EQ(wide.matches, world.all.size());
+}
+
+TEST(CanInverseSfc, RejectsEmptyRange) {
+  World world = make_world(87, 20, 100);
+  Rng rng(88);
+  EXPECT_THROW((void)world.index->range_query(5.0, 4.0, rng),
+               std::invalid_argument);
+}
+
+} // namespace
+} // namespace squid::baselines

@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "squid/core/system.hpp"
+#include "squid/workload/corpus.hpp"
+
+namespace squid::core {
+namespace {
+
+TEST(CountQuery, AgreesWithFullQueryAcrossForms) {
+  Rng rng(181);
+  workload::KeywordCorpus corpus(2, 200, 0.9, rng);
+  SquidSystem sys(corpus.make_space());
+  sys.build_network(50, rng);
+  for (const auto& e : corpus.make_elements(1200, rng)) sys.publish(e);
+
+  for (const std::size_t rank : {0u, 3u, 9u, 40u}) {
+    for (const bool partial : {true, false}) {
+      const keyword::Query q = corpus.q1(rank, partial);
+      const auto origin = sys.ring().random_node(rng);
+      EXPECT_EQ(sys.count(q, origin), sys.query(q, origin).stats.matches)
+          << keyword::to_string(q);
+    }
+  }
+}
+
+TEST(CountQuery, EmptyAndFullSpace) {
+  Rng rng(182);
+  SquidSystem sys(keyword::KeywordSpace(
+      {keyword::StringCodec("abc", 2), keyword::StringCodec("abc", 2)}));
+  sys.build_network(10, rng);
+  const auto origin = sys.ring().node_ids().front();
+  EXPECT_EQ(sys.count(sys.space().parse("(*, *)"), origin), 0u);
+  sys.publish({"one", {std::string("ab"), std::string("c")}});
+  sys.publish({"two", {std::string("ab"), std::string("c")}});
+  EXPECT_EQ(sys.count(sys.space().parse("(*, *)"), origin), 2u);
+  EXPECT_EQ(sys.count(sys.space().parse("(ab, c)"), origin), 2u);
+  EXPECT_EQ(sys.count(sys.space().parse("(b*, *)"), origin), 0u);
+}
+
+TEST(CountQuery, RequiresLiveOrigin) {
+  Rng rng(183);
+  SquidSystem sys(keyword::KeywordSpace(
+      {keyword::StringCodec("abc", 2), keyword::StringCodec("abc", 2)}));
+  sys.build_network(4, rng);
+  EXPECT_THROW((void)sys.count(sys.space().parse("(*, *)"),
+                               sys.ring().id_mask()),
+               std::invalid_argument);
+}
+
+} // namespace
+} // namespace squid::core

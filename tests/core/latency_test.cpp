@@ -1,0 +1,89 @@
+// Critical-path latency accounting: dependent messages chain, independent
+// sub-queries run in parallel, so the critical path must sit between the
+// single-lookup cost and the total message count.
+
+#include <gtest/gtest.h>
+
+#include "squid/core/system.hpp"
+#include "squid/workload/corpus.hpp"
+
+namespace squid::core {
+namespace {
+
+struct World {
+  std::unique_ptr<workload::KeywordCorpus> corpus;
+  std::unique_ptr<SquidSystem> sys;
+};
+
+World make_world(std::uint64_t seed, std::size_t nodes, std::size_t elements) {
+  World world;
+  Rng rng(seed);
+  world.corpus = std::make_unique<workload::KeywordCorpus>(2, 300, 0.9, rng);
+  world.sys = std::make_unique<SquidSystem>(world.corpus->make_space());
+  world.sys->build_network(nodes, rng);
+  for (const auto& e : world.corpus->make_elements(elements, rng))
+    world.sys->publish(e);
+  return world;
+}
+
+TEST(Latency, PointLookupEqualsRouteHops) {
+  World world = make_world(121, 100, 500);
+  Rng rng(121);
+  // A fully-specified query is a single routed lookup.
+  const auto& word_a = world.corpus->vocabulary().by_rank(0);
+  const auto& word_b = world.corpus->vocabulary().by_rank(1);
+  keyword::Query q{{keyword::Whole{word_a}, keyword::Whole{word_b}}};
+  const auto origin = world.sys->ring().random_node(rng);
+  const auto result = world.sys->query(q, origin);
+  // Route length in a 100-node ring is single-digit.
+  EXPECT_LE(result.stats.critical_path_hops, 12u);
+}
+
+TEST(Latency, CriticalPathBelowMessageTotalOnBroadQueries) {
+  World world = make_world(122, 150, 3000);
+  Rng rng(122);
+  const keyword::Query q = world.corpus->q1(0, true);
+  const auto result = world.sys->query(q, world.sys->ring().random_node(rng));
+  ASSERT_GT(result.stats.messages, 10u);
+  // Parallel fan-out: the dependent chain is far shorter than the sum.
+  EXPECT_LT(result.stats.critical_path_hops, result.stats.messages);
+  EXPECT_GE(result.stats.critical_path_hops, 1u);
+}
+
+TEST(Latency, GrowsSlowlyWithSystemSize) {
+  double small_latency = 0, large_latency = 0;
+  {
+    World world = make_world(123, 50, 2000);
+    Rng rng(123);
+    const keyword::Query q = world.corpus->q1(0, true);
+    for (int i = 0; i < 10; ++i)
+      small_latency += static_cast<double>(
+          world.sys->query(q, world.sys->ring().random_node(rng))
+              .stats.critical_path_hops);
+  }
+  {
+    World world = make_world(123, 800, 2000); // same corpus seed, 16x nodes
+    Rng rng(124);
+    const keyword::Query q = world.corpus->q1(0, true);
+    for (int i = 0; i < 10; ++i)
+      large_latency += static_cast<double>(
+          world.sys->query(q, world.sys->ring().random_node(rng))
+              .stats.critical_path_hops);
+  }
+  // 16x nodes should cost far less than 16x latency (log routing + the
+  // covered-sweep chains grow with local node density only).
+  EXPECT_LT(large_latency, 8 * small_latency);
+}
+
+TEST(Latency, CentralizedQueryAlsoReportsCriticalPath) {
+  World world = make_world(125, 80, 1500);
+  Rng rng(125);
+  const keyword::Query q = world.corpus->q1(2, true);
+  const auto origin = world.sys->ring().random_node(rng);
+  const auto result = world.sys->query_centralized(q, origin);
+  EXPECT_GE(result.stats.critical_path_hops, 1u);
+  EXPECT_LE(result.stats.critical_path_hops, result.stats.messages);
+}
+
+} // namespace
+} // namespace squid::core

@@ -1,0 +1,112 @@
+// Cluster-owner caching (hot-spot extension): repeated queries hit the
+// per-peer cache, saving messages, while results stay identical — and stale
+// entries self-heal after churn.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "squid/core/system.hpp"
+#include "squid/workload/corpus.hpp"
+
+namespace squid::core {
+namespace {
+
+struct World {
+  std::unique_ptr<workload::KeywordCorpus> corpus;
+  std::unique_ptr<SquidSystem> sys;
+};
+
+World make_world(std::uint64_t seed, bool caching) {
+  World world;
+  Rng rng(seed);
+  world.corpus = std::make_unique<workload::KeywordCorpus>(2, 300, 0.9, rng);
+  SquidConfig config;
+  config.cache_cluster_owners = caching;
+  world.sys =
+      std::make_unique<SquidSystem>(world.corpus->make_space(), config);
+  world.sys->build_network(60, rng);
+  for (const auto& e : world.corpus->make_elements(1500, rng))
+    world.sys->publish(e);
+  return world;
+}
+
+TEST(OwnerCache, RepeatedQueriesHitTheCache) {
+  World world = make_world(111, true);
+  Rng rng(111);
+  const keyword::Query q = world.corpus->q1(0, true);
+  const auto origin = world.sys->ring().node_ids().front();
+  const auto cold = world.sys->query(q, origin);
+  const std::size_t misses_after_cold = world.sys->cache_stats().misses;
+  EXPECT_GT(misses_after_cold, 0u);
+  EXPECT_EQ(world.sys->cache_stats().hits, 0u);
+
+  const auto warm = world.sys->query(q, origin);
+  EXPECT_GT(world.sys->cache_stats().hits, 0u);
+  EXPECT_EQ(warm.stats.matches, cold.stats.matches);
+  EXPECT_LE(warm.stats.messages, cold.stats.messages);
+  // Warm routing touches fewer peers: direct sends skip intermediates.
+  EXPECT_LE(warm.stats.routing_nodes, cold.stats.routing_nodes);
+}
+
+TEST(OwnerCache, ResultsIdenticalWithAndWithoutCaching) {
+  World cached = make_world(112, true);
+  World plain = make_world(112, false);
+  Rng rng_a(112), rng_b(112);
+  for (const std::size_t rank : {0u, 2u, 7u}) {
+    const keyword::Query q = cached.corpus->q1(rank, true);
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      const auto a =
+          cached.sys->query(q, cached.sys->ring().random_node(rng_a));
+      const auto b = plain.sys->query(q, plain.sys->ring().random_node(rng_b));
+      EXPECT_EQ(a.stats.matches, b.stats.matches);
+    }
+  }
+}
+
+TEST(OwnerCache, StaleEntriesSelfHealAfterChurn) {
+  World world = make_world(113, true);
+  Rng rng(113);
+  const keyword::Query q = world.corpus->q1(1, true);
+  const auto origin = world.sys->ring().node_ids().front();
+  const std::size_t expected = world.sys->query(q, origin).stats.matches;
+
+  // Churn invalidates owners; cached entries verified on use must fall
+  // back and results must stay complete.
+  for (int i = 0; i < 15; ++i) {
+    const auto victim = world.sys->ring().random_node(rng);
+    if (victim == origin) continue;
+    world.sys->fail_node(victim);
+  }
+  world.sys->repair_routing();
+  const auto after = world.sys->query(q, origin);
+  EXPECT_EQ(after.stats.matches, expected); // data store survives, so must results
+  EXPECT_GE(world.sys->cache_stats().stale, 0u); // counter moves when hit
+}
+
+TEST(OwnerCache, DisabledByDefault) {
+  World world = make_world(114, false);
+  Rng rng(114);
+  (void)world.sys->query(world.corpus->q1(0, true),
+                         world.sys->ring().random_node(rng));
+  (void)world.sys->query(world.corpus->q1(0, true),
+                         world.sys->ring().random_node(rng));
+  EXPECT_EQ(world.sys->cache_stats().hits, 0u);
+  EXPECT_EQ(world.sys->cache_stats().misses, 0u);
+}
+
+TEST(OwnerCache, ClearCachesResetsEverything) {
+  World world = make_world(115, true);
+  Rng rng(115);
+  const auto origin = world.sys->ring().node_ids().front();
+  (void)world.sys->query(world.corpus->q1(0, true), origin);
+  (void)world.sys->query(world.corpus->q1(0, true), origin);
+  EXPECT_GT(world.sys->cache_stats().hits + world.sys->cache_stats().misses,
+            0u);
+  world.sys->clear_caches();
+  EXPECT_EQ(world.sys->cache_stats().hits, 0u);
+  EXPECT_EQ(world.sys->cache_stats().misses, 0u);
+}
+
+} // namespace
+} // namespace squid::core

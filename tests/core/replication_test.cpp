@@ -1,0 +1,143 @@
+// Replication and durability: keys live on their owner chain, failures
+// erode copies, repair restores them, and keys die only when every copy is
+// gone before repair runs.
+
+#include <gtest/gtest.h>
+
+#include "squid/core/replication.hpp"
+#include "squid/workload/corpus.hpp"
+
+namespace squid::core {
+namespace {
+
+struct World {
+  std::unique_ptr<workload::KeywordCorpus> corpus;
+  std::unique_ptr<SquidSystem> sys;
+};
+
+World make_world(std::uint64_t seed, std::size_t nodes, std::size_t elements) {
+  World world;
+  Rng rng(seed);
+  world.corpus = std::make_unique<workload::KeywordCorpus>(2, 300, 0.9, rng);
+  world.sys = std::make_unique<SquidSystem>(world.corpus->make_space());
+  world.sys->build_network(nodes, rng);
+  for (const auto& e : world.corpus->make_elements(elements, rng))
+    world.sys->publish(e);
+  return world;
+}
+
+TEST(Replication, InitialPlacementPutsFactorCopiesOnOwnerChain) {
+  World world = make_world(91, 50, 1000);
+  ReplicationManager replication(*world.sys, 3);
+  EXPECT_EQ(replication.tracked_keys(), world.sys->key_count());
+  EXPECT_EQ(replication.total_copies(), 3 * world.sys->key_count());
+  EXPECT_EQ(replication.lost_keys(), 0u);
+  EXPECT_EQ(replication.under_replicated(), 0u);
+}
+
+TEST(Replication, FactorCappedByRingSize) {
+  World world = make_world(92, 2, 50);
+  ReplicationManager replication(*world.sys, 5);
+  EXPECT_EQ(replication.total_copies(), 2 * world.sys->key_count());
+}
+
+TEST(Replication, SingleFailureLosesNothingAtFactorTwo) {
+  World world = make_world(93, 60, 1500);
+  ReplicationManager replication(*world.sys, 2);
+  // Fail the most loaded node so copies are certainly dropped (under the
+  // skewed corpus a random node often holds nothing).
+  SquidSystem::NodeId heaviest = 0;
+  std::size_t heaviest_load = 0;
+  for (const auto& [id, load] : world.sys->node_loads()) {
+    if (load >= heaviest_load) {
+      heaviest = id;
+      heaviest_load = load;
+    }
+  }
+  ASSERT_GT(heaviest_load, 0u);
+  replication.fail_node(heaviest);
+  EXPECT_EQ(replication.lost_keys(), 0u);
+  EXPECT_GT(replication.under_replicated(), 0u);
+  const std::size_t transferred = replication.repair();
+  EXPECT_GT(transferred, 0u);
+  EXPECT_EQ(replication.under_replicated(), 0u);
+}
+
+TEST(Replication, UnreplicatedDataDiesWithItsNode) {
+  World world = make_world(94, 40, 1000);
+  ReplicationManager replication(*world.sys, 1);
+  Rng rng(94);
+  // Find a node holding at least one key and kill it.
+  for (const auto& [id, load] : world.sys->node_loads()) {
+    if (load > 0) {
+      replication.fail_node(id);
+      break;
+    }
+  }
+  EXPECT_GT(replication.lost_keys(), 0u);
+  // Repair cannot resurrect lost keys.
+  (void)replication.repair();
+  EXPECT_GT(replication.lost_keys(), 0u);
+}
+
+TEST(Replication, RepairBetweenFailuresPreservesEverything) {
+  World world = make_world(95, 80, 2000);
+  ReplicationManager replication(*world.sys, 3);
+  Rng rng(95);
+  for (int wave = 0; wave < 10; ++wave) {
+    replication.fail_node(world.sys->ring().random_node(rng));
+    (void)replication.repair(); // repair outpaces failures
+  }
+  EXPECT_EQ(replication.lost_keys(), 0u);
+  EXPECT_EQ(replication.under_replicated(), 0u);
+}
+
+TEST(Replication, MassSimultaneousFailureLosesDataAtLowFactor) {
+  World world = make_world(96, 100, 2000);
+  ReplicationManager low(*world.sys, 1);
+  Rng rng(96);
+  // Kill 30% before any repair.
+  for (int i = 0; i < 30; ++i)
+    low.fail_node(world.sys->ring().random_node(rng));
+  EXPECT_GT(low.lost_keys(), 0u);
+}
+
+TEST(Replication, HigherFactorSurvivesMassFailure) {
+  // Same failure pattern, factor 4: adjacent-successor copies make
+  // simultaneous loss of all four copies vanishingly unlikely at 20%.
+  World world = make_world(97, 100, 2000);
+  ReplicationManager replication(*world.sys, 4);
+  Rng rng(97);
+  for (int i = 0; i < 20; ++i)
+    replication.fail_node(world.sys->ring().random_node(rng));
+  EXPECT_EQ(replication.lost_keys(), 0u);
+}
+
+TEST(Replication, GracefulLeaveHandsOffCopies) {
+  World world = make_world(98, 50, 1500);
+  ReplicationManager replication(*world.sys, 1);
+  Rng rng(98);
+  for (int i = 0; i < 20; ++i)
+    replication.leave_node(world.sys->ring().random_node(rng));
+  EXPECT_EQ(replication.lost_keys(), 0u);
+}
+
+TEST(Replication, JoinSyncsTheNewcomersRanges) {
+  World world = make_world(99, 40, 1000);
+  ReplicationManager replication(*world.sys, 2);
+  Rng rng(99);
+  for (int i = 0; i < 20; ++i) (void)replication.join_node(rng);
+  (void)replication.repair();
+  EXPECT_EQ(replication.lost_keys(), 0u);
+  EXPECT_EQ(replication.under_replicated(), 0u);
+  // Every key's copies sit exactly on its current owner chain.
+  EXPECT_EQ(replication.total_copies(), 2 * world.sys->key_count());
+}
+
+TEST(Replication, RejectsZeroFactor) {
+  World world = make_world(100, 10, 50);
+  EXPECT_THROW(ReplicationManager(*world.sys, 0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace squid::core

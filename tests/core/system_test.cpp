@@ -1,0 +1,106 @@
+#include "squid/core/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "squid/stats/summary.hpp"
+#include "squid/util/rng.hpp"
+
+namespace squid::core {
+namespace {
+
+keyword::KeywordSpace small_doc_space() {
+  return keyword::KeywordSpace(
+      {keyword::StringCodec("abcd", 3), keyword::StringCodec("abcd", 3)});
+}
+
+DataElement doc(std::string name, std::string k1, std::string k2) {
+  return DataElement{std::move(name),
+                     {keyword::Token{std::move(k1)}, keyword::Token{std::move(k2)}}};
+}
+
+TEST(SquidSystem, BuildsNetworkOverCurveSizedRing) {
+  Rng rng(1);
+  SquidSystem sys(small_doc_space());
+  EXPECT_EQ(sys.ring().id_bits(), sys.curve().index_bits());
+  sys.build_network(40, rng);
+  EXPECT_EQ(sys.ring().size(), 40u);
+  EXPECT_TRUE(sys.ring().ring_consistent());
+}
+
+TEST(SquidSystem, PublishGroupsElementsByKey) {
+  Rng rng(2);
+  SquidSystem sys(small_doc_space());
+  sys.build_network(10, rng);
+  sys.publish(doc("e1", "abc", "bcd"));
+  sys.publish(doc("e2", "abc", "bcd")); // same keyword combination
+  sys.publish(doc("e3", "abc", "dcb"));
+  EXPECT_EQ(sys.key_count(), 2u);
+  EXPECT_EQ(sys.element_count(), 3u);
+}
+
+TEST(SquidSystem, NodeLoadsSumToKeyCount) {
+  Rng rng(3);
+  SquidSystem sys(small_doc_space());
+  sys.build_network(25, rng);
+  const char letters[] = "abcd";
+  for (int i = 0; i < 300; ++i) {
+    std::string a, b;
+    for (std::uint64_t j = rng.range(1, 3); j-- > 0;)
+      a.push_back(letters[rng.below(4)]);
+    for (std::uint64_t j = rng.range(1, 3); j-- > 0;)
+      b.push_back(letters[rng.below(4)]);
+    sys.publish(doc("d" + std::to_string(i), a, b));
+  }
+  std::size_t total = 0;
+  for (const auto& [id, load] : sys.node_loads()) total += load;
+  EXPECT_EQ(total, sys.key_count());
+}
+
+TEST(SquidSystem, PublishRoutedReachesTheOwner) {
+  Rng rng(4);
+  SquidSystem sys(small_doc_space());
+  sys.build_network(30, rng);
+  const auto element = doc("routed", "cab", "dad");
+  const auto origin = sys.ring().random_node(rng);
+  const auto route = sys.publish_routed(element, origin);
+  ASSERT_TRUE(route.ok);
+  EXPECT_EQ(route.path.front(), origin);
+  EXPECT_EQ(sys.element_count(), 1u);
+  // The destination must be the owner of the element's index.
+  const auto point = sys.space().encode(element.keys);
+  EXPECT_EQ(route.dest, sys.owner_of(sys.curve().index_of(point)));
+}
+
+TEST(SquidSystem, QueryRequiresLiveOrigin) {
+  Rng rng(5);
+  SquidSystem sys(small_doc_space());
+  sys.build_network(5, rng);
+  const keyword::Query q = sys.space().parse("(a*, *)");
+  EXPECT_THROW((void)sys.query(q, /*origin=*/sys.ring().id_mask()),
+               std::invalid_argument);
+}
+
+TEST(SquidSystem, TopologyChangesPreserveConsistency) {
+  Rng rng(6);
+  SquidSystem sys(small_doc_space());
+  sys.build_network(30, rng);
+  for (int i = 0; i < 10; ++i) (void)sys.join_node(rng);
+  EXPECT_EQ(sys.ring().size(), 40u);
+  EXPECT_TRUE(sys.ring().ring_consistent());
+  for (int i = 0; i < 10; ++i) sys.leave_node(sys.ring().random_node(rng));
+  EXPECT_EQ(sys.ring().size(), 30u);
+  EXPECT_TRUE(sys.ring().ring_consistent());
+}
+
+TEST(SquidSystem, CurveFamilyIsConfigurable) {
+  SquidConfig config;
+  config.curve = "zorder";
+  SquidSystem sys(small_doc_space(), config);
+  EXPECT_EQ(sys.curve().name(), "zorder");
+  SquidConfig bad;
+  bad.curve = "peano";
+  EXPECT_THROW(SquidSystem(small_doc_space(), bad), std::invalid_argument);
+}
+
+} // namespace
+} // namespace squid::core

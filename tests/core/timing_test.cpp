@@ -1,0 +1,83 @@
+#include "squid/core/timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "squid/core/system.hpp"
+#include "squid/workload/corpus.hpp"
+
+namespace squid::core {
+namespace {
+
+TEST(Timing, EmptyAndTrivialDags) {
+  Rng rng(171);
+  const LinkModel model{};
+  EXPECT_DOUBLE_EQ(sample_completion_ms({}, model, rng), 0.0);
+  EXPECT_DOUBLE_EQ(sample_completion_ms({TimingEvent{}}, model, rng), 0.0);
+}
+
+TEST(Timing, DeterministicModelGivesExactChainCost) {
+  Rng rng(172);
+  const LinkModel model{10.0, 0.0, 1.0}; // no jitter
+  // Chain: start -> 3 hops -> 2 hops.
+  const std::vector<TimingEvent> chain{{-1, 0}, {0, 3}, {1, 2}};
+  EXPECT_DOUBLE_EQ(sample_completion_ms(chain, model, rng),
+                   3 * 10 + 1 + 2 * 10 + 1);
+}
+
+TEST(Timing, ParallelBranchesOverlap) {
+  Rng rng(173);
+  const LinkModel model{10.0, 0.0, 0.0};
+  // Two independent branches off the start: 5 hops and 2 hops.
+  const std::vector<TimingEvent> fan{{-1, 0}, {0, 5}, {0, 2}};
+  // Completion = the slower branch, not the sum.
+  EXPECT_DOUBLE_EQ(sample_completion_ms(fan, model, rng), 50.0);
+}
+
+TEST(Timing, JitterStaysWithinModelBounds) {
+  Rng rng(174);
+  const LinkModel model{10.0, 5.0, 0.0};
+  const std::vector<TimingEvent> chain{{-1, 0}, {0, 4}};
+  for (int i = 0; i < 200; ++i) {
+    const double t = sample_completion_ms(chain, model, rng);
+    EXPECT_GE(t, 40.0);
+    EXPECT_LT(t, 60.0);
+  }
+}
+
+TEST(Timing, EndToEndEstimateTracksCriticalPath) {
+  Rng rng(175);
+  workload::KeywordCorpus corpus(2, 200, 0.9, rng);
+  SquidSystem sys(corpus.make_space());
+  sys.build_network(80, rng);
+  for (const auto& e : corpus.make_elements(2000, rng)) sys.publish(e);
+
+  const auto result =
+      sys.query(corpus.q1(0, true), sys.ring().random_node(rng));
+  ASSERT_GT(result.timing.size(), 1u);
+
+  const LinkModel model{20.0, 0.0, 0.0}; // deterministic
+  const Summary latency = estimate_latency_ms(result, model, rng, 5);
+  // With zero jitter the replay equals hops * base along the critical path.
+  EXPECT_DOUBLE_EQ(
+      latency.max(),
+      20.0 * static_cast<double>(result.stats.critical_path_hops));
+
+  // With jitter the mean moves up but stays below the all-hops bound.
+  const LinkModel jittery{20.0, 20.0, 1.0};
+  const Summary noisy = estimate_latency_ms(result, jittery, rng, 50);
+  EXPECT_GT(noisy.mean(), latency.max());
+  double total_hops = 0;
+  for (const auto& e : result.timing) total_hops += e.hops;
+  EXPECT_LT(noisy.max(), 41.0 * total_hops + result.timing.size());
+}
+
+TEST(Timing, RejectsNegativeModel) {
+  Rng rng(176);
+  const std::vector<TimingEvent> chain{{-1, 0}, {0, 1}};
+  EXPECT_THROW(
+      (void)sample_completion_ms(chain, LinkModel{-1.0, 0.0, 0.0}, rng),
+      std::invalid_argument);
+}
+
+} // namespace
+} // namespace squid::core

@@ -1,0 +1,157 @@
+#include "squid/keyword/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "squid/util/rng.hpp"
+
+namespace squid::keyword {
+namespace {
+
+constexpr const char* kAlpha = "abcdefghijklmnopqrstuvwxyz";
+
+TEST(StringCodec, GeometryForPaperLikeConfig) {
+  const StringCodec codec(kAlpha, 5);
+  EXPECT_EQ(codec.base(), 27u);
+  EXPECT_EQ(codec.max_coord(), 14348906u); // 27^5 - 1
+  EXPECT_EQ(codec.bits(), 24u);            // ceil(log2(27^5))
+}
+
+TEST(StringCodec, EncodePreservesLexicographicOrder) {
+  const StringCodec codec(kAlpha, 6);
+  const std::vector<std::string> sorted{"a",     "ab",      "abc", "b",
+                                        "comp",  "compa",   "compb",
+                                        "comput", "conq",   "zebra"};
+  for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+    EXPECT_LT(codec.encode(sorted[i]), codec.encode(sorted[i + 1]))
+        << sorted[i] << " vs " << sorted[i + 1];
+  }
+}
+
+TEST(StringCodec, EmptyWordIsOrigin) {
+  const StringCodec codec(kAlpha, 4);
+  EXPECT_EQ(codec.encode(""), 0u);
+  EXPECT_EQ(codec.decode(0), "");
+}
+
+TEST(StringCodec, EncodeDecodeRoundTrip) {
+  const StringCodec codec(kAlpha, 5);
+  Rng rng(4);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string word;
+    const auto len = rng.below(6);
+    for (std::uint64_t i = 0; i < len; ++i)
+      word.push_back(kAlpha[rng.below(26)]);
+    EXPECT_EQ(codec.decode(codec.encode(word)), word);
+  }
+}
+
+TEST(StringCodec, LongWordsAreTruncatedToMaxLen) {
+  const StringCodec codec(kAlpha, 4);
+  EXPECT_EQ(codec.encode("computation"), codec.encode("comp"));
+  EXPECT_EQ(codec.decode(codec.encode("computation")), "comp");
+}
+
+TEST(StringCodec, UnknownCharactersRejected) {
+  const StringCodec codec(kAlpha, 4);
+  EXPECT_THROW((void)codec.encode("C3PO"), std::invalid_argument);
+  EXPECT_THROW((void)codec.encode("a b"), std::invalid_argument);
+}
+
+TEST(StringCodec, PrefixIntervalSelectsExactlyExtensions) {
+  // Exhaustive over a tiny alphabet: interval membership must coincide with
+  // the string prefix relation (after truncation to max_len).
+  const StringCodec codec("ab", 3);
+  std::vector<std::string> all_words{""};
+  for (const char c1 : {'a', 'b'}) {
+    all_words.push_back(std::string{c1});
+    for (const char c2 : {'a', 'b'}) {
+      all_words.push_back(std::string{c1, c2});
+      for (const char c3 : {'a', 'b'})
+        all_words.push_back(std::string{c1, c2, c3});
+    }
+  }
+  for (const std::string prefix : {"a", "b", "ab", "ba", "aba"}) {
+    const sfc::Interval iv = codec.prefix_interval(prefix);
+    for (const auto& word : all_words) {
+      const bool is_extension = word.starts_with(prefix);
+      EXPECT_EQ(iv.contains(codec.encode(word)), is_extension)
+          << "prefix " << prefix << " word " << word;
+    }
+  }
+}
+
+TEST(StringCodec, PrefixIntervalOfWholeWordLengthIsAPoint) {
+  const StringCodec codec(kAlpha, 4);
+  const sfc::Interval iv = codec.prefix_interval("comp");
+  EXPECT_EQ(iv.lo, iv.hi);
+  EXPECT_EQ(iv.lo, codec.encode("comp"));
+}
+
+TEST(StringCodec, AnyIntervalCoversAllWords) {
+  const StringCodec codec(kAlpha, 3);
+  const sfc::Interval iv = codec.any_interval();
+  EXPECT_EQ(iv.lo, 0u);
+  EXPECT_EQ(iv.hi, codec.max_coord());
+  EXPECT_TRUE(iv.contains(codec.encode("zzz")));
+}
+
+TEST(StringCodec, RejectsBadConfiguration) {
+  EXPECT_THROW(StringCodec("", 3), std::invalid_argument);
+  EXPECT_THROW(StringCodec("aa", 3), std::invalid_argument);
+  EXPECT_THROW(StringCodec(kAlpha, 0), std::invalid_argument);
+  EXPECT_THROW(StringCodec(kAlpha, 14), std::invalid_argument); // > 63 bits
+  EXPECT_THROW(StringCodec(kAlpha, 4).prefix_interval("abcde"),
+               std::invalid_argument);
+}
+
+TEST(NumericCodec, EncodeIsMonotoneAndClamped) {
+  const NumericCodec codec(0.0, 1000.0, 10);
+  EXPECT_EQ(codec.encode(-5.0), 0u);
+  EXPECT_EQ(codec.encode(0.0), 0u);
+  EXPECT_EQ(codec.encode(1000.0), codec.max_coord());
+  EXPECT_EQ(codec.encode(2000.0), codec.max_coord());
+  std::uint64_t prev = 0;
+  for (double v = 0; v <= 1000; v += 7.3) {
+    const auto c = codec.encode(v);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(NumericCodec, DecodeReturnsBucketEdgeInsideRange) {
+  const NumericCodec codec(100.0, 200.0, 6);
+  for (std::uint64_t c = 0; c <= codec.max_coord(); ++c) {
+    const double v = codec.decode(c);
+    EXPECT_GE(v, 100.0);
+    EXPECT_LT(v, 200.0);
+    EXPECT_EQ(codec.encode(v), c); // decode lands back in the same bucket
+  }
+}
+
+TEST(NumericCodec, RangeIntervalCoversContainedValues) {
+  const NumericCodec codec(0.0, 4096.0, 12);
+  const sfc::Interval iv = codec.range_interval(256.0, 512.0);
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    const double v = 256.0 + rng.uniform() * (512.0 - 256.0);
+    EXPECT_TRUE(iv.contains(codec.encode(v))) << v;
+  }
+  EXPECT_FALSE(iv.contains(codec.encode(1024.0)));
+  EXPECT_FALSE(iv.contains(codec.encode(128.0)));
+}
+
+TEST(NumericCodec, RejectsBadConfiguration) {
+  EXPECT_THROW(NumericCodec(1.0, 1.0, 8), std::invalid_argument);
+  EXPECT_THROW(NumericCodec(2.0, 1.0, 8), std::invalid_argument);
+  EXPECT_THROW(NumericCodec(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(NumericCodec(0.0, 1.0, 64), std::invalid_argument);
+  const NumericCodec codec(0.0, 10.0, 4);
+  EXPECT_THROW((void)codec.range_interval(5.0, 4.0), std::invalid_argument);
+  EXPECT_THROW((void)codec.decode(16), std::invalid_argument);
+}
+
+} // namespace
+} // namespace squid::keyword

@@ -1,0 +1,88 @@
+// Parser robustness: arbitrary input either parses into a valid query
+// (whose rectangle is well-formed) or throws std::invalid_argument —
+// never crashes, never yields malformed state.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "squid/keyword/space.hpp"
+#include "squid/util/rng.hpp"
+
+namespace squid::keyword {
+namespace {
+
+TEST(ParseFuzz, RandomInputsNeverCrash) {
+  const KeywordSpace space(
+      {StringCodec("abcdefghijklmnopqrstuvwxyz", 5), NumericCodec(0, 100, 8)});
+  Rng rng(0xf022);
+  const std::string charset = "abcxyz*,-() .0123456789";
+  int parsed = 0, rejected = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string input;
+    for (std::uint64_t j = rng.below(20); j-- > 0;)
+      input.push_back(charset[rng.below(charset.size())]);
+    try {
+      const Query q = space.parse(input);
+      // If it parses, the rectangle must be constructible and well-formed
+      // (or to_rect itself reports the violation).
+      try {
+        const sfc::Rect rect = space.to_rect(q);
+        ASSERT_EQ(rect.dims.size(), 2u);
+        for (const auto& iv : rect.dims) ASSERT_LE(iv.lo, iv.hi);
+      } catch (const std::invalid_argument&) {
+        // e.g. reversed string range: rejected at rectangle construction
+      }
+      ++parsed;
+    } catch (const std::invalid_argument&) {
+      ++rejected;
+    }
+  }
+  // The charset is query-like, so both outcomes must actually occur.
+  EXPECT_GT(parsed, 50);
+  EXPECT_GT(rejected, 50);
+}
+
+TEST(ParseFuzz, ValidQueriesAlwaysReparse) {
+  const KeywordSpace space(
+      {StringCodec("abcdefghijklmnopqrstuvwxyz", 5), NumericCodec(0, 100, 8)});
+  Rng rng(0xf023);
+  for (int trial = 0; trial < 300; ++trial) {
+    Query q;
+    // Random valid term per dimension.
+    const auto word = [&] {
+      std::string w;
+      for (std::uint64_t j = rng.range(1, 5); j-- > 0;)
+        w.push_back("abcdefghijklmnopqrstuvwxyz"[rng.below(26)]);
+      return w;
+    };
+    switch (rng.below(4)) {
+      case 0: q.terms.push_back(Any{}); break;
+      case 1: q.terms.push_back(Whole{word()}); break;
+      case 2: q.terms.push_back(Prefix{word()}); break;
+      default: {
+        auto a = word(), b = word();
+        if (b < a) std::swap(a, b);
+        q.terms.push_back(StrRange{a, b});
+      }
+    }
+    switch (rng.below(3)) {
+      case 0: q.terms.push_back(Any{}); break;
+      case 1: q.terms.push_back(NumExact{double(rng.below(100))}); break;
+      default: {
+        double lo = double(rng.below(100)), hi = double(rng.below(100));
+        if (hi < lo) std::swap(lo, hi);
+        q.terms.push_back(NumRange{lo, hi});
+      }
+    }
+    // to_string -> parse -> to_string is a fixpoint.
+    const std::string rendered = to_string(q);
+    const Query reparsed = space.parse(rendered);
+    EXPECT_EQ(to_string(reparsed), rendered);
+    EXPECT_EQ(space.to_rect(reparsed), space.to_rect(q));
+  }
+}
+
+} // namespace
+} // namespace squid::keyword

@@ -1,0 +1,77 @@
+#include "squid/overlay/can.hpp"
+
+#include <gtest/gtest.h>
+
+#include "squid/util/rng.hpp"
+
+namespace squid::overlay {
+namespace {
+
+TEST(Can, SingleZoneCoversEverything) {
+  CanOverlay can(2, 6);
+  EXPECT_EQ(can.size(), 1u);
+  EXPECT_TRUE(can.invariants_hold());
+  EXPECT_EQ(can.owner_of({0, 0}), 0u);
+  EXPECT_EQ(can.owner_of({63, 63}), 0u);
+}
+
+TEST(Can, JoinsPartitionTheTorus) {
+  Rng rng(71);
+  for (const unsigned dims : {1u, 2u, 3u}) {
+    CanOverlay can(dims, 8);
+    can.build(100, rng);
+    EXPECT_EQ(can.size(), 100u);
+    EXPECT_TRUE(can.invariants_hold()) << dims << "D";
+  }
+}
+
+TEST(Can, OwnerIsUniqueForRandomPoints) {
+  Rng rng(72);
+  CanOverlay can(2, 10);
+  can.build(200, rng);
+  for (int i = 0; i < 500; ++i) {
+    sfc::Point p{rng.below(1u << 10), rng.below(1u << 10)};
+    const auto owner = can.owner_of(p);
+    EXPECT_TRUE(can.zone(owner).contains(p));
+  }
+}
+
+TEST(Can, GreedyRoutingReachesEveryTarget) {
+  Rng rng(73);
+  CanOverlay can(2, 10);
+  can.build(300, rng);
+  std::size_t total_hops = 0;
+  constexpr int kTrials = 400;
+  for (int i = 0; i < kTrials; ++i) {
+    sfc::Point p{rng.below(1u << 10), rng.below(1u << 10)};
+    const auto r = can.route(can.random_node(rng), p);
+    ASSERT_TRUE(r.ok) << "trial " << i;
+    EXPECT_EQ(r.dest, can.owner_of(p));
+    total_hops += r.hops();
+  }
+  // CAN path length is Theta(d * n^(1/d)): ~ sqrt(300) in 2D.
+  EXPECT_LT(static_cast<double>(total_hops) / kTrials, 4.0 * 17.3);
+}
+
+TEST(Can, NeighborsShareFaces) {
+  Rng rng(74);
+  CanOverlay can(3, 6);
+  can.build(120, rng);
+  for (CanOverlay::NodeIndex v = 0; v < can.size(); ++v) {
+    EXPECT_FALSE(can.neighbors(v).empty());
+    EXPECT_FALSE(can.neighbors(v).count(v));
+  }
+  EXPECT_TRUE(can.invariants_hold());
+}
+
+TEST(Can, RejectsBadConfiguration) {
+  EXPECT_THROW(CanOverlay(0, 8), std::invalid_argument);
+  EXPECT_THROW(CanOverlay(2, 0), std::invalid_argument);
+  EXPECT_THROW(CanOverlay(2, 64), std::invalid_argument);
+  CanOverlay can(2, 4);
+  EXPECT_THROW((void)can.owner_of({1, 2, 3}), std::invalid_argument);
+  EXPECT_THROW((void)can.zone(5), std::invalid_argument);
+}
+
+} // namespace
+} // namespace squid::overlay

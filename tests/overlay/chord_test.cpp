@@ -1,0 +1,204 @@
+#include "squid/overlay/chord.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "squid/util/rng.hpp"
+
+namespace squid::overlay {
+namespace {
+
+TEST(Chord, BuildProducesConsistentRing) {
+  Rng rng(1);
+  ChordRing ring(32);
+  ring.build(200, rng);
+  EXPECT_EQ(ring.size(), 200u);
+  EXPECT_TRUE(ring.ring_consistent());
+}
+
+TEST(Chord, SuccessorOwnsKeysUpToItself) {
+  Rng rng(2);
+  ChordRing ring(16);
+  ring.build(50, rng);
+  const auto ids = ring.node_ids();
+  // Key exactly at a node id is owned by that node.
+  for (const NodeId id : ids) EXPECT_EQ(ring.successor_of(id), id);
+  // A key one past a node is owned by the next node.
+  for (std::size_t i = 0; i + 1 < ids.size(); ++i)
+    EXPECT_EQ(ring.successor_of(ids[i] + 1), ids[i + 1]);
+  // Wrap-around: keys past the last node map to the first.
+  EXPECT_EQ(ring.successor_of(ids.back() + 1), ids.front());
+}
+
+TEST(Chord, FingersMatchDefinitionAfterRepair) {
+  Rng rng(3);
+  ChordRing ring(20);
+  ring.build(100, rng);
+  for (const NodeId id : ring.node_ids()) {
+    const ChordNode& n = ring.node(id);
+    ASSERT_EQ(n.fingers.size(), 20u);
+    for (unsigned k = 0; k < 20; ++k)
+      EXPECT_EQ(n.fingers[k], ring.successor_of(finger_target(id, k, 20)));
+  }
+}
+
+TEST(Chord, RouteFindsOwnerFromEveryNode) {
+  Rng rng(4);
+  ChordRing ring(24);
+  ring.build(150, rng);
+  for (int trial = 0; trial < 300; ++trial) {
+    const NodeId from = ring.random_node(rng);
+    const u128 key = rng.below128(static_cast<u128>(1) << 24);
+    const RouteResult r = ring.route(from, key);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.dest, ring.successor_of(key));
+  }
+}
+
+TEST(Chord, RouteHopsAreLogarithmic) {
+  Rng rng(5);
+  ChordRing ring(40);
+  ring.build(1000, rng);
+  double total_hops = 0;
+  constexpr int kTrials = 500;
+  std::size_t worst = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const RouteResult r =
+        ring.route(ring.random_node(rng),
+                   rng.below128(static_cast<u128>(1) << 40));
+    ASSERT_TRUE(r.ok);
+    total_hops += static_cast<double>(r.hops());
+    worst = std::max(worst, r.hops());
+  }
+  const double mean = total_hops / kTrials;
+  // Chord's expected path length is ~0.5 * log2(N) = 5 for N=1000.
+  EXPECT_LT(mean, 8.0);
+  EXPECT_GT(mean, 2.0);
+  EXPECT_LE(worst, 25u);
+}
+
+TEST(Chord, RoutePathHasNoDuplicates) {
+  Rng rng(6);
+  ChordRing ring(24);
+  ring.build(300, rng);
+  for (int trial = 0; trial < 200; ++trial) {
+    const RouteResult r =
+        ring.route(ring.random_node(rng),
+                   rng.below128(static_cast<u128>(1) << 24));
+    ASSERT_TRUE(r.ok);
+    std::set<NodeId> distinct(r.path.begin(), r.path.end());
+    EXPECT_EQ(distinct.size(), r.path.size());
+  }
+}
+
+TEST(Chord, SingleNodeOwnsEverythingAndRoutesToItself) {
+  ChordRing ring(16);
+  ring.add_node_exact(1234);
+  EXPECT_EQ(ring.successor_of(0), static_cast<NodeId>(1234));
+  EXPECT_EQ(ring.successor_of(60000), static_cast<NodeId>(1234));
+  const RouteResult r = ring.route(1234, 999);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.dest, static_cast<NodeId>(1234));
+  EXPECT_EQ(r.hops(), 0u);
+}
+
+TEST(Chord, JoinSplicesRingAndStaysRoutable) {
+  Rng rng(7);
+  ChordRing ring(24);
+  ring.build(50, rng);
+  for (int i = 0; i < 50; ++i) {
+    const NodeId fresh = ring.random_free_id(rng);
+    const RouteResult r = ring.join(fresh, ring.random_node(rng));
+    ASSERT_TRUE(r.ok);
+  }
+  EXPECT_EQ(ring.size(), 100u);
+  // Joins splice eagerly, so the successor structure stays exact.
+  EXPECT_TRUE(ring.ring_consistent());
+  // Every key must still be routable to its true owner.
+  for (int trial = 0; trial < 100; ++trial) {
+    const u128 key = rng.below128(static_cast<u128>(1) << 24);
+    const RouteResult r = ring.route(ring.random_node(rng), key);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.dest, ring.successor_of(key));
+  }
+}
+
+TEST(Chord, GracefulLeaveKeepsRingConsistent) {
+  Rng rng(8);
+  ChordRing ring(24);
+  ring.build(100, rng);
+  for (int i = 0; i < 50; ++i) ring.leave(ring.random_node(rng));
+  EXPECT_EQ(ring.size(), 50u);
+  EXPECT_TRUE(ring.ring_consistent());
+}
+
+TEST(Chord, FailuresAreRepairedByStabilization) {
+  Rng rng(9);
+  ChordRing ring(24, /*successors=*/8);
+  ring.build(200, rng);
+  // Kill 30 random nodes without notice.
+  for (int i = 0; i < 30; ++i) ring.fail(ring.random_node(rng));
+  // Successor lists bridge the gaps; a few stabilization sweeps restore
+  // exact successor pointers everywhere.
+  ring.stabilize_all(rng, 3);
+  EXPECT_TRUE(ring.ring_consistent());
+  for (int trial = 0; trial < 100; ++trial) {
+    const u128 key = rng.below128(static_cast<u128>(1) << 24);
+    const RouteResult r = ring.route(ring.random_node(rng), key);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.dest, ring.successor_of(key));
+  }
+}
+
+TEST(Chord, SurvivesSustainedChurn) {
+  Rng rng(10);
+  ChordRing ring(32, 8);
+  ring.build(150, rng);
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    for (int i = 0; i < 5; ++i) {
+      const double action = rng.uniform();
+      if (action < 0.4) {
+        (void)ring.join(ring.random_free_id(rng), ring.random_node(rng));
+      } else if (action < 0.7) {
+        ring.leave(ring.random_node(rng));
+      } else {
+        ring.fail(ring.random_node(rng));
+      }
+    }
+    ring.stabilize_all(rng, 1);
+  }
+  ring.stabilize_all(rng, 4);
+  EXPECT_TRUE(ring.ring_consistent());
+  for (int trial = 0; trial < 50; ++trial) {
+    const RouteResult r = ring.route(ring.random_node(rng), rng.next128() &
+                                                               ring.id_mask());
+    ASSERT_TRUE(r.ok) << "routing failed after churn";
+    EXPECT_EQ(r.dest, ring.successor_of(r.dest)); // dest is a live owner
+  }
+}
+
+TEST(Chord, RejectsBadConfiguration) {
+  EXPECT_THROW(ChordRing(0), std::invalid_argument);
+  EXPECT_THROW(ChordRing(129), std::invalid_argument);
+  EXPECT_THROW(ChordRing(16, 0), std::invalid_argument);
+  ChordRing ring(8);
+  ring.add_node_exact(3);
+  EXPECT_THROW(ring.add_node_exact(3), std::invalid_argument);
+  EXPECT_THROW(ring.add_node_exact(256), std::invalid_argument);
+  EXPECT_THROW((void)ring.route(99, 5), std::invalid_argument);
+  EXPECT_THROW((void)ring.route(3, 256), std::invalid_argument);
+}
+
+TEST(Chord, FullWidthIdentifierSpace) {
+  Rng rng(11);
+  ChordRing ring(128);
+  ring.build(50, rng);
+  EXPECT_TRUE(ring.ring_consistent());
+  const RouteResult r = ring.route(ring.random_node(rng), rng.next128());
+  EXPECT_TRUE(r.ok);
+}
+
+} // namespace
+} // namespace squid::overlay

@@ -1,0 +1,65 @@
+#include "squid/overlay/id_space.hpp"
+
+#include <gtest/gtest.h>
+
+namespace squid::overlay {
+namespace {
+
+TEST(IdSpace, OpenClosedStraight) {
+  EXPECT_TRUE(in_open_closed(2, 8, 5));
+  EXPECT_TRUE(in_open_closed(2, 8, 8));
+  EXPECT_FALSE(in_open_closed(2, 8, 2));
+  EXPECT_FALSE(in_open_closed(2, 8, 9));
+  EXPECT_FALSE(in_open_closed(2, 8, 1));
+}
+
+TEST(IdSpace, OpenClosedWrapped) {
+  EXPECT_TRUE(in_open_closed(8, 2, 9));
+  EXPECT_TRUE(in_open_closed(8, 2, 0));
+  EXPECT_TRUE(in_open_closed(8, 2, 2));
+  EXPECT_FALSE(in_open_closed(8, 2, 8));
+  EXPECT_FALSE(in_open_closed(8, 2, 5));
+}
+
+TEST(IdSpace, ZeroLengthIntervalIsWholeRing) {
+  // Chord convention: (a, a] covers everything — a single node owns all keys.
+  EXPECT_TRUE(in_open_closed(5, 5, 0));
+  EXPECT_TRUE(in_open_closed(5, 5, 5));
+  EXPECT_TRUE(in_open_closed(5, 5, 100));
+}
+
+TEST(IdSpace, OpenOpen) {
+  EXPECT_TRUE(in_open_open(2, 8, 5));
+  EXPECT_FALSE(in_open_open(2, 8, 8));
+  EXPECT_FALSE(in_open_open(2, 8, 2));
+  EXPECT_TRUE(in_open_open(8, 2, 1));
+  EXPECT_FALSE(in_open_open(8, 2, 2));
+  // (a, a) is everything except a.
+  EXPECT_TRUE(in_open_open(5, 5, 4));
+  EXPECT_FALSE(in_open_open(5, 5, 5));
+}
+
+TEST(IdSpace, ClosedOpen) {
+  EXPECT_TRUE(in_closed_open(2, 8, 2));
+  EXPECT_FALSE(in_closed_open(2, 8, 8));
+  EXPECT_TRUE(in_closed_open(8, 2, 8));
+  EXPECT_TRUE(in_closed_open(8, 2, 0));
+  EXPECT_FALSE(in_closed_open(8, 2, 2));
+}
+
+TEST(IdSpace, RingDistanceWraps) {
+  EXPECT_EQ(ring_distance(3, 7, 4), static_cast<u128>(4));
+  EXPECT_EQ(ring_distance(7, 3, 4), static_cast<u128>(12));
+  EXPECT_EQ(ring_distance(5, 5, 4), static_cast<u128>(0));
+  EXPECT_EQ(ring_distance(15, 0, 4), static_cast<u128>(1));
+}
+
+TEST(IdSpace, FingerTargetsWrap) {
+  EXPECT_EQ(finger_target(0, 0, 4), static_cast<u128>(1));
+  EXPECT_EQ(finger_target(0, 3, 4), static_cast<u128>(8));
+  EXPECT_EQ(finger_target(12, 3, 4), static_cast<u128>(4)); // 12+8 mod 16
+  EXPECT_EQ(finger_target(15, 0, 4), static_cast<u128>(0));
+}
+
+} // namespace
+} // namespace squid::overlay

@@ -1,0 +1,119 @@
+#include "squid/overlay/pastry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "squid/util/rng.hpp"
+
+namespace squid::overlay {
+namespace {
+
+TEST(Pastry, DigitDecomposition) {
+  const PastryOverlay pastry(4, 16);
+  EXPECT_EQ(pastry.digits(), 32u);
+  const u128 id = make_u128(0xfedcba9876543210ull, 0x0123456789abcdefull);
+  const auto digits = pastry.digits_of(id);
+  ASSERT_EQ(digits.size(), 32u);
+  EXPECT_EQ(digits[0], 0xfu);
+  EXPECT_EQ(digits[1], 0xeu);
+  EXPECT_EQ(digits[16], 0x0u);
+  EXPECT_EQ(digits[31], 0xfu);
+}
+
+TEST(Pastry, SharedPrefixCountsDigits) {
+  const PastryOverlay pastry(4, 16);
+  const u128 a = make_u128(0xabcd000000000000ull, 0);
+  const u128 b = make_u128(0xabc1000000000000ull, 0);
+  EXPECT_EQ(pastry.shared_prefix(a, b), 3u); // a, b, c agree; d vs 1 differ
+  EXPECT_EQ(pastry.shared_prefix(a, a), 32u);
+  EXPECT_EQ(pastry.shared_prefix(a, ~a), 0u);
+}
+
+TEST(Pastry, OwnerIsNumericallyClosest) {
+  Rng rng(141);
+  PastryOverlay pastry(4, 8);
+  pastry.build(200, rng);
+  for (int trial = 0; trial < 300; ++trial) {
+    const u128 key = rng.next128();
+    const u128 owner = pastry.owner_of(key);
+    // No other node may be strictly closer: spot-check random nodes.
+    for (int probe = 0; probe < 20; ++probe) {
+      const u128 other = pastry.random_node(rng);
+      const u128 d_owner = owner > key ? owner - key : key - owner;
+      const u128 d_owner_wrapped = (u128(0) - d_owner) < d_owner
+                                       ? (u128(0) - d_owner)
+                                       : d_owner;
+      const u128 d_other = other > key ? other - key : key - other;
+      const u128 d_other_wrapped = (u128(0) - d_other) < d_other
+                                       ? (u128(0) - d_other)
+                                       : d_other;
+      EXPECT_LE(d_owner_wrapped, d_other_wrapped);
+    }
+  }
+}
+
+TEST(Pastry, RoutesReachTheOwnerFromEverywhere) {
+  Rng rng(142);
+  PastryOverlay pastry(4, 16);
+  pastry.build(400, rng);
+  for (int trial = 0; trial < 400; ++trial) {
+    const u128 key = rng.next128();
+    const auto r = pastry.route(pastry.random_node(rng), key);
+    ASSERT_TRUE(r.ok) << "trial " << trial;
+    EXPECT_EQ(r.dest, pastry.owner_of(key));
+  }
+}
+
+TEST(Pastry, HopsAreLogarithmicInDigitBase) {
+  Rng rng(143);
+  PastryOverlay pastry(4, 16);
+  pastry.build(2000, rng);
+  double total = 0;
+  constexpr int kTrials = 500;
+  std::size_t worst = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto r = pastry.route(pastry.random_node(rng), rng.next128());
+    ASSERT_TRUE(r.ok);
+    total += static_cast<double>(r.hops());
+    worst = std::max(worst, r.hops());
+  }
+  // log_16(2000) ~ 2.7; allow leaf-set hops on top.
+  EXPECT_LT(total / kTrials, 5.0);
+  EXPECT_LE(worst, 10u);
+}
+
+TEST(Pastry, RoutePathsDoNotRevisitNodes) {
+  Rng rng(144);
+  PastryOverlay pastry(4, 16);
+  pastry.build(300, rng);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto r = pastry.route(pastry.random_node(rng), rng.next128());
+    ASSERT_TRUE(r.ok);
+    std::set<u128> distinct(r.path.begin(), r.path.end());
+    EXPECT_EQ(distinct.size(), r.path.size());
+  }
+}
+
+TEST(Pastry, TinyOverlaysRouteViaLeafKnowledge) {
+  Rng rng(145);
+  PastryOverlay pastry(4, 16);
+  pastry.build(3, rng); // smaller than the leaf set
+  for (int trial = 0; trial < 50; ++trial) {
+    const u128 key = rng.next128();
+    const auto r = pastry.route(pastry.random_node(rng), key);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.dest, pastry.owner_of(key));
+    EXPECT_LE(r.hops(), 2u);
+  }
+}
+
+TEST(Pastry, RejectsBadConfiguration) {
+  EXPECT_THROW(PastryOverlay(0, 16), std::invalid_argument);
+  EXPECT_THROW(PastryOverlay(3, 16), std::invalid_argument); // 128 % 3 != 0
+  EXPECT_THROW(PastryOverlay(4, 15), std::invalid_argument); // odd leaf set
+  EXPECT_THROW(PastryOverlay(4, 0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace squid::overlay

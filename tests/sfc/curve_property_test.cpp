@@ -1,0 +1,151 @@
+// Property tests shared by every curve family: each curve must be a
+// hierarchical bijection (digital causality) over the discrete cube, which is
+// the only contract the Squid query engine relies on.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "squid/sfc/curve.hpp"
+#include "squid/util/rng.hpp"
+
+namespace squid::sfc {
+namespace {
+
+using Config = std::tuple<std::string, unsigned, unsigned>; // family, d, m
+
+class CurveProperty : public ::testing::TestWithParam<Config> {
+protected:
+  void SetUp() override {
+    const auto& [family, dims, bits] = GetParam();
+    curve_ = make_curve(family, dims, bits);
+  }
+
+  std::unique_ptr<Curve> curve_;
+};
+
+TEST_P(CurveProperty, ReportsConfiguredGeometry) {
+  const auto& [family, dims, bits] = GetParam();
+  EXPECT_EQ(curve_->name(), family);
+  EXPECT_EQ(curve_->dims(), dims);
+  EXPECT_EQ(curve_->bits_per_dim(), bits);
+  EXPECT_EQ(curve_->index_bits(), dims * bits);
+  EXPECT_EQ(curve_->max_index(), low_mask(dims * bits));
+}
+
+TEST_P(CurveProperty, InverseThenForwardIsIdentity) {
+  const u128 count = curve_->index_count();
+  for (u128 h = 0; h < count; ++h) {
+    const Point p = curve_->point_of(h);
+    ASSERT_EQ(curve_->index_of(p), h) << "index " << lo64(h);
+  }
+}
+
+TEST_P(CurveProperty, ForwardCoversEveryIndexExactlyOnce) {
+  const u128 count = curve_->index_count();
+  std::vector<bool> seen(static_cast<std::size_t>(count), false);
+  Point p(curve_->dims(), 0);
+  // Odometer enumeration of every lattice point.
+  bool done = false;
+  while (!done) {
+    const u128 h = curve_->index_of(p);
+    const auto slot = static_cast<std::size_t>(h);
+    ASSERT_LT(h, count);
+    ASSERT_FALSE(seen[slot]) << "index visited twice";
+    seen[slot] = true;
+    done = true;
+    for (unsigned i = 0; i < curve_->dims(); ++i) {
+      if (p[i] < curve_->max_coord()) {
+        ++p[i];
+        for (unsigned j = 0; j < i; ++j) p[j] = 0;
+        done = false;
+        break;
+      }
+    }
+  }
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST_P(CurveProperty, DigitalCausality) {
+  // Every index sharing a (level*d)-bit prefix must map inside the cell
+  // cell_of_prefix reports for that prefix (paper 3.1.1, Fig 2).
+  for (unsigned level = 0; level <= curve_->bits_per_dim(); ++level) {
+    const unsigned seg_bits = (curve_->bits_per_dim() - level) * curve_->dims();
+    const u128 prefix_count = static_cast<u128>(1)
+                              << (level * curve_->dims());
+    for (u128 prefix = 0; prefix < prefix_count; ++prefix) {
+      const Rect cell = curve_->cell_of_prefix(prefix, level);
+      const u128 seg_len = static_cast<u128>(1) << seg_bits;
+      for (u128 off = 0; off < seg_len; ++off) {
+        const u128 h = (prefix << seg_bits) | off;
+        ASSERT_TRUE(cell.contains(curve_->point_of(h)))
+            << "level " << level << " prefix " << lo64(prefix);
+      }
+    }
+  }
+}
+
+TEST_P(CurveProperty, CellVolumeMatchesSegmentLength) {
+  for (unsigned level = 0; level <= curve_->bits_per_dim(); ++level) {
+    const Rect cell = curve_->cell_of_prefix(0, level);
+    const unsigned seg_bits = (curve_->bits_per_dim() - level) * curve_->dims();
+    EXPECT_EQ(cell.volume(), static_cast<u128>(1) << seg_bits);
+  }
+}
+
+TEST_P(CurveProperty, RejectsOutOfRangeInputs) {
+  Point too_short(curve_->dims() > 1 ? curve_->dims() - 1 : 2, 0);
+  EXPECT_THROW((void)curve_->index_of(too_short), std::invalid_argument);
+  Point too_big(curve_->dims(), 0);
+  too_big[0] = curve_->max_coord() + 1;
+  EXPECT_THROW((void)curve_->index_of(too_big), std::invalid_argument);
+  EXPECT_THROW((void)curve_->point_of(curve_->max_index() + 1),
+               std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ExhaustiveSmallSpaces, CurveProperty,
+    ::testing::Combine(::testing::Values("hilbert", "zorder", "gray"),
+                       ::testing::Values(1u, 2u, 3u, 4u),
+                       ::testing::Values(1u, 2u, 3u)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_d" +
+             std::to_string(std::get<1>(info.param)) + "_m" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// Wide-word sanity: spaces too large to enumerate are probed at random for
+// the round-trip identity (this exercises the 128-bit paths).
+class CurveWideWord : public ::testing::TestWithParam<Config> {};
+
+TEST_P(CurveWideWord, RandomRoundTrips) {
+  const auto& [family, dims, bits] = GetParam();
+  const auto curve = make_curve(family, dims, bits);
+  Rng rng(2026);
+  for (int i = 0; i < 2000; ++i) {
+    Point p(dims);
+    for (auto& c : p)
+      c = bits >= 64 ? rng() : rng.below(curve->max_coord() + 1);
+    const u128 h = curve->index_of(p);
+    EXPECT_LE(h, curve->max_index());
+    EXPECT_EQ(curve->point_of(h), p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LargeSpaces, CurveWideWord,
+    ::testing::Values(Config{"hilbert", 2, 60}, Config{"hilbert", 3, 40},
+                      Config{"hilbert", 2, 64}, Config{"hilbert", 8, 16},
+                      Config{"zorder", 3, 40}, Config{"gray", 3, 40},
+                      Config{"hilbert", 1, 64}),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_d" +
+             std::to_string(std::get<1>(info.param)) + "_m" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+} // namespace
+} // namespace squid::sfc

@@ -1,0 +1,128 @@
+// Hilbert-specific properties: continuity (unit steps along the curve) and
+// superior locality/clustering versus Z-order — the reasons the paper picks
+// Hilbert for its index space (3.1.1, Fig 2-3).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <tuple>
+
+#include "squid/sfc/hilbert.hpp"
+#include "squid/sfc/refine.hpp"
+#include "squid/sfc/zorder.hpp"
+#include "squid/util/rng.hpp"
+
+namespace squid::sfc {
+namespace {
+
+using Geometry = std::tuple<unsigned, unsigned>; // dims, bits
+
+class HilbertContinuity : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(HilbertContinuity, ConsecutiveIndicesAreLatticeNeighbors) {
+  const auto& [dims, bits] = GetParam();
+  const HilbertCurve curve(dims, bits);
+  Point prev = curve.point_of(0);
+  for (u128 h = 1; h <= curve.max_index(); ++h) {
+    const Point cur = curve.point_of(h);
+    unsigned moved_axes = 0;
+    std::uint64_t step = 0;
+    for (unsigned i = 0; i < dims; ++i) {
+      if (cur[i] != prev[i]) {
+        ++moved_axes;
+        step = cur[i] > prev[i] ? cur[i] - prev[i] : prev[i] - cur[i];
+      }
+    }
+    ASSERT_EQ(moved_axes, 1u) << "at index " << lo64(h);
+    ASSERT_EQ(step, 1u) << "at index " << lo64(h);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallSpaces, HilbertContinuity,
+                         ::testing::Values(Geometry{1, 5}, Geometry{2, 2},
+                                           Geometry{2, 4}, Geometry{2, 6},
+                                           Geometry{3, 2}, Geometry{3, 4},
+                                           Geometry{4, 3}, Geometry{5, 2},
+                                           Geometry{6, 2}),
+                         [](const auto& info) {
+                           return "d" + std::to_string(std::get<0>(info.param)) +
+                                  "_m" + std::to_string(std::get<1>(info.param));
+                         });
+
+TEST(Hilbert, StartsAtOrigin) {
+  // Skilling's construction anchors index 0 at the origin corner.
+  for (unsigned d = 1; d <= 4; ++d) {
+    const HilbertCurve curve(d, 3);
+    EXPECT_EQ(curve.point_of(0), Point(d, 0));
+  }
+}
+
+TEST(Hilbert, OneDimensionalCurveIsIdentity) {
+  const HilbertCurve curve(1, 8);
+  for (std::uint64_t v = 0; v < 256; ++v) {
+    EXPECT_EQ(curve.index_of({v}), static_cast<u128>(v));
+  }
+}
+
+TEST(Hilbert, BetterNeighborLocalityThanZOrder) {
+  // Locality metric: the fraction of lattice-neighbor pairs that sit within
+  // a small window of each other on the curve. (The *mean* index distance is
+  // dominated by each curve's few long jumps and does not separate the
+  // families; what queries care about is how often neighbors stay close,
+  // which is also what drives the cluster counts of Fig 3.)
+  const unsigned bits = 6; // 64 x 64
+  const HilbertCurve hilbert(2, bits);
+  const ZOrderCurve zorder(2, bits);
+  const std::uint64_t side = 1u << bits;
+  // Window 1 = curve adjacency: Hilbert's continuity makes every one of its
+  // 2^(2m)-1 consecutive index pairs a lattice-neighbor pair, while Z-order
+  // only achieves that when incrementing its least-significant axis carries
+  // no bits. Wider windows blur the families together.
+  const u128 window = 1;
+  std::uint64_t hilbert_close = 0, zorder_close = 0, pairs = 0;
+  const auto within = [window](u128 a, u128 b) {
+    return (a > b ? a - b : b - a) <= window;
+  };
+  for (std::uint64_t x = 0; x < side; ++x) {
+    for (std::uint64_t y = 0; y + 1 < side; ++y) {
+      hilbert_close +=
+          within(hilbert.index_of({x, y}), hilbert.index_of({x, y + 1}));
+      zorder_close +=
+          within(zorder.index_of({x, y}), zorder.index_of({x, y + 1}));
+      hilbert_close +=
+          within(hilbert.index_of({y, x}), hilbert.index_of({y + 1, x}));
+      zorder_close +=
+          within(zorder.index_of({y, x}), zorder.index_of({y + 1, x}));
+      pairs += 2;
+    }
+  }
+  EXPECT_GT(hilbert_close, zorder_close);
+  // At least half of all neighbor pairs stay within the window on Hilbert.
+  EXPECT_GT(hilbert_close * 2, pairs);
+}
+
+TEST(Hilbert, FewerClustersThanZOrderOnRandomRects) {
+  // Clusters per query rectangle (paper Fig 3): Hilbert's defining advantage.
+  const unsigned bits = 5;
+  const HilbertCurve hilbert(2, bits);
+  const ZOrderCurve zorder(2, bits);
+  const ClusterRefiner hilbert_ref(hilbert);
+  const ClusterRefiner zorder_ref(zorder);
+  Rng rng(7);
+  std::size_t hilbert_clusters = 0, zorder_clusters = 0;
+  for (int q = 0; q < 200; ++q) {
+    Rect rect;
+    for (int d = 0; d < 2; ++d) {
+      const std::uint64_t a = rng.below(1u << bits);
+      const std::uint64_t b = rng.below(1u << bits);
+      rect.dims.push_back({std::min(a, b), std::max(a, b)});
+    }
+    hilbert_clusters += hilbert_ref.decompose(rect).size();
+    zorder_clusters += zorder_ref.decompose(rect).size();
+  }
+  EXPECT_LT(hilbert_clusters, zorder_clusters);
+}
+
+} // namespace
+} // namespace squid::sfc

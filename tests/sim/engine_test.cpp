@@ -1,0 +1,71 @@
+#include "squid/sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace squid::sim {
+namespace {
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule(30, [&] { order.push_back(3); });
+  engine.schedule(10, [&] { order.push_back(1); });
+  engine.schedule(20, [&] { order.push_back(2); });
+  EXPECT_EQ(engine.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), 30u);
+}
+
+TEST(Engine, EqualTimestampsRunFifo) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) engine.schedule(7, [&, i] { order.push_back(i); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, EventsMayScheduleMoreEvents) {
+  Engine engine;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) engine.schedule(1, recurse);
+  };
+  engine.schedule(1, recurse);
+  engine.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(engine.now(), 5u);
+}
+
+TEST(Engine, RunUntilLeavesFutureEventsQueued) {
+  Engine engine;
+  int ran = 0;
+  engine.schedule(5, [&] { ++ran; });
+  engine.schedule(15, [&] { ++ran; });
+  EXPECT_EQ(engine.run(10), 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(engine.now(), 10u);
+  EXPECT_EQ(engine.pending(), 1u);
+  engine.run();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Engine, PeriodicRunsUntilActionDeclines) {
+  Engine engine;
+  int ticks = 0;
+  engine.schedule_periodic(10, [&] { return ++ticks < 4; });
+  engine.run();
+  EXPECT_EQ(ticks, 4);
+  EXPECT_EQ(engine.now(), 40u);
+}
+
+TEST(Engine, RejectsEmptyActions) {
+  Engine engine;
+  EXPECT_THROW(engine.schedule(1, Engine::Action{}), std::invalid_argument);
+  EXPECT_THROW(engine.schedule_periodic(0, [] { return false; }),
+               std::invalid_argument);
+}
+
+} // namespace
+} // namespace squid::sim

@@ -1,0 +1,143 @@
+#include "squid/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace squid {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedResetsSequence) {
+  Rng a(77);
+  const auto first = a();
+  a.reseed(77);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng(9);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(42);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBound)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / kBound * 0.9);
+    EXPECT_LT(c, kDraws / kBound * 1.1);
+  }
+}
+
+TEST(Rng, RangeInclusiveEndpointsReachable) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(10, 12);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 12u);
+    saw_lo |= (v == 10);
+    saw_hi |= (v == 12);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Below128StaysInBounds) {
+  Rng rng(11);
+  const u128 bound = make_u128(1, 0); // 2^64
+  for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below128(bound), bound);
+  for (int i = 0; i < 200; ++i)
+    EXPECT_LT(rng.below128(static_cast<u128>(3)), static_cast<u128>(3));
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(21);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v); // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(99);
+  Rng child = parent.fork();
+  // Child should not replay the parent's stream.
+  Rng parent_copy(99);
+  (void)parent_copy(); // consume the draw fork() used
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (child() == parent_copy());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Zipf, RanksAreWithinRange) {
+  Rng rng(7);
+  ZipfSampler zipf(50, 1.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.sample(rng), 50u);
+}
+
+TEST(Zipf, LowRanksDominate) {
+  Rng rng(13);
+  ZipfSampler zipf(1000, 1.0);
+  constexpr int kDraws = 50000;
+  int top10 = 0;
+  for (int i = 0; i < kDraws; ++i) top10 += (zipf.sample(rng) < 10);
+  // With s=1, n=1000: P(rank < 10) = H(10)/H(1000) ~ 2.93/7.49 ~ 0.39.
+  EXPECT_GT(top10, kDraws * 0.33);
+  EXPECT_LT(top10, kDraws * 0.45);
+}
+
+TEST(Zipf, ExponentZeroIsUniform) {
+  Rng rng(17);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.sample(rng)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / 10 * 0.9);
+    EXPECT_LT(c, kDraws / 10 * 1.1);
+  }
+}
+
+TEST(Zipf, RejectsEmptyDomain) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace squid

@@ -1,0 +1,106 @@
+#include "squid/stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace squid {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  Summary s({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0); // classic textbook sample
+}
+
+TEST(Summary, EmptySampleIsSafe) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+  EXPECT_THROW(s.percentile(50), std::invalid_argument);
+}
+
+TEST(Summary, CvAndMaxOverMean) {
+  Summary balanced({5, 5, 5, 5});
+  EXPECT_DOUBLE_EQ(balanced.cv(), 0.0);
+  EXPECT_DOUBLE_EQ(balanced.max_over_mean(), 1.0);
+
+  Summary skewed({0, 0, 0, 20});
+  EXPECT_DOUBLE_EQ(skewed.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(skewed.max_over_mean(), 4.0);
+  EXPECT_GT(skewed.cv(), 1.0);
+}
+
+TEST(Summary, GiniExtremes) {
+  EXPECT_DOUBLE_EQ(Summary({3, 3, 3, 3}).gini(), 0.0);
+  // All mass on one of n holders: Gini = (n-1)/n.
+  EXPECT_NEAR(Summary({0, 0, 0, 12}).gini(), 0.75, 1e-12);
+}
+
+TEST(Summary, GiniIsScaleInvariant) {
+  const Summary a({1, 2, 3, 4, 5});
+  const Summary b({10, 20, 30, 40, 50});
+  EXPECT_NEAR(a.gini(), b.gini(), 1e-12);
+}
+
+TEST(Summary, PercentileInterpolates) {
+  Summary s({10, 20, 30, 40});
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 25.0);
+  EXPECT_THROW(s.percentile(-1), std::invalid_argument);
+  EXPECT_THROW(s.percentile(101), std::invalid_argument);
+}
+
+TEST(Summary, AddAccumulates) {
+  Summary s;
+  s.add(1);
+  s.add(3);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+TEST(Histogram, BucketsPartitionRange) {
+  Histogram h(0, 100, 10);
+  EXPECT_EQ(h.buckets(), 10u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(9), 90.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(9), 100.0);
+}
+
+TEST(Histogram, ValuesLandInCorrectBucket) {
+  Histogram h(0, 10, 5);
+  h.add(0.5);
+  h.add(2.0);
+  h.add(9.9);
+  h.add(5.0, 3); // weighted
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 3u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h(0, 10, 2);
+  h.add(-5);
+  h.add(15);
+  h.add(10); // hi boundary clamps into last bucket
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+}
+
+TEST(Histogram, RejectsDegenerateConfig) {
+  EXPECT_THROW(Histogram(0, 10, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(5, 5, 3), std::invalid_argument);
+}
+
+} // namespace
+} // namespace squid

@@ -1,0 +1,47 @@
+#include "squid/stats/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace squid {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"query", "matches"});
+  t.add_row({"q1", "260"});
+  t.add_row({"range", "7"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| query | matches |"), std::string::npos);
+  EXPECT_NE(out.find("260"), std::string::npos);
+  EXPECT_NE(out.find("range"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RowWidthMismatchRejected) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeaderRejected) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, NumericCellFormatting) {
+  EXPECT_EQ(Table::cell(std::uint64_t{42}), "42");
+  EXPECT_EQ(Table::cell(2.5), "2.5");
+  EXPECT_EQ(Table::cell(3.0), "3");
+}
+
+} // namespace
+} // namespace squid

@@ -1,0 +1,76 @@
+#include "squid/util/u128.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace squid {
+namespace {
+
+TEST(U128, MakeAndSplitRoundTrip) {
+  const u128 v = make_u128(0x0123456789abcdefull, 0xfedcba9876543210ull);
+  EXPECT_EQ(hi64(v), 0x0123456789abcdefull);
+  EXPECT_EQ(lo64(v), 0xfedcba9876543210ull);
+}
+
+TEST(U128, LowMaskBoundaries) {
+  EXPECT_EQ(low_mask(0), static_cast<u128>(0));
+  EXPECT_EQ(low_mask(1), static_cast<u128>(1));
+  EXPECT_EQ(low_mask(64), make_u128(0, ~std::uint64_t{0}));
+  EXPECT_EQ(low_mask(127), u128_max >> 1);
+  EXPECT_EQ(low_mask(128), u128_max);
+  EXPECT_EQ(low_mask(200), u128_max);
+}
+
+TEST(U128, BitWidth) {
+  EXPECT_EQ(bit_width(static_cast<u128>(0)), 0u);
+  EXPECT_EQ(bit_width(static_cast<u128>(1)), 1u);
+  EXPECT_EQ(bit_width(static_cast<u128>(0xff)), 8u);
+  EXPECT_EQ(bit_width(make_u128(1, 0)), 65u);
+  EXPECT_EQ(bit_width(u128_max), 128u);
+}
+
+TEST(U128, ToStringSmallValues) {
+  EXPECT_EQ(to_string(static_cast<u128>(0)), "0");
+  EXPECT_EQ(to_string(static_cast<u128>(7)), "7");
+  EXPECT_EQ(to_string(static_cast<u128>(1234567890ull)), "1234567890");
+}
+
+TEST(U128, ToStringMaxValue) {
+  EXPECT_EQ(to_string(u128_max), "340282366920938463463374607431768211455");
+}
+
+TEST(U128, ParseRoundTrip) {
+  for (const u128 v :
+       {static_cast<u128>(0), static_cast<u128>(42), make_u128(3, 17),
+        u128_max - 1, u128_max}) {
+    EXPECT_EQ(parse_u128(to_string(v)), v);
+  }
+}
+
+TEST(U128, ParseRejectsGarbage) {
+  EXPECT_THROW(parse_u128(""), std::invalid_argument);
+  EXPECT_THROW(parse_u128("12a"), std::invalid_argument);
+  EXPECT_THROW(parse_u128("-1"), std::invalid_argument);
+}
+
+TEST(U128, ParseRejectsOverflow) {
+  EXPECT_THROW(parse_u128("340282366920938463463374607431768211456"),
+               std::out_of_range);
+}
+
+TEST(U128, BinaryStringShowsPrefixes) {
+  EXPECT_EQ(to_binary_string(static_cast<u128>(0b1011), 6), "001011");
+  EXPECT_EQ(to_binary_string(static_cast<u128>(0), 3), "000");
+  EXPECT_THROW(to_binary_string(static_cast<u128>(1), 129),
+               std::invalid_argument);
+}
+
+TEST(U128, HexString) {
+  EXPECT_EQ(to_hex_string(static_cast<u128>(0)), "0x0");
+  EXPECT_EQ(to_hex_string(static_cast<u128>(0xdeadbeef)), "0xdeadbeef");
+  EXPECT_EQ(to_hex_string(u128_max), "0xffffffffffffffffffffffffffffffff");
+}
+
+} // namespace
+} // namespace squid

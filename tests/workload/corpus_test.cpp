@@ -1,0 +1,138 @@
+#include "squid/workload/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace squid::workload {
+namespace {
+
+TEST(Vocabulary, GeneratesDistinctLowercaseWords) {
+  Rng rng(41);
+  Vocabulary vocab(300, 0.9, rng);
+  ASSERT_EQ(vocab.words().size(), 300u);
+  std::set<std::string> seen;
+  for (const auto& w : vocab.words()) {
+    EXPECT_FALSE(w.empty());
+    EXPECT_LE(w.size(), 10u);
+    for (const char c : w) EXPECT_TRUE(c >= 'a' && c <= 'z') << w;
+    EXPECT_TRUE(seen.insert(w).second) << "duplicate " << w;
+  }
+}
+
+TEST(Vocabulary, SharesPrefixesLikeNaturalLanguage) {
+  Rng rng(42);
+  Vocabulary vocab(300, 0.9, rng);
+  std::map<std::string, int> stems;
+  for (const auto& w : vocab.words()) stems[w.substr(0, 3)]++;
+  int clustered = 0;
+  for (const auto& [stem, count] : stems) clustered += (count >= 3);
+  // Syllable construction should give many 3+ member prefix clusters.
+  EXPECT_GE(clustered, 10);
+}
+
+TEST(Vocabulary, ZipfSamplingFavorsLowRanks) {
+  Rng rng(43);
+  Vocabulary vocab(200, 1.0, rng);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[vocab.sample(rng)]++;
+  int top = 0;
+  for (std::size_t r = 0; r < 10; ++r) top += counts[vocab.by_rank(r)];
+  EXPECT_GT(top, 20000 / 4); // top-10 of 200 carries > 25% of the mass
+}
+
+TEST(KeywordCorpus, ElementsFitTheirSpace) {
+  Rng rng(44);
+  KeywordCorpus corpus(3, 200, 0.8, rng);
+  const auto space = corpus.make_space();
+  EXPECT_EQ(space.dims(), 3u);
+  for (const auto& e : corpus.make_elements(200, rng)) {
+    EXPECT_EQ(e.keys.size(), 3u);
+    EXPECT_NO_THROW((void)space.encode(e.keys));
+  }
+}
+
+TEST(KeywordCorpus, ElementNamesAreUnique) {
+  Rng rng(45);
+  KeywordCorpus corpus(2, 100, 0.8, rng);
+  std::set<std::string> names;
+  for (const auto& e : corpus.make_elements(500, rng))
+    EXPECT_TRUE(names.insert(e.name).second);
+}
+
+TEST(KeywordCorpus, QueryFamiliesHaveThePaperShapes) {
+  Rng rng(46);
+  KeywordCorpus corpus(3, 100, 0.8, rng);
+  const auto q1 = corpus.q1(0, /*partial=*/true);
+  ASSERT_EQ(q1.terms.size(), 3u);
+  EXPECT_TRUE(std::holds_alternative<keyword::Prefix>(q1.terms[0]));
+  EXPECT_TRUE(std::holds_alternative<keyword::Any>(q1.terms[1]));
+  EXPECT_TRUE(std::holds_alternative<keyword::Any>(q1.terms[2]));
+
+  const auto q1w = corpus.q1(3, /*partial=*/false);
+  EXPECT_EQ(std::get<keyword::Whole>(q1w.terms[0]).word,
+            corpus.vocabulary().by_rank(3));
+
+  const auto q2 = corpus.q2(1, 2, /*partial_b=*/false);
+  EXPECT_TRUE(std::holds_alternative<keyword::Prefix>(q2.terms[0]));
+  EXPECT_TRUE(std::holds_alternative<keyword::Whole>(q2.terms[1]));
+  EXPECT_TRUE(std::holds_alternative<keyword::Any>(q2.terms[2]));
+}
+
+TEST(KeywordCorpus, QueriesAreReplayableAcrossInstances) {
+  Rng rng_a(47), rng_b(47);
+  KeywordCorpus a(2, 150, 0.9, rng_a), b(2, 150, 0.9, rng_b);
+  EXPECT_EQ(a.vocabulary().words(), b.vocabulary().words());
+  EXPECT_EQ(keyword::to_string(a.q1(5, true)),
+            keyword::to_string(b.q1(5, true)));
+}
+
+TEST(ResourceCorpus, ElementsFitSpaceAndCluster) {
+  Rng rng(48);
+  ResourceCorpus corpus;
+  const auto space = corpus.make_space();
+  EXPECT_EQ(space.dims(), 3u);
+  std::map<int, int> storage_tiers;
+  for (const auto& e : corpus.make_elements(500, rng)) {
+    ASSERT_EQ(e.keys.size(), 3u);
+    EXPECT_NO_THROW((void)space.encode(e.keys));
+    const double storage = std::get<double>(e.keys[0]);
+    EXPECT_GE(storage, 0.0);
+    EXPECT_LE(storage, 4096.0 * 1.1);
+    storage_tiers[static_cast<int>(storage / 100)]++;
+  }
+  // Tiered generation: a few buckets dominate.
+  int in_top3 = 0, rank = 0;
+  std::vector<int> counts;
+  for (const auto& [tier, count] : storage_tiers) counts.push_back(count);
+  std::sort(counts.rbegin(), counts.rend());
+  for (const int c : counts) {
+    if (rank++ < 3) in_top3 += c;
+  }
+  EXPECT_GT(in_top3, 150);
+}
+
+TEST(ResourceCorpus, RangeQueryHelpersMatchExpectedElements) {
+  Rng rng(49);
+  ResourceCorpus corpus;
+  const auto space = corpus.make_space();
+  const auto q = corpus.q3_all_ranges(200, 600, 0, 10000, 0, 1000);
+  int matched = 0;
+  for (const auto& e : corpus.make_elements(500, rng)) {
+    const double storage = std::get<double>(e.keys[0]);
+    const bool expect = storage >= 200 && storage <= 600;
+    if (expect) ++matched;
+    // Quantization can only blur at bucket edges; use interior values.
+    if (storage > 210 && storage < 590) {
+      EXPECT_TRUE(space.matches(q, e.keys)) << storage;
+    }
+    if (storage < 190 || storage > 610) {
+      EXPECT_FALSE(space.matches(q, e.keys)) << storage;
+    }
+  }
+  EXPECT_GT(matched, 0);
+}
+
+} // namespace
+} // namespace squid::workload

@@ -1,0 +1,66 @@
+#include "squid/workload/text.hpp"
+
+#include <gtest/gtest.h>
+
+namespace squid::workload {
+namespace {
+
+TEST(Tokenize, SplitsOnNonAlphabetic) {
+  EXPECT_EQ(tokenize("Peer-to-Peer systems, 2003!"),
+            (std::vector<std::string>{"peer", "to", "peer", "systems"}));
+  EXPECT_EQ(tokenize(""), std::vector<std::string>{});
+  EXPECT_EQ(tokenize("...!!..."), std::vector<std::string>{});
+}
+
+TEST(Tokenize, LowercasesEverything) {
+  EXPECT_EQ(tokenize("HiLBerT CURVE"),
+            (std::vector<std::string>{"hilbert", "curve"}));
+}
+
+TEST(Stopwords, CommonWordsFiltered) {
+  EXPECT_TRUE(is_stopword("the"));
+  EXPECT_TRUE(is_stopword("of"));
+  EXPECT_FALSE(is_stopword("hilbert"));
+  EXPECT_FALSE(is_stopword("grid"));
+}
+
+TEST(ExtractKeywords, FrequencyDominates) {
+  const auto keywords = extract_keywords(
+      "grid grid grid discovery discovery peer", 2);
+  ASSERT_EQ(keywords.size(), 2u);
+  EXPECT_EQ(keywords[0], "grid");
+  EXPECT_EQ(keywords[1], "discovery");
+}
+
+TEST(ExtractKeywords, StopwordsAndShortTokensDropped) {
+  const auto keywords =
+      extract_keywords("the a of to x y discovery in systems", 5);
+  EXPECT_EQ(keywords, (std::vector<std::string>{"discovery", "systems"}));
+}
+
+TEST(ExtractKeywords, TiesBreakTowardSpecificity) {
+  // Same frequency: the longer (more specific) word wins.
+  const auto keywords = extract_keywords("cat catalogue", 1);
+  ASSERT_EQ(keywords.size(), 1u);
+  EXPECT_EQ(keywords[0], "catalogue");
+}
+
+TEST(ExtractKeywords, ShortTextsYieldFewerKeywords) {
+  EXPECT_EQ(extract_keywords("hello", 4),
+            (std::vector<std::string>{"hello"}));
+  EXPECT_TRUE(extract_keywords("", 4).empty());
+}
+
+TEST(ExtractKeywords, DeterministicOrder) {
+  const std::string text =
+      "decentralized information discovery in decentralized distributed "
+      "systems with flexible information queries";
+  EXPECT_EQ(extract_keywords(text, 3), extract_keywords(text, 3));
+  const auto keywords = extract_keywords(text, 3);
+  ASSERT_EQ(keywords.size(), 3u);
+  EXPECT_EQ(keywords[0], "decentralized"); // 2 occurrences, longest
+  EXPECT_EQ(keywords[1], "information");   // 2 occurrences
+}
+
+} // namespace
+} // namespace squid::workload
