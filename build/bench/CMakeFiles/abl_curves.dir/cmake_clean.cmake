@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_curves.dir/abl_curves.cpp.o"
+  "CMakeFiles/abl_curves.dir/abl_curves.cpp.o.d"
+  "abl_curves"
+  "abl_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

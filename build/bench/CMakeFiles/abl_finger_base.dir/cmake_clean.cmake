@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_finger_base.dir/abl_finger_base.cpp.o"
+  "CMakeFiles/abl_finger_base.dir/abl_finger_base.cpp.o.d"
+  "abl_finger_base"
+  "abl_finger_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_finger_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

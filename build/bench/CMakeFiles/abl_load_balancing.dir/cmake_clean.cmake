@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_load_balancing.dir/abl_load_balancing.cpp.o"
+  "CMakeFiles/abl_load_balancing.dir/abl_load_balancing.cpp.o.d"
+  "abl_load_balancing"
+  "abl_load_balancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_load_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_resolution.dir/abl_resolution.cpp.o"
+  "CMakeFiles/abl_resolution.dir/abl_resolution.cpp.o.d"
+  "abl_resolution"
+  "abl_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

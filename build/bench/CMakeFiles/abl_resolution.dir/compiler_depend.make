@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_resolution.
+# This may be replaced when dependencies are built.

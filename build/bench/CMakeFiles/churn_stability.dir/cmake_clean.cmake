@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/churn_stability.dir/churn_stability.cpp.o"
+  "CMakeFiles/churn_stability.dir/churn_stability.cpp.o.d"
+  "churn_stability"
+  "churn_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/churn_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

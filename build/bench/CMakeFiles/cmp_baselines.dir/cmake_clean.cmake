@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmp_baselines.dir/cmp_baselines.cpp.o"
+  "CMakeFiles/cmp_baselines.dir/cmp_baselines.cpp.o.d"
+  "cmp_baselines"
+  "cmp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/cmp_can_inverse_sfc.cpp" "bench/CMakeFiles/cmp_can_inverse_sfc.dir/cmp_can_inverse_sfc.cpp.o" "gcc" "bench/CMakeFiles/cmp_can_inverse_sfc.dir/cmp_can_inverse_sfc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/squid_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/squid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmp_can_inverse_sfc.dir/cmp_can_inverse_sfc.cpp.o"
+  "CMakeFiles/cmp_can_inverse_sfc.dir/cmp_can_inverse_sfc.cpp.o.d"
+  "cmp_can_inverse_sfc"
+  "cmp_can_inverse_sfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmp_can_inverse_sfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

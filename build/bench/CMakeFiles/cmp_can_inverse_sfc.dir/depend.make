@@ -1,0 +1,2 @@
+# Empty dependencies file for cmp_can_inverse_sfc.
+# This may be replaced when dependencies are built.

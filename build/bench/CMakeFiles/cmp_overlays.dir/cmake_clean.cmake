@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmp_overlays.dir/cmp_overlays.cpp.o"
+  "CMakeFiles/cmp_overlays.dir/cmp_overlays.cpp.o.d"
+  "cmp_overlays"
+  "cmp_overlays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmp_overlays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cmp_overlays.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for cmp_overlays.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durability_replication.dir/durability_replication.cpp.o"
+  "CMakeFiles/durability_replication.dir/durability_replication.cpp.o.d"
+  "durability_replication"
+  "durability_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durability_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_caching.dir/ext_caching.cpp.o"
+  "CMakeFiles/ext_caching.dir/ext_caching.cpp.o.d"
+  "ext_caching"
+  "ext_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_latency.dir/ext_latency.cpp.o"
+  "CMakeFiles/ext_latency.dir/ext_latency.cpp.o.d"
+  "ext_latency"
+  "ext_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

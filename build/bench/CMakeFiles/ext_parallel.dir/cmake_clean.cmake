@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_parallel.dir/ext_parallel.cpp.o"
+  "CMakeFiles/ext_parallel.dir/ext_parallel.cpp.o.d"
+  "ext_parallel"
+  "ext_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_q1_2d.dir/fig09_q1_2d.cpp.o"
+  "CMakeFiles/fig09_q1_2d.dir/fig09_q1_2d.cpp.o.d"
+  "fig09_q1_2d"
+  "fig09_q1_2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_q1_2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_q1_2d.
+# This may be replaced when dependencies are built.

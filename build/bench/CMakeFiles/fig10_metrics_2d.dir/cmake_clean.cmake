@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_metrics_2d.dir/fig10_metrics_2d.cpp.o"
+  "CMakeFiles/fig10_metrics_2d.dir/fig10_metrics_2d.cpp.o.d"
+  "fig10_metrics_2d"
+  "fig10_metrics_2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_metrics_2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_q2_2d.dir/fig11_q2_2d.cpp.o"
+  "CMakeFiles/fig11_q2_2d.dir/fig11_q2_2d.cpp.o.d"
+  "fig11_q2_2d"
+  "fig11_q2_2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_q2_2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_q1_3d.dir/fig12_q1_3d.cpp.o"
+  "CMakeFiles/fig12_q1_3d.dir/fig12_q1_3d.cpp.o.d"
+  "fig12_q1_3d"
+  "fig12_q1_3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_q1_3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

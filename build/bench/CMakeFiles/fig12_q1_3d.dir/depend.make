@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_q1_3d.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_metrics_3d.dir/fig13_metrics_3d.cpp.o"
+  "CMakeFiles/fig13_metrics_3d.dir/fig13_metrics_3d.cpp.o.d"
+  "fig13_metrics_3d"
+  "fig13_metrics_3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_metrics_3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

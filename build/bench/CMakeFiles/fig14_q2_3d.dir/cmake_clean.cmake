@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_q2_3d.dir/fig14_q2_3d.cpp.o"
+  "CMakeFiles/fig14_q2_3d.dir/fig14_q2_3d.cpp.o.d"
+  "fig14_q2_3d"
+  "fig14_q2_3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_q2_3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

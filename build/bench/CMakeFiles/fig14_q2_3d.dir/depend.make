@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_q2_3d.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_range_kr.dir/fig15_range_kr.cpp.o"
+  "CMakeFiles/fig15_range_kr.dir/fig15_range_kr.cpp.o.d"
+  "fig15_range_kr"
+  "fig15_range_kr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_range_kr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

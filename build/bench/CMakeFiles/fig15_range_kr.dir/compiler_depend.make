@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig15_range_kr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_range_kr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_metrics_range.dir/fig16_metrics_range.cpp.o"
+  "CMakeFiles/fig16_metrics_range.dir/fig16_metrics_range.cpp.o.d"
+  "fig16_metrics_range"
+  "fig16_metrics_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_metrics_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_range_rrr.dir/fig17_range_rrr.cpp.o"
+  "CMakeFiles/fig17_range_rrr.dir/fig17_range_rrr.cpp.o.d"
+  "fig17_range_rrr"
+  "fig17_range_rrr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_range_rrr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

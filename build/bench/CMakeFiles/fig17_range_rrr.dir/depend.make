@@ -1,0 +1,2 @@
+# Empty dependencies file for fig17_range_rrr.
+# This may be replaced when dependencies are built.

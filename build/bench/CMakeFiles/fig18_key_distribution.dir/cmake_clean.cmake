@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_key_distribution.dir/fig18_key_distribution.cpp.o"
+  "CMakeFiles/fig18_key_distribution.dir/fig18_key_distribution.cpp.o.d"
+  "fig18_key_distribution"
+  "fig18_key_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_key_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

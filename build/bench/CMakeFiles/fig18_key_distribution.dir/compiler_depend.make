@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig18_key_distribution.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_load_balancing.dir/fig19_load_balancing.cpp.o"
+  "CMakeFiles/fig19_load_balancing.dir/fig19_load_balancing.cpp.o.d"
+  "fig19_load_balancing"
+  "fig19_load_balancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_load_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

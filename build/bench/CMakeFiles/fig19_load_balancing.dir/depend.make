@@ -1,0 +1,2 @@
+# Empty dependencies file for fig19_load_balancing.
+# This may be replaced when dependencies are built.

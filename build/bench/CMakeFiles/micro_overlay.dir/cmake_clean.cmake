@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_overlay.dir/micro_overlay.cpp.o"
+  "CMakeFiles/micro_overlay.dir/micro_overlay.cpp.o.d"
+  "micro_overlay"
+  "micro_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_query.dir/micro_query.cpp.o"
+  "CMakeFiles/micro_query.dir/micro_query.cpp.o.d"
+  "micro_query"
+  "micro_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sfc.dir/micro_sfc.cpp.o"
+  "CMakeFiles/micro_sfc.dir/micro_sfc.cpp.o.d"
+  "micro_sfc"
+  "micro_sfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

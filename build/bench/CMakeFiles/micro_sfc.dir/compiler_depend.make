@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for micro_sfc.
+# This may be replaced when dependencies are built.

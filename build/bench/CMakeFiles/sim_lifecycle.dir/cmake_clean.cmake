@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_lifecycle.dir/sim_lifecycle.cpp.o"
+  "CMakeFiles/sim_lifecycle.dir/sim_lifecycle.cpp.o.d"
+  "sim_lifecycle"
+  "sim_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squid_bench_common.dir/common/fixture.cpp.o"
+  "CMakeFiles/squid_bench_common.dir/common/fixture.cpp.o.d"
+  "libsquid_bench_common.a"
+  "libsquid_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squid_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

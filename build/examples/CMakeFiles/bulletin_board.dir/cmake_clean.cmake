@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bulletin_board.dir/bulletin_board.cpp.o"
+  "CMakeFiles/bulletin_board.dir/bulletin_board.cpp.o.d"
+  "bulletin_board"
+  "bulletin_board.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bulletin_board.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bulletin_board.
+# This may be replaced when dependencies are built.

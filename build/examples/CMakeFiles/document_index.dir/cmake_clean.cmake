@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/document_index.dir/document_index.cpp.o"
+  "CMakeFiles/document_index.dir/document_index.cpp.o.d"
+  "document_index"
+  "document_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/document_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

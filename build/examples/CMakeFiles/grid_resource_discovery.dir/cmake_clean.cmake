@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_resource_discovery.dir/grid_resource_discovery.cpp.o"
+  "CMakeFiles/grid_resource_discovery.dir/grid_resource_discovery.cpp.o.d"
+  "grid_resource_discovery"
+  "grid_resource_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_resource_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for grid_resource_discovery.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2p_file_search.dir/p2p_file_search.cpp.o"
+  "CMakeFiles/p2p_file_search.dir/p2p_file_search.cpp.o.d"
+  "p2p_file_search"
+  "p2p_file_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2p_file_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squid_cli.dir/squid_cli.cpp.o"
+  "CMakeFiles/squid_cli.dir/squid_cli.cpp.o.d"
+  "squid_cli"
+  "squid_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squid_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

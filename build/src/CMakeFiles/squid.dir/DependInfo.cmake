@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/can_inverse_sfc.cpp" "src/CMakeFiles/squid.dir/baselines/can_inverse_sfc.cpp.o" "gcc" "src/CMakeFiles/squid.dir/baselines/can_inverse_sfc.cpp.o.d"
+  "/root/repo/src/baselines/chord_oracle.cpp" "src/CMakeFiles/squid.dir/baselines/chord_oracle.cpp.o" "gcc" "src/CMakeFiles/squid.dir/baselines/chord_oracle.cpp.o.d"
+  "/root/repo/src/baselines/flooding.cpp" "src/CMakeFiles/squid.dir/baselines/flooding.cpp.o" "gcc" "src/CMakeFiles/squid.dir/baselines/flooding.cpp.o.d"
+  "/root/repo/src/baselines/inverted_index.cpp" "src/CMakeFiles/squid.dir/baselines/inverted_index.cpp.o" "gcc" "src/CMakeFiles/squid.dir/baselines/inverted_index.cpp.o.d"
+  "/root/repo/src/core/query_engine.cpp" "src/CMakeFiles/squid.dir/core/query_engine.cpp.o" "gcc" "src/CMakeFiles/squid.dir/core/query_engine.cpp.o.d"
+  "/root/repo/src/core/replication.cpp" "src/CMakeFiles/squid.dir/core/replication.cpp.o" "gcc" "src/CMakeFiles/squid.dir/core/replication.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/CMakeFiles/squid.dir/core/serialize.cpp.o" "gcc" "src/CMakeFiles/squid.dir/core/serialize.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/CMakeFiles/squid.dir/core/system.cpp.o" "gcc" "src/CMakeFiles/squid.dir/core/system.cpp.o.d"
+  "/root/repo/src/core/timing.cpp" "src/CMakeFiles/squid.dir/core/timing.cpp.o" "gcc" "src/CMakeFiles/squid.dir/core/timing.cpp.o.d"
+  "/root/repo/src/core/virtual_nodes.cpp" "src/CMakeFiles/squid.dir/core/virtual_nodes.cpp.o" "gcc" "src/CMakeFiles/squid.dir/core/virtual_nodes.cpp.o.d"
+  "/root/repo/src/keyword/codec.cpp" "src/CMakeFiles/squid.dir/keyword/codec.cpp.o" "gcc" "src/CMakeFiles/squid.dir/keyword/codec.cpp.o.d"
+  "/root/repo/src/keyword/space.cpp" "src/CMakeFiles/squid.dir/keyword/space.cpp.o" "gcc" "src/CMakeFiles/squid.dir/keyword/space.cpp.o.d"
+  "/root/repo/src/overlay/can.cpp" "src/CMakeFiles/squid.dir/overlay/can.cpp.o" "gcc" "src/CMakeFiles/squid.dir/overlay/can.cpp.o.d"
+  "/root/repo/src/overlay/chord.cpp" "src/CMakeFiles/squid.dir/overlay/chord.cpp.o" "gcc" "src/CMakeFiles/squid.dir/overlay/chord.cpp.o.d"
+  "/root/repo/src/overlay/pastry.cpp" "src/CMakeFiles/squid.dir/overlay/pastry.cpp.o" "gcc" "src/CMakeFiles/squid.dir/overlay/pastry.cpp.o.d"
+  "/root/repo/src/sfc/curve.cpp" "src/CMakeFiles/squid.dir/sfc/curve.cpp.o" "gcc" "src/CMakeFiles/squid.dir/sfc/curve.cpp.o.d"
+  "/root/repo/src/sfc/hilbert.cpp" "src/CMakeFiles/squid.dir/sfc/hilbert.cpp.o" "gcc" "src/CMakeFiles/squid.dir/sfc/hilbert.cpp.o.d"
+  "/root/repo/src/sfc/refine.cpp" "src/CMakeFiles/squid.dir/sfc/refine.cpp.o" "gcc" "src/CMakeFiles/squid.dir/sfc/refine.cpp.o.d"
+  "/root/repo/src/sfc/zorder.cpp" "src/CMakeFiles/squid.dir/sfc/zorder.cpp.o" "gcc" "src/CMakeFiles/squid.dir/sfc/zorder.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/squid.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/squid.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/CMakeFiles/squid.dir/stats/summary.cpp.o" "gcc" "src/CMakeFiles/squid.dir/stats/summary.cpp.o.d"
+  "/root/repo/src/stats/table.cpp" "src/CMakeFiles/squid.dir/stats/table.cpp.o" "gcc" "src/CMakeFiles/squid.dir/stats/table.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/squid.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/squid.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/u128.cpp" "src/CMakeFiles/squid.dir/util/u128.cpp.o" "gcc" "src/CMakeFiles/squid.dir/util/u128.cpp.o.d"
+  "/root/repo/src/workload/corpus.cpp" "src/CMakeFiles/squid.dir/workload/corpus.cpp.o" "gcc" "src/CMakeFiles/squid.dir/workload/corpus.cpp.o.d"
+  "/root/repo/src/workload/text.cpp" "src/CMakeFiles/squid.dir/workload/text.cpp.o" "gcc" "src/CMakeFiles/squid.dir/workload/text.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

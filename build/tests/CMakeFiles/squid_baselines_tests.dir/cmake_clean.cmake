@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squid_baselines_tests.dir/baselines/baselines_test.cpp.o"
+  "CMakeFiles/squid_baselines_tests.dir/baselines/baselines_test.cpp.o.d"
+  "CMakeFiles/squid_baselines_tests.dir/baselines/can_inverse_sfc_test.cpp.o"
+  "CMakeFiles/squid_baselines_tests.dir/baselines/can_inverse_sfc_test.cpp.o.d"
+  "squid_baselines_tests"
+  "squid_baselines_tests.pdb"
+  "squid_baselines_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squid_baselines_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

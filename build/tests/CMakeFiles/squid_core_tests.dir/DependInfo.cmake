@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/count_query_test.cpp" "tests/CMakeFiles/squid_core_tests.dir/core/count_query_test.cpp.o" "gcc" "tests/CMakeFiles/squid_core_tests.dir/core/count_query_test.cpp.o.d"
+  "/root/repo/tests/core/differential_test.cpp" "tests/CMakeFiles/squid_core_tests.dir/core/differential_test.cpp.o" "gcc" "tests/CMakeFiles/squid_core_tests.dir/core/differential_test.cpp.o.d"
+  "/root/repo/tests/core/latency_test.cpp" "tests/CMakeFiles/squid_core_tests.dir/core/latency_test.cpp.o" "gcc" "tests/CMakeFiles/squid_core_tests.dir/core/latency_test.cpp.o.d"
+  "/root/repo/tests/core/load_balance_test.cpp" "tests/CMakeFiles/squid_core_tests.dir/core/load_balance_test.cpp.o" "gcc" "tests/CMakeFiles/squid_core_tests.dir/core/load_balance_test.cpp.o.d"
+  "/root/repo/tests/core/owner_cache_test.cpp" "tests/CMakeFiles/squid_core_tests.dir/core/owner_cache_test.cpp.o" "gcc" "tests/CMakeFiles/squid_core_tests.dir/core/owner_cache_test.cpp.o.d"
+  "/root/repo/tests/core/query_test.cpp" "tests/CMakeFiles/squid_core_tests.dir/core/query_test.cpp.o" "gcc" "tests/CMakeFiles/squid_core_tests.dir/core/query_test.cpp.o.d"
+  "/root/repo/tests/core/replication_test.cpp" "tests/CMakeFiles/squid_core_tests.dir/core/replication_test.cpp.o" "gcc" "tests/CMakeFiles/squid_core_tests.dir/core/replication_test.cpp.o.d"
+  "/root/repo/tests/core/serialize_test.cpp" "tests/CMakeFiles/squid_core_tests.dir/core/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/squid_core_tests.dir/core/serialize_test.cpp.o.d"
+  "/root/repo/tests/core/system_test.cpp" "tests/CMakeFiles/squid_core_tests.dir/core/system_test.cpp.o" "gcc" "tests/CMakeFiles/squid_core_tests.dir/core/system_test.cpp.o.d"
+  "/root/repo/tests/core/timing_test.cpp" "tests/CMakeFiles/squid_core_tests.dir/core/timing_test.cpp.o" "gcc" "tests/CMakeFiles/squid_core_tests.dir/core/timing_test.cpp.o.d"
+  "/root/repo/tests/core/unpublish_test.cpp" "tests/CMakeFiles/squid_core_tests.dir/core/unpublish_test.cpp.o" "gcc" "tests/CMakeFiles/squid_core_tests.dir/core/unpublish_test.cpp.o.d"
+  "/root/repo/tests/core/virtual_nodes_test.cpp" "tests/CMakeFiles/squid_core_tests.dir/core/virtual_nodes_test.cpp.o" "gcc" "tests/CMakeFiles/squid_core_tests.dir/core/virtual_nodes_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/squid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squid_core_tests.dir/core/count_query_test.cpp.o"
+  "CMakeFiles/squid_core_tests.dir/core/count_query_test.cpp.o.d"
+  "CMakeFiles/squid_core_tests.dir/core/differential_test.cpp.o"
+  "CMakeFiles/squid_core_tests.dir/core/differential_test.cpp.o.d"
+  "CMakeFiles/squid_core_tests.dir/core/latency_test.cpp.o"
+  "CMakeFiles/squid_core_tests.dir/core/latency_test.cpp.o.d"
+  "CMakeFiles/squid_core_tests.dir/core/load_balance_test.cpp.o"
+  "CMakeFiles/squid_core_tests.dir/core/load_balance_test.cpp.o.d"
+  "CMakeFiles/squid_core_tests.dir/core/owner_cache_test.cpp.o"
+  "CMakeFiles/squid_core_tests.dir/core/owner_cache_test.cpp.o.d"
+  "CMakeFiles/squid_core_tests.dir/core/query_test.cpp.o"
+  "CMakeFiles/squid_core_tests.dir/core/query_test.cpp.o.d"
+  "CMakeFiles/squid_core_tests.dir/core/replication_test.cpp.o"
+  "CMakeFiles/squid_core_tests.dir/core/replication_test.cpp.o.d"
+  "CMakeFiles/squid_core_tests.dir/core/serialize_test.cpp.o"
+  "CMakeFiles/squid_core_tests.dir/core/serialize_test.cpp.o.d"
+  "CMakeFiles/squid_core_tests.dir/core/system_test.cpp.o"
+  "CMakeFiles/squid_core_tests.dir/core/system_test.cpp.o.d"
+  "CMakeFiles/squid_core_tests.dir/core/timing_test.cpp.o"
+  "CMakeFiles/squid_core_tests.dir/core/timing_test.cpp.o.d"
+  "CMakeFiles/squid_core_tests.dir/core/unpublish_test.cpp.o"
+  "CMakeFiles/squid_core_tests.dir/core/unpublish_test.cpp.o.d"
+  "CMakeFiles/squid_core_tests.dir/core/virtual_nodes_test.cpp.o"
+  "CMakeFiles/squid_core_tests.dir/core/virtual_nodes_test.cpp.o.d"
+  "squid_core_tests"
+  "squid_core_tests.pdb"
+  "squid_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squid_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

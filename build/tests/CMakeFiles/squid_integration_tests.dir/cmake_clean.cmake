@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squid_integration_tests.dir/integration/full_stack_test.cpp.o"
+  "CMakeFiles/squid_integration_tests.dir/integration/full_stack_test.cpp.o.d"
+  "squid_integration_tests"
+  "squid_integration_tests.pdb"
+  "squid_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squid_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/keyword/codec_test.cpp" "tests/CMakeFiles/squid_keyword_tests.dir/keyword/codec_test.cpp.o" "gcc" "tests/CMakeFiles/squid_keyword_tests.dir/keyword/codec_test.cpp.o.d"
+  "/root/repo/tests/keyword/parse_fuzz_test.cpp" "tests/CMakeFiles/squid_keyword_tests.dir/keyword/parse_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/squid_keyword_tests.dir/keyword/parse_fuzz_test.cpp.o.d"
+  "/root/repo/tests/keyword/space_test.cpp" "tests/CMakeFiles/squid_keyword_tests.dir/keyword/space_test.cpp.o" "gcc" "tests/CMakeFiles/squid_keyword_tests.dir/keyword/space_test.cpp.o.d"
+  "/root/repo/tests/keyword/str_range_test.cpp" "tests/CMakeFiles/squid_keyword_tests.dir/keyword/str_range_test.cpp.o" "gcc" "tests/CMakeFiles/squid_keyword_tests.dir/keyword/str_range_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/squid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

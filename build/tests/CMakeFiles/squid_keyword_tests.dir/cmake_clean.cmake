@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squid_keyword_tests.dir/keyword/codec_test.cpp.o"
+  "CMakeFiles/squid_keyword_tests.dir/keyword/codec_test.cpp.o.d"
+  "CMakeFiles/squid_keyword_tests.dir/keyword/parse_fuzz_test.cpp.o"
+  "CMakeFiles/squid_keyword_tests.dir/keyword/parse_fuzz_test.cpp.o.d"
+  "CMakeFiles/squid_keyword_tests.dir/keyword/space_test.cpp.o"
+  "CMakeFiles/squid_keyword_tests.dir/keyword/space_test.cpp.o.d"
+  "CMakeFiles/squid_keyword_tests.dir/keyword/str_range_test.cpp.o"
+  "CMakeFiles/squid_keyword_tests.dir/keyword/str_range_test.cpp.o.d"
+  "squid_keyword_tests"
+  "squid_keyword_tests.pdb"
+  "squid_keyword_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squid_keyword_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

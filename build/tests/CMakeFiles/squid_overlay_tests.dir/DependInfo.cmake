@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/overlay/can_test.cpp" "tests/CMakeFiles/squid_overlay_tests.dir/overlay/can_test.cpp.o" "gcc" "tests/CMakeFiles/squid_overlay_tests.dir/overlay/can_test.cpp.o.d"
+  "/root/repo/tests/overlay/chord_test.cpp" "tests/CMakeFiles/squid_overlay_tests.dir/overlay/chord_test.cpp.o" "gcc" "tests/CMakeFiles/squid_overlay_tests.dir/overlay/chord_test.cpp.o.d"
+  "/root/repo/tests/overlay/finger_base_test.cpp" "tests/CMakeFiles/squid_overlay_tests.dir/overlay/finger_base_test.cpp.o" "gcc" "tests/CMakeFiles/squid_overlay_tests.dir/overlay/finger_base_test.cpp.o.d"
+  "/root/repo/tests/overlay/id_space_test.cpp" "tests/CMakeFiles/squid_overlay_tests.dir/overlay/id_space_test.cpp.o" "gcc" "tests/CMakeFiles/squid_overlay_tests.dir/overlay/id_space_test.cpp.o.d"
+  "/root/repo/tests/overlay/pastry_test.cpp" "tests/CMakeFiles/squid_overlay_tests.dir/overlay/pastry_test.cpp.o" "gcc" "tests/CMakeFiles/squid_overlay_tests.dir/overlay/pastry_test.cpp.o.d"
+  "/root/repo/tests/sim/engine_test.cpp" "tests/CMakeFiles/squid_overlay_tests.dir/sim/engine_test.cpp.o" "gcc" "tests/CMakeFiles/squid_overlay_tests.dir/sim/engine_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/squid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squid_overlay_tests.dir/overlay/can_test.cpp.o"
+  "CMakeFiles/squid_overlay_tests.dir/overlay/can_test.cpp.o.d"
+  "CMakeFiles/squid_overlay_tests.dir/overlay/chord_test.cpp.o"
+  "CMakeFiles/squid_overlay_tests.dir/overlay/chord_test.cpp.o.d"
+  "CMakeFiles/squid_overlay_tests.dir/overlay/finger_base_test.cpp.o"
+  "CMakeFiles/squid_overlay_tests.dir/overlay/finger_base_test.cpp.o.d"
+  "CMakeFiles/squid_overlay_tests.dir/overlay/id_space_test.cpp.o"
+  "CMakeFiles/squid_overlay_tests.dir/overlay/id_space_test.cpp.o.d"
+  "CMakeFiles/squid_overlay_tests.dir/overlay/pastry_test.cpp.o"
+  "CMakeFiles/squid_overlay_tests.dir/overlay/pastry_test.cpp.o.d"
+  "CMakeFiles/squid_overlay_tests.dir/sim/engine_test.cpp.o"
+  "CMakeFiles/squid_overlay_tests.dir/sim/engine_test.cpp.o.d"
+  "squid_overlay_tests"
+  "squid_overlay_tests.pdb"
+  "squid_overlay_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squid_overlay_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

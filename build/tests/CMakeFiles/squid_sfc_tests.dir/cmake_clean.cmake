@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squid_sfc_tests.dir/sfc/curve_property_test.cpp.o"
+  "CMakeFiles/squid_sfc_tests.dir/sfc/curve_property_test.cpp.o.d"
+  "CMakeFiles/squid_sfc_tests.dir/sfc/hilbert_test.cpp.o"
+  "CMakeFiles/squid_sfc_tests.dir/sfc/hilbert_test.cpp.o.d"
+  "CMakeFiles/squid_sfc_tests.dir/sfc/refine_test.cpp.o"
+  "CMakeFiles/squid_sfc_tests.dir/sfc/refine_test.cpp.o.d"
+  "squid_sfc_tests"
+  "squid_sfc_tests.pdb"
+  "squid_sfc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squid_sfc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

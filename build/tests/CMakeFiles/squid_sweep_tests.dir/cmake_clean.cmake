@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squid_sweep_tests.dir/sweeps/param_sweeps_test.cpp.o"
+  "CMakeFiles/squid_sweep_tests.dir/sweeps/param_sweeps_test.cpp.o.d"
+  "squid_sweep_tests"
+  "squid_sweep_tests.pdb"
+  "squid_sweep_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squid_sweep_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

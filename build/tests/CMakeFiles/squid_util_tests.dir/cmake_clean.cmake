@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squid_util_tests.dir/util/rng_test.cpp.o"
+  "CMakeFiles/squid_util_tests.dir/util/rng_test.cpp.o.d"
+  "CMakeFiles/squid_util_tests.dir/util/summary_test.cpp.o"
+  "CMakeFiles/squid_util_tests.dir/util/summary_test.cpp.o.d"
+  "CMakeFiles/squid_util_tests.dir/util/table_test.cpp.o"
+  "CMakeFiles/squid_util_tests.dir/util/table_test.cpp.o.d"
+  "CMakeFiles/squid_util_tests.dir/util/u128_test.cpp.o"
+  "CMakeFiles/squid_util_tests.dir/util/u128_test.cpp.o.d"
+  "squid_util_tests"
+  "squid_util_tests.pdb"
+  "squid_util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squid_util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

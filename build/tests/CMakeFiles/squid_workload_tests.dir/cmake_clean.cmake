@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/squid_workload_tests.dir/workload/corpus_test.cpp.o"
+  "CMakeFiles/squid_workload_tests.dir/workload/corpus_test.cpp.o.d"
+  "CMakeFiles/squid_workload_tests.dir/workload/text_test.cpp.o"
+  "CMakeFiles/squid_workload_tests.dir/workload/text_test.cpp.o.d"
+  "squid_workload_tests"
+  "squid_workload_tests.pdb"
+  "squid_workload_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/squid_workload_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/squid_util_tests[1]_include.cmake")
+include("/root/repo/build/tests/squid_sfc_tests[1]_include.cmake")
+include("/root/repo/build/tests/squid_baselines_tests[1]_include.cmake")
+include("/root/repo/build/tests/squid_workload_tests[1]_include.cmake")
+include("/root/repo/build/tests/squid_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/squid_keyword_tests[1]_include.cmake")
+include("/root/repo/build/tests/squid_overlay_tests[1]_include.cmake")
+include("/root/repo/build/tests/squid_sweep_tests[1]_include.cmake")
+include("/root/repo/build/tests/squid_integration_tests[1]_include.cmake")
