@@ -1,0 +1,200 @@
+// Old-vs-new refinement engine micro-benchmark.
+//
+// "Old" is the seed's decomposition loop: every tree node re-runs the
+// root-depth inverse SFC mapping (cell_of_prefix, two heap allocations per
+// call). "New" is the shipped ClusterRefiner on the incremental RefineCursor
+// (O(dims) per node, zero allocations). Both are timed on the same window
+// queries, their outputs cross-checked, and the per-node / per-decompose
+// costs plus speedups written to BENCH_refine.json.
+//
+// Usage: micro_refine [output.json]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "squid/sfc/refine.hpp"
+#include "squid/util/rng.hpp"
+
+namespace {
+
+using namespace squid;
+using namespace squid::sfc;
+
+/// The seed engine's decompose, verbatim: explicit stack, one
+/// cell_of_prefix per visited node.
+std::vector<Segment> old_decompose(const Curve& curve,
+                                   const ClusterRefiner& refiner,
+                                   const Rect& query, unsigned max_level) {
+  const unsigned depth = std::min(max_level, curve.bits_per_dim());
+  std::vector<Segment> out;
+  const auto emit = [&out](const Segment& seg) {
+    if (!out.empty() && out.back().hi + 1 == seg.lo) {
+      out.back().hi = seg.hi;
+    } else {
+      out.push_back(seg);
+    }
+  };
+  struct Frame {
+    ClusterNode node;
+    u128 next_child = 0;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({ClusterNode{0, 0}, 0});
+  const u128 fanout = static_cast<u128>(1) << curve.dims();
+  {
+    const Rect cell = curve.cell_of_prefix(0, 0);
+    if (!cell.intersects(query)) return {};
+    if (query.covers(cell) || depth == 0)
+      return {refiner.segment_of(ClusterNode{0, 0})};
+  }
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_child == fanout) {
+      stack.pop_back();
+      continue;
+    }
+    const u128 digit = frame.next_child++;
+    const ClusterNode child{(frame.node.prefix << curve.dims()) | digit,
+                            frame.node.level + 1};
+    const Rect cell = curve.cell_of_prefix(child.prefix, child.level);
+    if (!cell.intersects(query)) continue;
+    if (query.covers(cell) || child.level >= depth) {
+      emit(refiner.segment_of(child));
+    } else {
+      stack.push_back({child, 0});
+    }
+  }
+  return out;
+}
+
+struct Case {
+  const char* family;
+  unsigned dims;
+  unsigned bits;
+  unsigned depth;  ///< refinement depth (decompose max_level)
+  double window;   ///< query extent as a fraction of each axis
+};
+
+std::vector<Rect> window_queries(const Curve& curve, double frac,
+                                 std::size_t count) {
+  Rng rng(90);
+  const double span = static_cast<double>(curve.max_coord()) + 1.0;
+  const auto width = static_cast<std::uint64_t>(
+      std::max(1.0, span * frac));
+  std::vector<Rect> rects;
+  for (std::size_t q = 0; q < count; ++q) {
+    Rect r;
+    for (unsigned d = 0; d < curve.dims(); ++d) {
+      const std::uint64_t lo = rng.below(curve.max_coord() - width + 2);
+      r.dims.push_back({lo, lo + width - 1});
+    }
+    rects.push_back(r);
+  }
+  return rects;
+}
+
+/// Best-of-3 wall time of `fn` run over all rects, in nanoseconds total.
+template <typename Fn>
+double time_ns(const Fn& fn, int reps) {
+  double best = 0;
+  for (int round = 0; round < 3; ++round) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) fn();
+    const auto stop = std::chrono::steady_clock::now();
+    const double ns =
+        std::chrono::duration<double, std::nano>(stop - start).count() / reps;
+    if (round == 0 || ns < best) best = ns;
+  }
+  return best;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_refine.json";
+  const Case cases[] = {
+      {"hilbert", 2, 16, 10, 0.10}, {"hilbert", 3, 16, 7, 0.10},
+      {"hilbert", 3, 21, 7, 0.25},  {"hilbert", 4, 12, 5, 0.20},
+      {"zorder", 3, 16, 7, 0.10},   {"gray", 3, 16, 7, 0.10},
+  };
+
+  std::string json = "[\n";
+  bool first = true;
+  std::printf("%-22s %10s %12s %12s %12s %12s %8s\n", "config", "nodes",
+              "old ns/dec", "new ns/dec", "old ns/node", "new ns/node",
+              "speedup");
+  for (const Case& c : cases) {
+    const auto curve = make_curve(c.family, c.dims, c.bits);
+    const ClusterRefiner refiner(*curve);
+    const auto rects = window_queries(*curve, c.window, 16);
+
+    // Cross-check before timing: both engines must agree on every query.
+    std::size_t nodes = 0;
+    for (const Rect& r : rects) {
+      if (old_decompose(*curve, refiner, r, c.depth) !=
+          refiner.decompose(r, c.depth)) {
+        std::fprintf(stderr, "engine mismatch on %s d=%u b=%u\n", c.family,
+                     c.dims, c.bits);
+        return 1;
+      }
+      nodes += refiner.count_tree_nodes(r, c.depth);
+    }
+
+    // Calibrate repetitions to keep each measurement around ~50ms.
+    const auto run_old = [&] {
+      for (const Rect& r : rects)
+        (void)old_decompose(*curve, refiner, r, c.depth);
+    };
+    const auto run_new = [&] {
+      for (const Rect& r : rects) (void)refiner.decompose(r, c.depth);
+    };
+    const double probe = time_ns(run_new, 1);
+    const int reps =
+        std::max(1, static_cast<int>(50e6 / std::max(probe, 1.0)));
+    const double old_total = time_ns(run_old, reps);
+    const double new_total = time_ns(run_new, reps);
+
+    const double old_dec = old_total / static_cast<double>(rects.size());
+    const double new_dec = new_total / static_cast<double>(rects.size());
+    const double old_node = old_total / static_cast<double>(nodes);
+    const double new_node = new_total / static_cast<double>(nodes);
+    const double speedup = old_dec / new_dec;
+
+    char label[64];
+    std::snprintf(label, sizeof label, "%s d=%u b=%u L=%u", c.family, c.dims,
+                  c.bits, c.depth);
+    std::printf("%-22s %10zu %12.0f %12.0f %12.2f %12.2f %7.2fx\n", label,
+                nodes / rects.size(), old_dec, new_dec, old_node, new_node,
+                speedup);
+
+    char entry[512];
+    std::snprintf(entry, sizeof entry,
+                  "  {\"family\": \"%s\", \"dims\": %u, \"bits_per_dim\": %u, "
+                  "\"depth\": %u, \"window_frac\": %.2f, "
+                  "\"tree_nodes_per_query\": %zu, "
+                  "\"old_ns_per_decompose\": %.1f, "
+                  "\"new_ns_per_decompose\": %.1f, "
+                  "\"old_ns_per_node\": %.2f, \"new_ns_per_node\": %.2f, "
+                  "\"speedup\": %.2f}",
+                  c.family, c.dims, c.bits, c.depth, c.window,
+                  nodes / rects.size(), old_dec, new_dec, old_node, new_node,
+                  speedup);
+    if (!first) json += ",\n";
+    json += entry;
+    first = false;
+  }
+  json += "\n]\n";
+
+  if (FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -180,9 +180,12 @@ private:
                        std::int32_t event) const;
   void scan_local(QueryContext& ctx, NodeId at, sfc::Segment segment,
                   bool covered) const;
-  void dispatch_remote(QueryContext& ctx, NodeId from,
-                       const std::vector<sfc::ClusterNode>& clusters,
-                       std::int32_t event) const;
+  /// Clusters arrive paired with their precomputed segment-lo key, sorted
+  /// ascending, so batching never re-derives segments.
+  void dispatch_remote(
+      QueryContext& ctx, NodeId from,
+      const std::vector<std::pair<u128, sfc::ClusterNode>>& clusters,
+      std::int32_t event) const;
 
   /// Sorted snapshot of stored key indices, rebuilt lazily; makes the
   /// O(log K) rank queries behind load probes cheap even at 10^5 keys.

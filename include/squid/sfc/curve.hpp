@@ -18,6 +18,11 @@
 
 namespace squid::sfc {
 
+/// The curve families implemented here. RefineCursor (cursor.hpp) carries
+/// each family's per-level transform state down the refinement tree, so a
+/// new family must either map onto that digit model or extend the cursor.
+enum class CurveFamily { hilbert, zorder, gray };
+
 class Curve {
 public:
   Curve(unsigned dims, unsigned bits_per_dim);
@@ -41,6 +46,7 @@ public:
   }
 
   virtual std::string name() const = 0;
+  virtual CurveFamily family() const noexcept = 0;
 
   /// Map a point to its curve index. The point must have dims()
   /// coordinates, each at most max_coord().

@@ -17,6 +17,7 @@ public:
   HilbertCurve(unsigned dims, unsigned bits_per_dim);
 
   std::string name() const override { return "hilbert"; }
+  CurveFamily family() const noexcept override { return CurveFamily::hilbert; }
   u128 index_of(const Point& point) const override;
   Point point_of(u128 index) const override;
 };

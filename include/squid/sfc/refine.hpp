@@ -10,12 +10,18 @@
 // both views: refine() is the per-node step used by the distributed query
 // engine, decompose() the bounded expansion used by tests, baselines, and
 // cluster-count analytics.
+//
+// All tree expansion runs on the incremental RefineCursor (cursor.hpp):
+// descending a level costs O(dims) and the hot loops perform zero heap
+// allocations per tree node. The public classify/refine/decompose entry
+// points validate their query once; per-node work is unchecked.
 
 #pragma once
 
 #include <limits>
 #include <vector>
 
+#include "squid/sfc/cursor.hpp"
 #include "squid/sfc/curve.hpp"
 #include "squid/sfc/types.hpp"
 
@@ -35,11 +41,9 @@ class ClusterRefiner {
 public:
   explicit ClusterRefiner(const Curve& curve) : curve_(curve) {}
 
-  enum class CellRelation {
-    disjoint, ///< cell shares no point with the query: prune
-    partial,  ///< cell intersects but is not contained: refine further
-    covered,  ///< cell fully inside the query: whole segment matches
-  };
+  /// Compatibility alias: the relation lives in types.hpp so the cursor can
+  /// report it without depending on this header.
+  using CellRelation = sfc::CellRelation;
 
   CellRelation classify(const ClusterNode& node, const Rect& query) const;
 
@@ -70,13 +74,21 @@ public:
   /// (progressive deepening). Used by the naive centralized query baseline,
   /// which must materialize every cluster at the origin — the scalability
   /// problem the paper's distributed refinement exists to avoid.
+  /// Incremental: a frontier of still-partial clusters is carried from level
+  /// to level and only those are deepened; settled segments pass through.
   std::vector<Segment> decompose_capped(const Rect& query,
                                         std::size_t max_segments) const;
+
+  /// Throws std::invalid_argument unless `query` matches the curve's
+  /// geometry. The distributed engine calls this once per query and then
+  /// drives the unchecked cursor paths for every tree node.
+  void validate_query(const Rect& query) const { check_query(query); }
 
   const Curve& curve() const noexcept { return curve_; }
 
 private:
   void check_query(const Rect& query) const;
+  void check_node(const ClusterNode& node) const;
 
   const Curve& curve_;
 };

@@ -8,12 +8,28 @@
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "squid/util/u128.hpp"
 
 namespace squid::sfc {
+
+/// Hard upper bound on dimensionality. The index width dims*bits_per_dim is
+/// capped at 128 bits, so no curve can exceed 128 dimensions; sizing inline
+/// buffers to this bound makes them universally safe.
+inline constexpr unsigned kMaxDims = 128;
+
+/// Upper bound on refinement depth (bits_per_dim); dims >= 1 caps it at 128.
+inline constexpr unsigned kMaxLevels = 128;
+
+/// How a refinement-tree cell relates to a query rectangle (paper Fig 7).
+enum class CellRelation {
+  disjoint, ///< cell shares no point with the query: prune
+  partial,  ///< cell intersects but is not contained: refine further
+  covered,  ///< cell fully inside the query: whole segment matches
+};
 
 /// A point in the keyword space: one coordinate per dimension.
 using Point = std::vector<std::uint64_t>;
@@ -68,6 +84,44 @@ struct Rect {
   }
 
   friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+/// Fixed-capacity point: std::array-backed, no heap allocation. Used by the
+/// incremental refinement cursor so the classify/decompose hot loop never
+/// touches the allocator. Coordinates beyond `size` are unspecified.
+struct InlinePoint {
+  std::array<std::uint64_t, kMaxDims> coords;
+  unsigned size = 0;
+
+  std::uint64_t operator[](unsigned i) const noexcept { return coords[i]; }
+  Point to_point() const {
+    return Point(coords.begin(), coords.begin() + size);
+  }
+};
+
+/// Fixed-capacity axis-aligned rectangle: the allocation-free counterpart of
+/// Rect. Intervals beyond `size` are unspecified.
+struct InlineRect {
+  std::array<Interval, kMaxDims> dims;
+  unsigned size = 0;
+
+  const Interval& operator[](unsigned i) const noexcept { return dims[i]; }
+  bool intersects(const Rect& other) const noexcept {
+    for (unsigned i = 0; i < size; ++i)
+      if (!dims[i].intersects(other.dims[i])) return false;
+    return true;
+  }
+  /// True when `query` covers this rectangle entirely.
+  bool covered_by(const Rect& query) const noexcept {
+    for (unsigned i = 0; i < size; ++i)
+      if (!query.dims[i].covers(dims[i])) return false;
+    return true;
+  }
+  Rect to_rect() const {
+    Rect r;
+    r.dims.assign(dims.begin(), dims.begin() + size);
+    return r;
+  }
 };
 
 /// Inclusive range of curve indices — one contiguous cluster fragment.

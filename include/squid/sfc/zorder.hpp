@@ -17,6 +17,7 @@ public:
   ZOrderCurve(unsigned dims, unsigned bits_per_dim);
 
   std::string name() const override { return "zorder"; }
+  CurveFamily family() const noexcept override { return CurveFamily::zorder; }
   u128 index_of(const Point& point) const override;
   Point point_of(u128 index) const override;
 };
@@ -29,6 +30,7 @@ public:
   GrayCurve(unsigned dims, unsigned bits_per_dim);
 
   std::string name() const override { return "gray"; }
+  CurveFamily family() const noexcept override { return CurveFamily::gray; }
   u128 index_of(const Point& point) const override;
   Point point_of(u128 index) const override;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "squid/sfc/cursor.hpp"
 #include "squid/util/require.hpp"
 
 namespace squid::baselines {
@@ -79,29 +80,40 @@ CanInverseSfcIndex::RangeResult CanInverseSfcIndex::range_query(
 
   // Recursively visit the curve segment cell by cell, in curve order. A
   // cell wholly inside the current owner's zone is settled with one scan;
-  // otherwise it splits (the distributed refinement of Andrzejak-Xu).
+  // otherwise it splits (the distributed refinement of Andrzejak-Xu). The
+  // cursor carries the cell geometry through the recursion — descending is
+  // O(dims), and the representative point is read straight from the cursor
+  // instead of re-running the root-depth inverse mapping per cell.
   const unsigned dims = curve_.dims();
-  const auto visit_cell = [&](const auto& self, u128 prefix,
-                              unsigned level) -> void {
+  sfc::RefineCursor cursor(curve_);
+  sfc::Point representative(dims);
+  const u128 fanout = cursor.fanout();
+  const auto visit_cell = [&](const auto& self) -> void {
+    const unsigned level = cursor.level();
     const unsigned seg_bits = (curve_.bits_per_dim() - level) * dims;
-    const u128 cell_lo = prefix << seg_bits;
+    const u128 cell_lo = cursor.prefix() << seg_bits;
     const u128 cell_hi = cell_lo + low_mask(seg_bits);
     if (cell_hi < ilo || cell_lo > ihi) return;
-    const sfc::Rect cell = curve_.cell_of_prefix(prefix, level);
-    sfc::Point representative = curve_.point_of(cell_lo);
+    cursor.entry_point(representative.data());
     if (!move_to(representative)) return;
-    const sfc::Rect zone{can_.zone(at).box};
-    if (zone.covers(cell)) {
+    const std::vector<sfc::Interval>& zone = can_.zone(at).box;
+    bool inside = true;
+    for (unsigned i = 0; i < dims; ++i)
+      inside &= zone[i].lo <= cursor.cell_lo(i) &&
+                cursor.cell_hi(i) <= zone[i].hi;
+    if (inside) {
       scan(at);
       return;
     }
     SQUID_REQUIRE(level < curve_.bits_per_dim(),
                   "unit cell not contained in any zone");
-    const u128 fanout = static_cast<u128>(1) << dims;
-    for (u128 child = 0; child < fanout; ++child)
-      self(self, (prefix << dims) | child, level + 1);
+    for (u128 child = 0; child < fanout; ++child) {
+      cursor.descend(child);
+      self(self);
+      cursor.ascend();
+    }
   };
-  visit_cell(visit_cell, 0, 0);
+  visit_cell(visit_cell);
 
   result.routing_nodes = routing.size();
   std::sort(result.names.begin(), result.names.end());

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "squid/core/system.hpp"
+#include "squid/sfc/cursor.hpp"
 #include "squid/util/require.hpp"
 
 namespace squid::core {
@@ -117,18 +118,18 @@ void SquidSystem::collect_covered(QueryContext& ctx, NodeId at,
 
 void SquidSystem::dispatch_remote(
     QueryContext& ctx, NodeId from,
-    const std::vector<sfc::ClusterNode>& clusters,
+    const std::vector<std::pair<u128, sfc::ClusterNode>>& clusters,
     std::int32_t event) const {
   // Paper 3.4.2, second optimization: the clusters are in ascending curve
   // order; probe with the first, learn the owner's identifier from its
   // reply, then ship every further cluster owned by the same peer as one
   // aggregated message. Without aggregation each cluster is its own routed
-  // message.
+  // message. Each entry carries its precomputed segment-lo key.
   std::size_t i = 0;
   while (i < clusters.size()) {
     if (ctx.dispatch_budget == 0) return;
     --ctx.dispatch_budget;
-    const u128 head_lo = refiner_.segment_of(clusters[i]).lo;
+    const u128 head_lo = clusters[i].first;
 
     NodeId dest = 0;
     bool resolved = false;
@@ -138,7 +139,7 @@ void SquidSystem::dispatch_remote(
       const auto cache_it = owner_cache_.find(from);
       if (cache_it != owner_cache_.end()) {
         const auto hit = cache_it->second.find(
-            {clusters[i].level, clusters[i].prefix});
+            {clusters[i].second.level, clusters[i].second.prefix});
         if (hit != cache_it->second.end() && ring_.contains(hit->second) &&
             in_open_closed(ring_.predecessor_of(hit->second), hit->second,
                            head_lo)) {
@@ -171,12 +172,12 @@ void SquidSystem::dispatch_remote(
     if (config_.aggregate_subclusters) {
       if (!from_cache) ctx.messages += 1; // the owner's identifier reply
       if (config_.cache_cluster_owners) {
-        owner_cache_[from][{clusters[i].level, clusters[i].prefix}] = dest;
+        owner_cache_[from][{clusters[i].second.level,
+                            clusters[i].second.prefix}] = dest;
       }
       const NodeId dest_pred = ring_.predecessor_of(dest);
       while (batch_end < clusters.size() &&
-             in_open_closed(dest_pred, dest,
-                            refiner_.segment_of(clusters[batch_end]).lo)) {
+             in_open_closed(dest_pred, dest, clusters[batch_end].first)) {
         ++batch_end;
       }
       if (batch_end > i + 1) ctx.messages += 1; // one aggregated batch
@@ -185,10 +186,11 @@ void SquidSystem::dispatch_remote(
     // identifier reply and then one direct hop (reply + batch = 2 hops).
     const std::int32_t batch_event = ctx.add_event(
         event, dispatch_hops + (batch_end > i + 1 ? 2 : 0));
-    ctx.tasks.push_back({dest,
-                         std::vector<sfc::ClusterNode>(
-                             clusters.begin() + i, clusters.begin() + batch_end),
-                         batch_event});
+    std::vector<sfc::ClusterNode> batch;
+    batch.reserve(batch_end - i);
+    for (std::size_t k = i; k < batch_end; ++k)
+      batch.push_back(clusters[k].second);
+    ctx.tasks.push_back({dest, std::move(batch), batch_event});
     i = batch_end;
   }
 }
@@ -198,21 +200,43 @@ void SquidSystem::resolve_at_node(QueryContext& ctx, NodeId at,
                                   std::int32_t event) const {
   ctx.processing.insert(at);
   const NodeId pred = ring_.predecessor_of(at);
-  std::vector<sfc::ClusterNode> remote;
+  std::vector<std::pair<u128, sfc::ClusterNode>> remote; // (segment lo, node)
 
   // Refine everything assigned to this node as deep as local knowledge
   // allows (paper Figs 6-8): clusters fully inside our key range are matched
   // against the store without further refinement; covered clusters sweep
   // their owner chain; boundary-crossing clusters refine one level, their
   // children either staying local or queueing for dispatch.
-  std::deque<sfc::ClusterNode> work(clusters.begin(), clusters.end());
+  //
+  // Tree expansion rides the incremental cursor: one O(level*dims) seek per
+  // cluster that actually refines, then O(dims) per child cell — the seed
+  // path re-ran a full root-depth inverse SFC mapping (with two heap
+  // allocations) for every cell it touched. The query rectangle was
+  // validated once at the query() entry, so per-node work is unchecked, and
+  // children carry the relation computed at enqueue time.
+  sfc::RefineCursor cursor(*curve_);
+  const unsigned dims = curve_->dims();
+  const u128 fanout = cursor.fanout();
+  using sfc::CellRelation;
+  struct WorkItem {
+    sfc::ClusterNode node;
+    CellRelation relation;
+    bool classified = false;
+  };
+  std::deque<WorkItem> work;
+  for (const auto& cluster : clusters) work.push_back({cluster, {}, false});
   while (!work.empty()) {
-    const sfc::ClusterNode cluster = work.front();
+    const WorkItem item = work.front();
     work.pop_front();
-    const auto relation = refiner_.classify(cluster, ctx.rect);
-    if (relation == sfc::ClusterRefiner::CellRelation::disjoint) continue;
+    const sfc::ClusterNode cluster = item.node;
+    CellRelation relation = item.relation;
+    if (!item.classified) {
+      cursor.seek(cluster.prefix, cluster.level);
+      relation = cursor.relation_to(ctx.rect);
+    }
+    if (relation == CellRelation::disjoint) continue;
     const sfc::Segment seg = refiner_.segment_of(cluster);
-    if (relation == sfc::ClusterRefiner::CellRelation::covered) {
+    if (relation == CellRelation::covered) {
       collect_covered(ctx, at, seg, event);
       continue;
     }
@@ -223,19 +247,25 @@ void SquidSystem::resolve_at_node(QueryContext& ctx, NodeId at,
       scan_local(ctx, at, seg, /*covered=*/false);
       continue;
     }
-    for (const auto& child : refiner_.refine(cluster, ctx.rect)) {
-      if (in_open_closed(pred, at, refiner_.segment_of(child).lo)) {
-        work.push_back(child);
+    if (item.classified) cursor.seek(cluster.prefix, cluster.level);
+    for (u128 w = 0; w < fanout; ++w) {
+      const auto rel = cursor.classify_child(w, ctx.rect);
+      if (rel == CellRelation::disjoint) continue;
+      const sfc::ClusterNode child{
+          (dims >= 128 ? 0 : cluster.prefix << dims) | w, cluster.level + 1};
+      const u128 child_lo = refiner_.segment_of(child).lo;
+      if (in_open_closed(pred, at, child_lo)) {
+        work.push_back({child, rel, true});
       } else {
-        remote.push_back(child);
+        remote.emplace_back(child_lo, child);
       }
     }
   }
 
+  // Sort by the precomputed segment keys; the seed's comparator re-derived
+  // segment_of for every comparison.
   std::sort(remote.begin(), remote.end(),
-            [this](const sfc::ClusterNode& a, const sfc::ClusterNode& b) {
-              return refiner_.segment_of(a).lo < refiner_.segment_of(b).lo;
-            });
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   dispatch_remote(ctx, at, remote, event);
 }
 
@@ -261,6 +291,7 @@ QueryResult SquidSystem::query(const keyword::Query& query,
   SQUID_REQUIRE(ring_.contains(origin), "query origin is not a live node");
   QueryContext ctx;
   ctx.rect = space_.to_rect(query);
+  refiner_.validate_query(ctx.rect); // once per query; per-node paths trust it
   ctx.dispatch_budget = 64 * (ring_.size() + 8); // churn safety valve
   ctx.routing.insert(origin);
 
@@ -311,6 +342,7 @@ std::size_t SquidSystem::count(const keyword::Query& query,
   SQUID_REQUIRE(ring_.contains(origin), "query origin is not a live node");
   QueryContext ctx;
   ctx.rect = space_.to_rect(query);
+  refiner_.validate_query(ctx.rect);
   ctx.dispatch_budget = 64 * (ring_.size() + 8);
   ctx.count_only = true;
   ctx.routing.insert(origin);
@@ -329,6 +361,7 @@ QueryResult SquidSystem::query_centralized(const keyword::Query& query,
   SQUID_REQUIRE(ring_.contains(origin), "query origin is not a live node");
   QueryContext ctx;
   ctx.rect = space_.to_rect(query);
+  refiner_.validate_query(ctx.rect);
   ctx.dispatch_budget = 64 * (ring_.size() + 8) + 4 * max_segments;
   ctx.routing.insert(origin);
   ctx.processing.insert(origin);

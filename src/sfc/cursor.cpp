@@ -1,0 +1,50 @@
+#include "squid/sfc/cursor.hpp"
+
+#include <cstring>
+
+namespace squid::sfc {
+
+void RefineCursor::entry_point(std::uint64_t* out) const noexcept {
+  const unsigned d = dims_;
+  for (unsigned i = 0; i < d; ++i) out[i] = coords_[i];
+  const unsigned rem = bits_ - level_;
+  if (rem == 0) return;
+  if (family_ != CurveFamily::hilbert) {
+    // Z-order and Gray map all-zero index digits to all-zero coordinate
+    // digits, so the entry corner is the cell's low corner.
+    for (unsigned i = 0; i < d; ++i) out[i] = shifted_lo(out[i], rem);
+    return;
+  }
+  // Hilbert: simulate descending through all-zero index digits on local
+  // copies of the state (the entry corner is where those digits lead; it is
+  // a corner of the cell, but which one depends on the orientation).
+  std::uint8_t perm_a[kMaxDims];
+  std::uint8_t perm_b[kMaxDims];
+  std::uint8_t* sperm = perm_a;
+  std::uint8_t* nperm = perm_b;
+  std::memcpy(sperm, perm_.data() + level_ * d, d);
+  u128 sflip = flip_[level_];
+  auto prev = static_cast<unsigned>(prefix_ & 1u);
+  std::uint8_t g[kMaxDims];
+  std::uint8_t tperm[kMaxDims];
+  for (unsigned lvl = level_; lvl < bits_; ++lvl) {
+    std::memset(g, 0, d);
+    g[0] = static_cast<std::uint8_t>(prev);
+    for (unsigned i = 0; i < d; ++i) {
+      const unsigned a =
+          g[sperm[i]] ^ static_cast<unsigned>((sflip >> i) & 1u);
+      out[i] = (out[i] << 1) | a;
+    }
+    u128 tflip = 0;
+    transform_of(g, d, tperm, tflip);
+    u128 nflip = 0;
+    compose(sperm, sflip, tperm, tflip, d, nperm, nflip);
+    std::uint8_t* const t = sperm;
+    sperm = nperm;
+    nperm = t;
+    sflip = nflip;
+    prev = 0;
+  }
+}
+
+} // namespace squid::sfc

@@ -10,11 +10,12 @@
 
 #include <cstdint>
 
+#include "squid/sfc/types.hpp"
 #include "squid/util/u128.hpp"
 
 namespace squid::sfc::detail {
 
-inline constexpr unsigned kMaxDims = 128;
+using sfc::kMaxDims;
 
 inline u128 interleave(const std::uint64_t* axes, unsigned dims,
                        unsigned bits) noexcept {

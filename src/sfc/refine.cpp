@@ -1,10 +1,29 @@
 #include "squid/sfc/refine.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "squid/util/require.hpp"
 
 namespace squid::sfc {
+
+namespace {
+
+/// prefix << dims with the dims==128 case defined (only the d=128, b=1
+/// curve, where every prefix is 0 anyway).
+u128 child_prefix(u128 prefix, unsigned dims, u128 digit) noexcept {
+  return (dims >= 128 ? 0 : prefix << dims) | digit;
+}
+
+void emit_merged(std::vector<Segment>& out, const Segment& seg) {
+  if (!out.empty() && out.back().hi + 1 == seg.lo) {
+    out.back().hi = seg.hi; // adjacent in curve order: same cluster
+  } else {
+    out.push_back(seg);
+  }
+}
+
+} // namespace
 
 void ClusterRefiner::check_query(const Rect& query) const {
   SQUID_REQUIRE(query.dims.size() == curve_.dims(),
@@ -16,27 +35,36 @@ void ClusterRefiner::check_query(const Rect& query) const {
   }
 }
 
+void ClusterRefiner::check_node(const ClusterNode& node) const {
+  SQUID_REQUIRE(node.level <= curve_.bits_per_dim(),
+                "cell level exceeds curve depth");
+  SQUID_REQUIRE(node.prefix <= low_mask(node.level * curve_.dims()),
+                "prefix too wide for level");
+}
+
 ClusterRefiner::CellRelation ClusterRefiner::classify(const ClusterNode& node,
                                                       const Rect& query) const {
   check_query(query);
-  const Rect cell = curve_.cell_of_prefix(node.prefix, node.level);
-  if (!cell.intersects(query)) return CellRelation::disjoint;
-  if (query.covers(cell)) return CellRelation::covered;
-  return CellRelation::partial;
+  check_node(node);
+  RefineCursor cursor(curve_);
+  cursor.seek(node.prefix, node.level);
+  return cursor.relation_to(query);
 }
 
 std::vector<ClusterNode> ClusterRefiner::refine(const ClusterNode& node,
                                                 const Rect& query) const {
   check_query(query);
+  check_node(node);
   SQUID_REQUIRE(node.level < curve_.bits_per_dim(),
                 "cannot refine a leaf-level cluster");
+  RefineCursor cursor(curve_);
+  cursor.seek(node.prefix, node.level);
   std::vector<ClusterNode> children;
-  const u128 base = node.prefix << curve_.dims();
-  const u128 fanout = static_cast<u128>(1) << curve_.dims();
-  for (u128 child = 0; child < fanout; ++child) {
-    const ClusterNode candidate{base | child, node.level + 1};
-    const Rect cell = curve_.cell_of_prefix(candidate.prefix, candidate.level);
-    if (cell.intersects(query)) children.push_back(candidate);
+  const u128 fanout = cursor.fanout();
+  for (u128 w = 0; w < fanout; ++w) {
+    if (cursor.classify_child(w, query) != CellRelation::disjoint)
+      children.push_back(ClusterNode{
+          child_prefix(node.prefix, curve_.dims(), w), node.level + 1});
   }
   return children;
 }
@@ -50,78 +78,47 @@ Segment ClusterRefiner::segment_of(const ClusterNode& node) const {
   return Segment{lo, lo + low_mask(shift)};
 }
 
-namespace {
-
-void emit_merged(std::vector<Segment>& out, const Segment& seg) {
-  if (!out.empty() && out.back().hi + 1 == seg.lo) {
-    out.back().hi = seg.hi; // adjacent in curve order: same cluster
-  } else {
-    out.push_back(seg);
-  }
-}
-
-} // namespace
-
 std::vector<Segment> ClusterRefiner::decompose(const Rect& query,
                                                unsigned max_level) const {
   check_query(query);
   const unsigned depth = std::min(max_level, curve_.bits_per_dim());
-  std::vector<Segment> out;
+  RefineCursor cursor(curve_);
 
-  // Explicit stack of (node, next child to visit) to keep curve order while
-  // avoiding recursion depth issues at high resolutions.
-  struct Frame {
-    ClusterNode node;
-    u128 next_child = 0;
-  };
-  std::vector<Frame> stack;
-  stack.push_back({ClusterNode{0, 0}, 0});
-  const u128 fanout = static_cast<u128>(1) << curve_.dims();
-
-  // The root frame itself needs classification before descending.
+  // The root needs classification before descending.
   {
-    const auto rel = classify(stack.back().node, query);
-    if (rel == CellRelation::covered || depth == 0) {
-      return {segment_of(ClusterNode{0, 0})};
-    }
+    const auto rel = cursor.relation_to(query);
     if (rel == CellRelation::disjoint) return {};
+    if (rel == CellRelation::covered || depth == 0)
+      return {segment_of(ClusterNode{0, 0})};
   }
 
-  while (!stack.empty()) {
-    Frame& frame = stack.back();
-    if (frame.next_child == fanout) {
-      stack.pop_back();
+  // Depth-first descent in ascending digit order (= curve order), with one
+  // next-child counter per level; cells cost O(dims) and no allocations.
+  std::vector<Segment> out;
+  const unsigned d = curve_.dims();
+  const u128 fanout = cursor.fanout();
+  std::array<u128, kMaxLevels> next;
+  unsigned lvl = 0;
+  next[0] = 0;
+  for (;;) {
+    if (next[lvl] == fanout) {
+      if (lvl == 0) break;
+      cursor.ascend();
+      --lvl;
       continue;
     }
-    const u128 child_digit = frame.next_child++;
-    const ClusterNode child{(frame.node.prefix << curve_.dims()) | child_digit,
-                            frame.node.level + 1};
-    const Rect cell = curve_.cell_of_prefix(child.prefix, child.level);
-    if (!cell.intersects(query)) continue;
-    if (query.covers(cell) || child.level >= depth) {
-      emit_merged(out, segment_of(child));
+    const u128 w = next[lvl]++;
+    const auto rel = cursor.classify_child(w, query);
+    if (rel == CellRelation::disjoint) continue;
+    if (rel == CellRelation::covered || lvl + 1 >= depth) {
+      emit_merged(out, segment_of(ClusterNode{
+                           child_prefix(cursor.prefix(), d, w), lvl + 1}));
     } else {
-      stack.push_back({child, 0});
+      cursor.descend(w);
+      next[++lvl] = 0;
     }
   }
   return out;
-}
-
-std::vector<Segment> ClusterRefiner::decompose_capped(
-    const Rect& query, std::size_t max_segments) const {
-  SQUID_REQUIRE(max_segments >= 1, "segment cap must be positive");
-  std::vector<Segment> best = decompose(query, 1);
-  for (unsigned level = 2; level <= curve_.bits_per_dim(); ++level) {
-    std::vector<Segment> next = decompose(query, level);
-    if (next.size() > max_segments) break;
-    const bool converged = next == best;
-    best = std::move(next);
-    // Heuristic early exit: two consecutive identical levels almost always
-    // mean the decomposition is exact. Callers filter matches locally, so
-    // stopping on an over-approximation is safe either way.
-    if (converged) break;
-  }
-  return best;
 }
 
 std::size_t ClusterRefiner::count_tree_nodes(const Rect& query,
@@ -129,19 +126,98 @@ std::size_t ClusterRefiner::count_tree_nodes(const Rect& query,
   check_query(query);
   const unsigned depth = std::min(max_level, curve_.bits_per_dim());
   std::size_t visited = 1; // root
-  std::vector<ClusterNode> frontier{ClusterNode{0, 0}};
-  if (classify(frontier.front(), query) != CellRelation::partial || depth == 0)
+  RefineCursor cursor(curve_);
+  if (cursor.relation_to(query) != CellRelation::partial || depth == 0)
     return visited;
-  while (!frontier.empty()) {
-    const ClusterNode node = frontier.back();
-    frontier.pop_back();
-    for (const auto& child : refine(node, query)) {
-      ++visited;
-      const Rect cell = curve_.cell_of_prefix(child.prefix, child.level);
-      if (!query.covers(cell) && child.level < depth) frontier.push_back(child);
+  const u128 fanout = cursor.fanout();
+  std::array<u128, kMaxLevels> next;
+  unsigned lvl = 0;
+  next[0] = 0;
+  for (;;) {
+    if (next[lvl] == fanout) {
+      if (lvl == 0) break;
+      cursor.ascend();
+      --lvl;
+      continue;
+    }
+    const u128 w = next[lvl]++;
+    const auto rel = cursor.classify_child(w, query);
+    if (rel == CellRelation::disjoint) continue;
+    ++visited;
+    if (rel == CellRelation::partial && lvl + 1 < depth) {
+      cursor.descend(w);
+      next[++lvl] = 0;
     }
   }
   return visited;
+}
+
+std::vector<Segment> ClusterRefiner::decompose_capped(
+    const Rect& query, std::size_t max_segments) const {
+  SQUID_REQUIRE(max_segments >= 1, "segment cap must be positive");
+  check_query(query);
+  RefineCursor cursor(curve_);
+  const unsigned d = curve_.dims();
+  const u128 fanout = cursor.fanout();
+
+  {
+    const auto rel = cursor.relation_to(query);
+    if (rel == CellRelation::disjoint) return {};
+    if (rel == CellRelation::covered) return {segment_of(ClusterNode{0, 0})};
+  }
+
+  // Curve-ordered frontier: settled (covered) runs merge eagerly and pass
+  // through every later level untouched; only still-partial clusters are
+  // deepened. This replaces the seed's full re-decomposition per level.
+  struct Entry {
+    Segment seg;
+    bool partial;
+    ClusterNode node; ///< meaningful only when partial
+  };
+  std::vector<Entry> entries{{segment_of(ClusterNode{0, 0}), true, {0, 0}}};
+
+  const auto append = [](std::vector<Entry>& list, Entry entry) {
+    if (!entry.partial && !list.empty() && !list.back().partial &&
+        list.back().seg.hi + 1 == entry.seg.lo) {
+      list.back().seg.hi = entry.seg.hi;
+    } else {
+      list.push_back(entry);
+    }
+  };
+
+  std::vector<Segment> best;
+  std::vector<Entry> deeper;
+  for (unsigned level = 1; level <= curve_.bits_per_dim(); ++level) {
+    deeper.clear();
+    bool any_partial = false;
+    for (const Entry& entry : entries) {
+      if (!entry.partial) {
+        append(deeper, entry);
+        continue;
+      }
+      cursor.seek(entry.node.prefix, entry.node.level);
+      for (u128 w = 0; w < fanout; ++w) {
+        const auto rel = cursor.classify_child(w, query);
+        if (rel == CellRelation::disjoint) continue;
+        const ClusterNode child{child_prefix(entry.node.prefix, d, w),
+                                entry.node.level + 1};
+        const bool partial = rel == CellRelation::partial;
+        any_partial |= partial;
+        append(deeper, Entry{segment_of(child), partial, child});
+      }
+    }
+
+    // Merged view at this level: partial cells are emitted whole, so a
+    // settled run and a partial neighbor can still fuse.
+    std::vector<Segment> merged;
+    for (const Entry& entry : deeper) emit_merged(merged, entry.seg);
+    if (level > 1 && merged.size() > max_segments) break;
+    const bool converged = merged == best;
+    best = std::move(merged);
+    if (converged || !any_partial) break;
+    entries.swap(deeper);
+  }
+  return best;
 }
 
 } // namespace squid::sfc

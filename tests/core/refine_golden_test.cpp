@@ -1,0 +1,108 @@
+// Golden end-to-end query statistics, captured from the pre-cursor engine on
+// the fig09/fig11-style workloads at test scale. The refinement engine was
+// rebuilt on the incremental cursor; these goldens pin the distributed
+// protocol's observable behavior — matches, node sets, message counts, and
+// critical-path hops — to the exact values the original cell_of_prefix-based
+// expansion produced. Any drift here means the optimization changed *what*
+// the engine does, not just how fast it does it.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "squid/core/system.hpp"
+#include "squid/workload/corpus.hpp"
+
+namespace squid {
+namespace {
+
+struct GoldenStats {
+  std::size_t matches;
+  std::size_t routing_nodes;
+  std::size_t processing_nodes;
+  std::size_t data_nodes;
+  std::size_t messages;
+  std::size_t critical_path_hops;
+};
+
+// 11 queries (6 fig09 Q1 + 5 fig11 Q2) x 3 repeats, in workload order.
+constexpr std::array<GoldenStats, 33> kGolden = {{
+    {123, 28, 20, 17, 58, 20}, {123, 27, 21, 17, 60, 17},
+    {123, 29, 21, 17, 60, 20}, {75, 30, 20, 12, 51, 15},
+    {75, 32, 20, 12, 51, 15},  {75, 31, 20, 12, 51, 15},
+    {21, 27, 14, 9, 38, 15},   {21, 29, 15, 9, 38, 15},
+    {21, 27, 14, 9, 38, 15},   {31, 19, 16, 10, 41, 14},
+    {31, 19, 16, 10, 41, 14},  {31, 19, 16, 10, 41, 14},
+    {20, 30, 15, 9, 36, 15},   {20, 27, 15, 9, 36, 15},
+    {20, 28, 14, 9, 36, 15},   {3, 28, 15, 2, 39, 15},
+    {3, 29, 15, 2, 39, 15},    {3, 31, 15, 2, 39, 16},
+    {3, 12, 5, 1, 8, 11},      {3, 12, 5, 1, 8, 11},
+    {3, 12, 5, 1, 8, 11},      {1, 11, 5, 1, 9, 12},
+    {1, 12, 5, 1, 9, 13},      {1, 12, 5, 1, 9, 13},
+    {4, 8, 4, 1, 6, 7},        {4, 4, 3, 1, 4, 3},
+    {4, 6, 4, 1, 6, 5},        {3, 8, 4, 1, 6, 7},
+    {3, 7, 4, 1, 6, 6},        {3, 7, 4, 1, 6, 6},
+    {1, 13, 5, 1, 8, 12},      {1, 13, 5, 1, 8, 12},
+    {1, 13, 5, 1, 8, 12},
+}};
+
+TEST(RefineGolden, DistributedQueryStatsMatchPreCursorEngine) {
+  Rng rng(2003);
+  workload::KeywordCorpus corpus(2, 2500, 0.8, rng);
+  core::SquidConfig config;
+  config.join_samples = 8;
+  core::SquidSystem sys(corpus.make_space(), config);
+  const std::size_t target = 1500;
+  std::size_t attempts = 0;
+  const std::size_t cap = target * 40 + 1000;
+  while (sys.key_count() < target && attempts++ < cap)
+    sys.publish(corpus.make_element(rng));
+  sys.build_network(1, rng);
+  for (std::size_t i = 1; i < 60; ++i) (void)sys.join_node(rng);
+  for (int s = 0; s < 6; ++s) (void)sys.runtime_balance_sweep(1.3);
+  sys.repair_routing();
+  ASSERT_EQ(sys.key_count(), 1500u);
+  ASSERT_EQ(sys.element_count(), 1533u);
+  ASSERT_EQ(sys.ring().size(), 60u);
+
+  std::vector<keyword::Query> queries;
+  const struct {
+    std::size_t rank;
+    unsigned len;
+  } q1defs[] = {{0, 3}, {2, 3}, {5, 4}, {12, 3}, {30, 4}, {80, 4}};
+  for (const auto& d : q1defs)
+    queries.push_back(corpus.q1(d.rank, true, d.len));
+  const struct {
+    std::size_t a;
+    std::size_t b;
+    bool pb;
+  } q2defs[] = {
+      {0, 1, true}, {2, 7, false}, {5, 0, true}, {12, 3, false}, {30, 9, true}};
+  for (const auto& d : q2defs) queries.push_back(corpus.q2(d.a, d.b, d.pb));
+
+  Rng qrng(0x517ab1e);
+  std::size_t g = 0;
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    for (int rep = 0; rep < 3; ++rep, ++g) {
+      const auto origin = sys.ring().random_node(qrng);
+      const auto r = sys.query(queries[qi], origin);
+      const GoldenStats& want = kGolden[g];
+      EXPECT_EQ(r.stats.matches, want.matches) << "query " << qi << "." << rep;
+      EXPECT_EQ(r.stats.routing_nodes, want.routing_nodes)
+          << "query " << qi << "." << rep;
+      EXPECT_EQ(r.stats.processing_nodes, want.processing_nodes)
+          << "query " << qi << "." << rep;
+      EXPECT_EQ(r.stats.data_nodes, want.data_nodes)
+          << "query " << qi << "." << rep;
+      EXPECT_EQ(r.stats.messages, want.messages)
+          << "query " << qi << "." << rep;
+      EXPECT_EQ(r.stats.critical_path_hops, want.critical_path_hops)
+          << "query " << qi << "." << rep;
+    }
+  }
+  EXPECT_EQ(g, kGolden.size());
+}
+
+} // namespace
+} // namespace squid
