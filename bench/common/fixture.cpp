@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <iostream>
+#include <set>
 
 #include "squid/util/require.hpp"
 
@@ -49,13 +50,23 @@ std::vector<ScalePoint> paper_scales(const Flags& flags) {
 namespace {
 
 /// Publish corpus elements until the system holds `keys` distinct keys.
+/// Draws the exact element sequence sequential publishing would (same rng
+/// consumption, same stopping rule, duplicates included), but loads it with
+/// one sort-merge publish_batch instead of one array insert per new key.
 template <typename Corpus>
 void fill_keys(core::SquidSystem& sys, const Corpus& corpus, std::size_t keys,
                Rng& rng) {
+  SQUID_REQUIRE(sys.key_count() == 0, "fill_keys expects an empty store");
   const std::size_t attempt_cap = keys * 40 + 1000;
   std::size_t attempts = 0;
-  while (sys.key_count() < keys && attempts++ < attempt_cap)
-    sys.publish(corpus.make_element(rng));
+  std::vector<core::DataElement> pending;
+  std::set<u128> distinct;
+  while (distinct.size() < keys && attempts++ < attempt_cap) {
+    pending.push_back(corpus.make_element(rng));
+    distinct.insert(
+        sys.curve().index_of(sys.space().encode(pending.back().keys)));
+  }
+  sys.publish_batch(pending);
   SQUID_REQUIRE(sys.key_count() >= keys * 9 / 10,
                 "corpus too small to reach the requested key count");
 }

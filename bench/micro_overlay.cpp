@@ -49,8 +49,51 @@ void BM_StabilizeSweep(benchmark::State& state) {
   }
 }
 
+void BM_Build(benchmark::State& state) {
+  Rng rng(4);
+  const auto count = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    ChordRing ring(48);
+    ring.build(count, rng);
+    benchmark::DoNotOptimize(ring.size());
+  }
+}
+
+void BM_RepairAll(benchmark::State& state) {
+  Rng rng(5);
+  ChordRing ring(48);
+  ring.build(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    ring.repair_all();
+    benchmark::DoNotOptimize(ring.size());
+  }
+}
+
+void BM_RandomNode(benchmark::State& state) {
+  Rng rng(6);
+  ChordRing ring(48);
+  ring.build(static_cast<std::size_t>(state.range(0)), rng);
+  u128 acc = 0;
+  for (auto _ : state) acc += ring.random_node(rng);
+  benchmark::DoNotOptimize(acc);
+}
+
+void BM_SuccessorOf(benchmark::State& state) {
+  Rng rng(7);
+  ChordRing ring(48);
+  ring.build(static_cast<std::size_t>(state.range(0)), rng);
+  u128 acc = 0;
+  for (auto _ : state)
+    acc += ring.successor_of(rng.below128(static_cast<u128>(1) << 48));
+  benchmark::DoNotOptimize(acc);
+}
+
 } // namespace
 
 BENCHMARK(BM_Route)->Arg(1000)->Arg(5000)->Arg(20000);
 BENCHMARK(BM_Join)->Arg(1000)->Arg(5000)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_StabilizeSweep)->Arg(1000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Build)->Arg(1000)->Arg(5400)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RepairAll)->Arg(1000)->Arg(5400)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RandomNode)->Arg(1000)->Arg(5400);
+BENCHMARK(BM_SuccessorOf)->Arg(1000)->Arg(5400);

@@ -1,0 +1,137 @@
+// Micro-benchmarks: the key store's data plane — corpus loading, contiguous
+// segment scans, and the rank queries behind load probes and balancing.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "squid/core/system.hpp"
+#include "squid/workload/corpus.hpp"
+
+namespace {
+
+using namespace squid;
+
+struct StoreFixture {
+  std::unique_ptr<workload::KeywordCorpus> corpus;
+  std::unique_ptr<core::SquidSystem> sys;
+  /// The raw corpus draw, in publish order (duplicate keys included).
+  std::vector<core::DataElement> elements;
+  std::vector<core::SquidSystem::NodeId> probe_nodes;
+};
+
+/// Build a system holding `keys` distinct keys over `nodes` peers, plus the
+/// element sequence that produced it (for the publish benches).
+const StoreFixture& store_fixture(std::size_t keys, std::size_t nodes) {
+  static std::map<std::pair<std::size_t, std::size_t>, StoreFixture> cache;
+  auto& fx = cache[{keys, nodes}];
+  if (fx.sys) return fx;
+  Rng rng(2003);
+  fx.corpus = std::make_unique<workload::KeywordCorpus>(2, 2500, 0.8, rng);
+  fx.sys = std::make_unique<core::SquidSystem>(fx.corpus->make_space());
+  std::set<u128> seen;
+  while (seen.size() < keys) {
+    fx.elements.push_back(fx.corpus->make_element(rng));
+    seen.insert(
+        fx.sys->curve().index_of(fx.sys->space().encode(fx.elements.back().keys)));
+  }
+  for (const auto& e : fx.elements) fx.sys->publish(e);
+  fx.sys->build_network(nodes, rng);
+  for (int i = 0; i < 4096; ++i)
+    fx.probe_nodes.push_back(fx.sys->ring().random_node(rng));
+  return fx;
+}
+
+/// Sequential per-element publish of the whole corpus draw (the seed path
+/// every fixture used before publish_batch).
+void BM_PublishSequential(benchmark::State& state) {
+  const auto& fx =
+      store_fixture(static_cast<std::size_t>(state.range(0)), 1000);
+  for (auto _ : state) {
+    core::SquidSystem sys(fx.corpus->make_space());
+    for (const auto& e : fx.elements) sys.publish(e);
+    benchmark::DoNotOptimize(sys.key_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fx.elements.size()));
+}
+
+/// Bulk sort-merge load of the same corpus draw (the fixture path).
+void BM_PublishBatch(benchmark::State& state) {
+  const auto& fx =
+      store_fixture(static_cast<std::size_t>(state.range(0)), 1000);
+  for (auto _ : state) {
+    core::SquidSystem sys(fx.corpus->make_space());
+    sys.publish_batch(fx.elements);
+    benchmark::DoNotOptimize(sys.key_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fx.elements.size()));
+}
+
+/// Contiguous scan over every stored key (the whole-space segment scan).
+void BM_SegmentScan(benchmark::State& state) {
+  const auto& fx =
+      store_fixture(static_cast<std::size_t>(state.range(0)), 1000);
+  for (auto _ : state) {
+    std::size_t total = 0;
+    fx.sys->for_each_key([&](u128, const sfc::Point&,
+                             const std::vector<core::DataElement>& elements) {
+      total += elements.size();
+    });
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(fx.sys->key_count()));
+}
+
+/// Per-node key counts in ring order (Figs 18-19's load metric).
+void BM_NodeLoads(benchmark::State& state) {
+  const auto& fx =
+      store_fixture(static_cast<std::size_t>(state.range(0)), 5400);
+  for (auto _ : state) {
+    auto loads = fx.sys->node_loads();
+    benchmark::DoNotOptimize(loads.data());
+  }
+}
+
+/// Rank query: keys owned by one node (the join-probe load report).
+void BM_LoadRank(benchmark::State& state) {
+  const auto& fx =
+      store_fixture(static_cast<std::size_t>(state.range(0)), 5400);
+  std::size_t i = 0, acc = 0;
+  for (auto _ : state)
+    acc += fx.sys->load_of(fx.probe_nodes[i++ % fx.probe_nodes.size()]);
+  benchmark::DoNotOptimize(acc);
+}
+
+/// Median-split identifier of one node's key arc (balancing split point).
+void BM_MedianSplit(benchmark::State& state) {
+  const auto& fx =
+      store_fixture(static_cast<std::size_t>(state.range(0)), 5400);
+  std::size_t i = 0, hits = 0;
+  for (auto _ : state) {
+    const auto id =
+        fx.sys->median_split_id(fx.probe_nodes[i++ % fx.probe_nodes.size()]);
+    hits += id.has_value();
+  }
+  benchmark::DoNotOptimize(hits);
+}
+
+} // namespace
+
+BENCHMARK(BM_PublishSequential)
+    ->Arg(20000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PublishBatch)
+    ->Arg(20000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SegmentScan)->Arg(20000)->Arg(100000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_NodeLoads)->Arg(100000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_LoadRank)->Arg(100000);
+BENCHMARK(BM_MedianSplit)->Arg(100000);

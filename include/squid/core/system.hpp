@@ -11,6 +11,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -72,6 +73,12 @@ public:
   /// Index a data element (instant placement; experiment setup).
   void publish(const DataElement& element);
 
+  /// Index a whole corpus in one sort-merge pass: equivalent to publishing
+  /// the elements one by one, in order, but O((K+E)·log E) instead of one
+  /// O(K) array insert per new key. This is how fixtures load their
+  /// 2·10^4-10^5-key corpora.
+  void publish_batch(const std::vector<DataElement>& elements);
+
   /// Protocol-faithful publish: routes the element's key from `origin` to
   /// its owner; the result carries the overlay path.
   overlay::RouteResult publish_routed(const DataElement& element,
@@ -81,7 +88,7 @@ public:
   /// when something was removed; the key vanishes with its last element.
   bool unpublish(const DataElement& element);
 
-  std::size_t key_count() const noexcept { return store_.size(); }
+  std::size_t key_count() const noexcept { return key_index_.size(); }
   std::size_t element_count() const noexcept { return element_count_; }
 
   /// Number of distinct keys owned by each live node, in ring order —
@@ -100,15 +107,17 @@ public:
   NodeId owner_of(u128 index) const { return ring_.successor_of(index); }
 
   /// All stored key indices in ascending order (Fig 18's raw data; also the
-  /// "a priori knowledge" granted to the Chord-lookup baseline).
-  std::vector<u128> key_indices() const { return key_cache(); }
+  /// "a priori knowledge" granted to the Chord-lookup baseline). This is the
+  /// store's own index array — no lazy rebuild, no dirty flag.
+  const std::vector<u128>& key_indices() const noexcept { return key_index_; }
 
-  /// Visit every stored key in ascending index order.
+  /// Visit every stored key in ascending index order (one contiguous sweep).
   void for_each_key(
       const std::function<void(u128 index, const sfc::Point& point,
                                const std::vector<DataElement>& elements)>& fn)
       const {
-    for (const auto& [index, key] : store_) fn(index, key.point, key.elements);
+    for (std::size_t i = 0; i < key_index_.size(); ++i)
+      fn(key_index_[i], key_data_[i].point, key_data_[i].elements);
   }
 
   // --- Queries ------------------------------------------------------------
@@ -187,26 +196,34 @@ private:
       const std::vector<std::pair<u128, sfc::ClusterNode>>& clusters,
       std::int32_t event) const;
 
-  /// Sorted snapshot of stored key indices, rebuilt lazily; makes the
-  /// O(log K) rank queries behind load probes cheap even at 10^5 keys.
-  const std::vector<u128>& key_cache() const;
+  /// Rank of the first stored key strictly greater than `v` (== the number
+  /// of keys <= v): the primitive behind every load probe and split point.
+  std::size_t key_rank_after(u128 v) const;
 
   keyword::KeywordSpace space_;
   SquidConfig config_;
   std::unique_ptr<sfc::Curve> curve_;
   sfc::ClusterRefiner refiner_;
   overlay::ChordRing ring_;
-  std::map<u128, StoredKey> store_; ///< key index -> stored content
+  /// The key store, flat (DESIGN.md 4b): sorted index array + parallel
+  /// payloads. key_index_ doubles as the public key_indices() snapshot;
+  /// scan_local is a contiguous range sweep, load probes are rank queries.
+  std::vector<u128> key_index_;
+  std::vector<StoredKey> key_data_;
   std::size_t element_count_ = 0;
   std::size_t balance_moves_ = 0;
-  mutable std::vector<u128> key_cache_;
-  mutable bool key_cache_dirty_ = true;
   /// Per-peer memory of owners learned from aggregation replies:
   /// peer -> (cluster level, prefix) -> owner. Only the dispatching peer's
   /// own entries are consulted (no global knowledge leaks in).
   mutable std::map<NodeId, std::map<std::pair<unsigned, u128>, NodeId>>
       owner_cache_;
   mutable CacheStats cache_stats_;
+  /// query() is a pure reader ONLY while cache_cluster_owners is off; with
+  /// the cache on it mutates owner_cache_/cache_stats_. This counter makes
+  /// concurrent cached queries fail loudly instead of racing silently.
+  /// (Heap-held so the system stays movable; atomics are not.)
+  mutable std::unique_ptr<std::atomic<int>> cache_writers_ =
+      std::make_unique<std::atomic<int>>(0);
 };
 
 } // namespace squid::core

@@ -13,11 +13,18 @@
 // honesty discipline: route() and stabilization act only on the local state
 // of the nodes involved. Ground-truth helpers (successor_of, repair_all) are
 // clearly named and used only for experiment setup and assertions.
+//
+// Membership is stored flat (DESIGN.md 4b): a sorted contiguous array of
+// identifiers with a parallel slot table into a stable node arena, instead
+// of a node-based std::map. successor_of / predecessor_of / contains are
+// binary searches over contiguous u128s, random_node is an O(1) (amortized)
+// rank pick, and repair_all wires whole tables by rank arithmetic. Leave and
+// fail tombstone their array entry; compaction is deferred to the next
+// insert (which pays O(N) for its shift anyway) or to a density threshold.
 
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <vector>
 
@@ -67,8 +74,8 @@ public:
     return (id + finger_targets_[k]) & id_mask();
   }
   u128 id_mask() const noexcept { return low_mask(id_bits_); }
-  std::size_t size() const noexcept { return nodes_.size(); }
-  bool contains(NodeId id) const { return nodes_.count(id) != 0; }
+  std::size_t size() const noexcept { return live_count_; }
+  bool contains(NodeId id) const { return find_pos(id) != npos; }
 
   /// Experiment setup: create `count` nodes with distinct random ids and
   /// wire every table exactly.
@@ -133,16 +140,43 @@ public:
   std::size_t max_route_hops() const noexcept { return 4 * (id_bits_ + 2); }
 
 private:
+  static constexpr std::uint32_t kDeadSlot = 0xffffffffu;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
   NodeId closest_preceding_alive(const ChordNode& n, u128 key) const;
-  void wire_node(ChordNode& n) const; // exact tables from current membership
   std::optional<NodeId> first_alive_successor(const ChordNode& n) const;
+
+  /// First array position with ids_[pos] >= key (== ids_.size() past end).
+  std::size_t lower_pos(u128 key) const;
+  /// Array position of live node `id`, or npos.
+  std::size_t find_pos(NodeId id) const;
+  /// Wire predecessor, successor list, and the short-range finger prefix of
+  /// the node at live rank `r` (requires a compacted array). Returns the
+  /// first finger index still needing a membership search.
+  std::size_t wire_links(std::size_t r);
+  /// Wire node at live rank `r` exactly by rank arithmetic; requires a
+  /// compacted array.
+  void wire_rank(std::size_t r);
+  /// Drop tombstones, restoring ids_/slot_ to dense rank order.
+  void compact();
+  /// Sorted insert of a fresh id (compacts first); returns its slot.
+  std::uint32_t insert_id(NodeId id);
+  /// Tombstone the entry at `pos` and recycle its slot.
+  void remove_pos(std::size_t pos);
+  std::uint32_t alloc_slot();
 
   unsigned id_bits_;
   unsigned successor_list_len_;
   unsigned finger_base_;
   std::vector<u128> finger_offsets() const; // built once in the ctor
   std::vector<u128> finger_targets_;        // offsets j*base^k, ascending
-  std::map<NodeId, ChordNode> nodes_;
+
+  std::vector<NodeId> ids_;         ///< sorted; tombstoned entries included
+  std::vector<std::uint32_t> slot_; ///< parallel: arena slot, or kDeadSlot
+  std::vector<ChordNode> arena_;    ///< slot storage; slots are recycled
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<std::size_t> dead_pos_; ///< sorted tombstone positions in ids_
+  std::size_t live_count_ = 0;
 };
 
 } // namespace squid::overlay

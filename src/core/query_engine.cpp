@@ -3,7 +3,9 @@
 // that resolve locally, and aggregate sub-clusters headed to the same peer.
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
+#include <optional>
 #include <set>
 
 #include "squid/core/system.hpp"
@@ -57,21 +59,50 @@ bool entirely_local(overlay::NodeId at, const sfc::Segment& seg) {
   return at >= seg.hi || at < seg.lo;
 }
 
+/// query() advertises itself as a pure reader, but with cache_cluster_owners
+/// on it writes owner_cache_/cache_stats_. This guard makes overlapping
+/// cached queries fail loudly (SQUID_REQUIRE) instead of racing silently;
+/// it is only armed when the cache is enabled, so the lock-free concurrent
+/// read path stays untouched.
+class ScopedCacheWriter {
+public:
+  explicit ScopedCacheWriter(std::atomic<int>& writers) : writers_(writers) {
+    if (writers_.fetch_add(1, std::memory_order_acq_rel) != 0) {
+      writers_.fetch_sub(1, std::memory_order_acq_rel);
+      SQUID_REQUIRE(false,
+                    "concurrent query()/count() with cache_cluster_owners "
+                    "enabled would race on the owner cache; disable the "
+                    "cache for multi-threaded readers");
+    }
+  }
+  ~ScopedCacheWriter() { writers_.fetch_sub(1, std::memory_order_acq_rel); }
+  ScopedCacheWriter(const ScopedCacheWriter&) = delete;
+  ScopedCacheWriter& operator=(const ScopedCacheWriter&) = delete;
+
+private:
+  std::atomic<int>& writers_;
+};
+
 } // namespace
 
 void SquidSystem::scan_local(QueryContext& ctx, NodeId at, sfc::Segment seg,
                              bool covered) const {
   ctx.processing.insert(at);
   bool found = false;
-  for (auto it = store_.lower_bound(seg.lo);
-       it != store_.end() && it->first <= seg.hi; ++it) {
-    if (!covered && !ctx.rect.contains(it->second.point)) continue;
+  // One contiguous sweep over the flat store: binary search to the segment
+  // start, then walk the index/payload arrays in lockstep.
+  std::size_t i = static_cast<std::size_t>(
+      std::lower_bound(key_index_.begin(), key_index_.end(), seg.lo) -
+      key_index_.begin());
+  for (; i < key_index_.size() && key_index_[i] <= seg.hi; ++i) {
+    const StoredKey& key = key_data_[i];
+    if (!covered && !ctx.rect.contains(key.point)) continue;
     found = true;
     if (ctx.count_only) {
-      ctx.count += it->second.elements.size();
+      ctx.count += key.elements.size();
     } else {
-      ctx.results.insert(ctx.results.end(), it->second.elements.begin(),
-                         it->second.elements.end());
+      ctx.results.insert(ctx.results.end(), key.elements.begin(),
+                         key.elements.end());
     }
   }
   if (found) ctx.data_nodes.insert(at);
@@ -289,6 +320,8 @@ std::size_t critical_path_of(const std::vector<TimingEvent>& timing) {
 QueryResult SquidSystem::query(const keyword::Query& query,
                                NodeId origin) const {
   SQUID_REQUIRE(ring_.contains(origin), "query origin is not a live node");
+  std::optional<ScopedCacheWriter> cache_guard;
+  if (config_.cache_cluster_owners) cache_guard.emplace(*cache_writers_);
   QueryContext ctx;
   ctx.rect = space_.to_rect(query);
   refiner_.validate_query(ctx.rect); // once per query; per-node paths trust it
@@ -340,6 +373,8 @@ std::size_t SquidSystem::count(const keyword::Query& query,
   // Same resolution as query(), but data nodes reply with counts instead of
   // shipping elements — the cheap existence/cardinality probe.
   SQUID_REQUIRE(ring_.contains(origin), "query origin is not a live node");
+  std::optional<ScopedCacheWriter> cache_guard;
+  if (config_.cache_cluster_owners) cache_guard.emplace(*cache_writers_);
   QueryContext ctx;
   ctx.rect = space_.to_rect(query);
   refiner_.validate_query(ctx.rect);

@@ -60,37 +60,81 @@ void SquidSystem::fail_node(NodeId id) { ring_.fail(id); }
 
 void SquidSystem::publish(const DataElement& element) {
   const u128 index = index_of_element(element);
-  StoredKey& key = store_[index];
-  if (key.elements.empty()) {
+  const auto it =
+      std::lower_bound(key_index_.begin(), key_index_.end(), index);
+  const auto pos = static_cast<std::size_t>(it - key_index_.begin());
+  if (it == key_index_.end() || *it != index) {
+    StoredKey key;
     key.point = space_.encode(element.keys);
-    key_cache_dirty_ = true;
+    key_index_.insert(it, index);
+    key_data_.insert(key_data_.begin() + static_cast<std::ptrdiff_t>(pos),
+                     std::move(key));
   }
-  key.elements.push_back(element);
+  key_data_[pos].elements.push_back(element);
   ++element_count_;
 }
 
-const std::vector<u128>& SquidSystem::key_cache() const {
-  if (key_cache_dirty_) {
-    key_cache_.clear();
-    key_cache_.reserve(store_.size());
-    for (const auto& [index, key] : store_) key_cache_.push_back(index);
-    key_cache_dirty_ = false;
+void SquidSystem::publish_batch(const std::vector<DataElement>& elements) {
+  if (elements.empty()) return;
+  // Arrival order within a key must match sequential publish, so sort the
+  // batch by (index, arrival position).
+  std::vector<std::pair<u128, std::size_t>> order;
+  order.reserve(elements.size());
+  for (std::size_t i = 0; i < elements.size(); ++i)
+    order.emplace_back(index_of_element(elements[i]), i);
+  std::sort(order.begin(), order.end());
+
+  std::vector<u128> merged_index;
+  std::vector<StoredKey> merged_data;
+  merged_index.reserve(key_index_.size() + elements.size());
+  merged_data.reserve(key_index_.size() + elements.size());
+
+  std::size_t old = 0; // cursor over the existing store
+  std::size_t i = 0;   // cursor over the sorted batch
+  while (i < order.size()) {
+    const u128 index = order[i].first;
+    while (old < key_index_.size() && key_index_[old] < index) {
+      merged_index.push_back(key_index_[old]);
+      merged_data.push_back(std::move(key_data_[old]));
+      ++old;
+    }
+    if (old < key_index_.size() && key_index_[old] == index) {
+      merged_index.push_back(key_index_[old]);
+      merged_data.push_back(std::move(key_data_[old]));
+      ++old;
+    } else {
+      StoredKey key;
+      key.point = space_.encode(elements[order[i].second].keys);
+      merged_index.push_back(index);
+      merged_data.push_back(std::move(key));
+    }
+    for (; i < order.size() && order[i].first == index; ++i)
+      merged_data.back().elements.push_back(elements[order[i].second]);
   }
-  return key_cache_;
+  while (old < key_index_.size()) {
+    merged_index.push_back(key_index_[old]);
+    merged_data.push_back(std::move(key_data_[old]));
+    ++old;
+  }
+  key_index_ = std::move(merged_index);
+  key_data_ = std::move(merged_data);
+  element_count_ += elements.size();
 }
 
 bool SquidSystem::unpublish(const DataElement& element) {
   const u128 index = index_of_element(element);
-  const auto it = store_.find(index);
-  if (it == store_.end()) return false;
-  auto& elements = it->second.elements;
-  const auto pos = std::find(elements.begin(), elements.end(), element);
-  if (pos == elements.end()) return false;
-  elements.erase(pos);
+  const auto it =
+      std::lower_bound(key_index_.begin(), key_index_.end(), index);
+  if (it == key_index_.end() || *it != index) return false;
+  const auto pos = static_cast<std::size_t>(it - key_index_.begin());
+  auto& elements = key_data_[pos].elements;
+  const auto found = std::find(elements.begin(), elements.end(), element);
+  if (found == elements.end()) return false;
+  elements.erase(found);
   --element_count_;
   if (elements.empty()) {
-    store_.erase(it);
-    key_cache_dirty_ = true;
+    key_index_.erase(it);
+    key_data_.erase(key_data_.begin() + static_cast<std::ptrdiff_t>(pos));
   }
   return true;
 }
@@ -103,17 +147,18 @@ overlay::RouteResult SquidSystem::publish_routed(const DataElement& element,
   return route;
 }
 
+std::size_t SquidSystem::key_rank_after(u128 v) const {
+  return static_cast<std::size_t>(
+      std::upper_bound(key_index_.begin(), key_index_.end(), v) -
+      key_index_.begin());
+}
+
 std::size_t SquidSystem::keys_in_range(NodeId from, NodeId to) const {
   // Stored keys with index in the clockwise interval (from, to].
-  const auto& keys = key_cache();
-  if (keys.empty()) return 0;
-  const auto rank = [&keys](u128 v) {
-    return static_cast<std::size_t>(
-        std::upper_bound(keys.begin(), keys.end(), v) - keys.begin());
-  };
-  if (from < to) return rank(to) - rank(from);
+  if (key_index_.empty()) return 0;
+  if (from < to) return key_rank_after(to) - key_rank_after(from);
   // Wrapped (or from == to: the whole ring).
-  return (keys.size() - rank(from)) + rank(to);
+  return (key_index_.size() - key_rank_after(from)) + key_rank_after(to);
 }
 
 std::optional<SquidSystem::NodeId> SquidSystem::median_split_id(
@@ -121,27 +166,25 @@ std::optional<SquidSystem::NodeId> SquidSystem::median_split_id(
   if (ring_.size() < 1) return std::nullopt;
   const NodeId pred = ring_.size() == 1 ? s : ring_.predecessor_of(s);
   const std::size_t count =
-      ring_.size() == 1 ? store_.size() : keys_in_range(pred, s);
+      ring_.size() == 1 ? key_index_.size() : keys_in_range(pred, s);
   if (count < 2) return std::nullopt;
-  auto it = store_.upper_bound(pred);
-  NodeId boundary = pred;
-  for (std::size_t k = 0; k < count / 2; ++k) {
-    if (it == store_.end()) it = store_.begin();
-    boundary = it->first;
-    ++it;
-  }
+  // The median of the count keys in (pred, s]: a rank query plus one index,
+  // where the map walked the interval key by key.
+  const std::size_t start = key_rank_after(pred); // first key > pred
+  const NodeId boundary =
+      key_index_[(start + count / 2 - 1) % key_index_.size()];
   if (boundary == pred || boundary == s || ring_.contains(boundary))
     return std::nullopt;
   return boundary;
 }
 
 std::size_t SquidSystem::load_of(NodeId id) const {
-  if (ring_.size() == 1) return store_.size();
+  if (ring_.size() == 1) return key_index_.size();
   return keys_in_range(ring_.predecessor_of(id), id);
 }
 
 std::size_t SquidSystem::absorbed_load(NodeId candidate) const {
-  if (ring_.size() == 0) return store_.size();
+  if (ring_.size() == 0) return key_index_.size();
   return keys_in_range(ring_.predecessor_of(candidate), candidate);
 }
 
@@ -155,7 +198,7 @@ SquidSystem::node_loads() const {
   // Single sweep over the store: each key belongs to its successor node.
   auto it = loads.begin();
   std::size_t wrapped = 0; // keys past the last node wrap to the first
-  for (const auto& [index, key] : store_) {
+  for (const u128 index : key_index_) {
     while (it != loads.end() && it->first < index) ++it;
     if (it == loads.end()) {
       ++wrapped;
@@ -169,8 +212,12 @@ SquidSystem::node_loads() const {
 
 std::size_t SquidSystem::runtime_balance_sweep(double threshold) {
   SQUID_REQUIRE(threshold >= 1.0, "imbalance threshold must be >= 1");
-  if (ring_.size() < 3 || store_.empty()) return 0;
+  if (ring_.size() < 3 || key_index_.empty()) return 0;
   std::size_t moves = 0;
+  // The k-th key clockwise after `after` (k >= 1), wrapping.
+  const auto kth_key_after = [this](NodeId after, std::size_t k) {
+    return key_index_[(key_rank_after(after) + k - 1) % key_index_.size()];
+  };
   // Walk a snapshot of the ring; each step may move the *predecessor* of
   // the node under consideration, which never invalidates later snapshot
   // entries (only ids between predecessor-of-predecessor and node change).
@@ -189,14 +236,8 @@ std::size_t SquidSystem::runtime_balance_sweep(double threshold) {
       // give a part of their load to their neighbors").
       const std::size_t shed = (load_self - load_pred) / 2;
       if (shed == 0) continue;
-      // Find the shed-th key in (pred, id].
-      auto it = store_.upper_bound(pred);
-      NodeId boundary = pred;
-      for (std::size_t k = 0; k < shed; ++k) {
-        if (it == store_.end()) it = store_.begin();
-        boundary = it->first;
-        ++it;
-      }
+      // The shed-th key in (pred, id].
+      const NodeId boundary = kth_key_after(pred, shed);
       if (boundary == pred || ring_.contains(boundary)) continue;
       ring_.fail(pred); // the move is leave+rejoin in a real deployment
       ring_.add_node_exact(boundary);
@@ -211,14 +252,8 @@ std::size_t SquidSystem::runtime_balance_sweep(double threshold) {
       if (shed == 0) continue;
       // New boundary: the key `shed` positions before pred in (pred2, pred].
       const std::size_t keep = load_pred - shed;
-      auto it = store_.upper_bound(pred2);
-      NodeId boundary = pred;
       if (keep == 0) continue; // would empty the predecessor entirely
-      for (std::size_t k = 0; k < keep; ++k) {
-        if (it == store_.end()) it = store_.begin();
-        boundary = it->first;
-        ++it;
-      }
+      const NodeId boundary = kth_key_after(pred2, keep);
       if (boundary == pred || ring_.contains(boundary)) continue;
       ring_.fail(pred);
       ring_.add_node_exact(boundary);

@@ -1,6 +1,8 @@
 #include "squid/overlay/chord.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <unordered_set>
 
 #include "squid/util/require.hpp"
 
@@ -37,42 +39,128 @@ std::vector<u128> ChordRing::finger_offsets() const {
   return offsets;
 }
 
+// --- Flat membership primitives ---------------------------------------------
+
+std::size_t ChordRing::lower_pos(u128 key) const {
+  return static_cast<std::size_t>(
+      std::lower_bound(ids_.begin(), ids_.end(), key) - ids_.begin());
+}
+
+std::size_t ChordRing::find_pos(NodeId id) const {
+  const std::size_t pos = lower_pos(id);
+  if (pos == ids_.size() || ids_[pos] != id || slot_[pos] == kDeadSlot)
+    return npos;
+  return pos;
+}
+
+std::uint32_t ChordRing::alloc_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t s = free_slots_.back();
+    free_slots_.pop_back();
+    arena_[s] = ChordNode{};
+    return s;
+  }
+  arena_.emplace_back();
+  return static_cast<std::uint32_t>(arena_.size() - 1);
+}
+
+void ChordRing::compact() {
+  if (dead_pos_.empty()) return;
+  std::size_t out = 0;
+  for (std::size_t pos = 0; pos < ids_.size(); ++pos) {
+    if (slot_[pos] == kDeadSlot) continue;
+    ids_[out] = ids_[pos];
+    slot_[out] = slot_[pos];
+    ++out;
+  }
+  ids_.resize(out);
+  slot_.resize(out);
+  dead_pos_.clear();
+}
+
+std::uint32_t ChordRing::insert_id(NodeId id) {
+  compact();
+  const std::uint32_t s = alloc_slot();
+  const std::size_t pos = lower_pos(id);
+  ids_.insert(ids_.begin() + static_cast<std::ptrdiff_t>(pos), id);
+  slot_.insert(slot_.begin() + static_cast<std::ptrdiff_t>(pos), s);
+  arena_[s].id = id;
+  ++live_count_;
+  return s;
+}
+
+void ChordRing::remove_pos(std::size_t pos) {
+  free_slots_.push_back(slot_[pos]);
+  arena_[slot_[pos]] = ChordNode{}; // release finger/successor storage
+  slot_[pos] = kDeadSlot;
+  dead_pos_.insert(
+      std::lower_bound(dead_pos_.begin(), dead_pos_.end(), pos), pos);
+  --live_count_;
+  // Bound tombstone density so reads stay near one binary search even under
+  // removal-only churn.
+  if (dead_pos_.size() * 2 > ids_.size()) compact();
+}
+
+// --- Ground-truth queries ----------------------------------------------------
+
 NodeId ChordRing::successor_of(u128 key) const {
-  SQUID_REQUIRE(!nodes_.empty(), "successor_of on an empty ring");
-  const auto it = nodes_.lower_bound(key);
-  return it == nodes_.end() ? nodes_.begin()->first : it->first;
+  SQUID_REQUIRE(live_count_ > 0, "successor_of on an empty ring");
+  std::size_t pos = lower_pos(key);
+  for (;;) {
+    if (pos == ids_.size()) pos = 0;
+    if (slot_[pos] != kDeadSlot) return ids_[pos];
+    ++pos;
+  }
 }
 
 NodeId ChordRing::predecessor_of(u128 key) const {
-  SQUID_REQUIRE(!nodes_.empty(), "predecessor_of on an empty ring");
-  const auto it = nodes_.lower_bound(key);
-  return it == nodes_.begin() ? nodes_.rbegin()->first : std::prev(it)->first;
+  SQUID_REQUIRE(live_count_ > 0, "predecessor_of on an empty ring");
+  std::size_t pos = lower_pos(key);
+  for (;;) {
+    pos = (pos == 0 ? ids_.size() : pos) - 1;
+    if (slot_[pos] != kDeadSlot) return ids_[pos];
+  }
 }
 
 const ChordNode& ChordRing::node(NodeId id) const {
-  const auto it = nodes_.find(id);
-  SQUID_REQUIRE(it != nodes_.end(), "unknown node id");
-  return it->second;
+  const std::size_t pos = find_pos(id);
+  SQUID_REQUIRE(pos != npos, "unknown node id");
+  return arena_[slot_[pos]];
 }
 
 ChordNode& ChordRing::node(NodeId id) {
-  const auto it = nodes_.find(id);
-  SQUID_REQUIRE(it != nodes_.end(), "unknown node id");
-  return it->second;
+  const std::size_t pos = find_pos(id);
+  SQUID_REQUIRE(pos != npos, "unknown node id");
+  return arena_[slot_[pos]];
 }
 
 std::vector<NodeId> ChordRing::node_ids() const {
   std::vector<NodeId> ids;
-  ids.reserve(nodes_.size());
-  for (const auto& [id, _] : nodes_) ids.push_back(id);
+  ids.reserve(live_count_);
+  for (std::size_t pos = 0; pos < ids_.size(); ++pos)
+    if (slot_[pos] != kDeadSlot) ids.push_back(ids_[pos]);
   return ids;
 }
 
 NodeId ChordRing::random_node(Rng& rng) const {
-  SQUID_REQUIRE(!nodes_.empty(), "random_node on an empty ring");
-  auto it = nodes_.begin();
-  std::advance(it, static_cast<std::ptrdiff_t>(rng.below(nodes_.size())));
-  return it->first;
+  SQUID_REQUIRE(live_count_ > 0, "random_node on an empty ring");
+  // The k-th smallest live id, exactly like std::advance over the old map
+  // (query-replay determinism depends on it) — but O(1) on a compacted
+  // array. With tombstones present, the k-th live entry is the least fixed
+  // point of p = k + |dead positions <= p| (Kleene iteration over the small
+  // sorted tombstone list).
+  const auto k = static_cast<std::size_t>(rng.below(live_count_));
+  if (dead_pos_.empty()) return ids_[k];
+  std::size_t p = k;
+  for (;;) {
+    const auto dead = static_cast<std::size_t>(
+        std::upper_bound(dead_pos_.begin(), dead_pos_.end(), p) -
+        dead_pos_.begin());
+    if (k + dead == p) break;
+    p = k + dead;
+  }
+  assert(slot_[p] != kDeadSlot);
+  return ids_[p];
 }
 
 NodeId ChordRing::random_free_id(Rng& rng) const {
@@ -80,44 +168,95 @@ NodeId ChordRing::random_free_id(Rng& rng) const {
     const NodeId id = id_bits_ >= 128 ? rng.next128()
                                       : rng.below128(static_cast<u128>(1)
                                                      << id_bits_);
-    if (!nodes_.count(id)) return id;
+    if (!contains(id)) return id;
   }
 }
 
-void ChordRing::wire_node(ChordNode& n) const {
-  n.predecessor = predecessor_of(n.id);
+// --- Exact wiring (experiment setup) -----------------------------------------
+
+std::size_t ChordRing::wire_links(std::size_t r) {
+  assert(dead_pos_.empty());
+  const std::size_t count = ids_.size();
+  ChordNode& n = arena_[slot_[r]];
+  n.predecessor = ids_[(r + count - 1) % count];
   n.has_predecessor = true;
   n.successors.clear();
-  // Walk clockwise from just past n collecting up to successor_list_len_
-  // distinct nodes (the node itself closes the list on tiny rings).
-  auto it = nodes_.upper_bound(n.id);
+  n.successors.reserve(successor_list_len_);
+  // The next successor_list_len_ entries clockwise (the node itself closes
+  // the list on tiny rings).
   for (unsigned i = 0; i < successor_list_len_; ++i) {
-    if (it == nodes_.end()) it = nodes_.begin();
-    n.successors.push_back(it->first);
-    if (it->first == n.id) break; // wrapped all the way around
-    ++it;
+    const std::size_t p = (r + 1 + i) % count;
+    n.successors.push_back(ids_[p]);
+    if (p == r) break; // wrapped all the way around
   }
-  n.fingers.assign(finger_count(), 0);
-  for (std::size_t k = 0; k < finger_count(); ++k)
-    n.fingers[k] = successor_of(finger_target_of(n.id, k));
+  // resize, not assign: every entry is written by the caller or the fill
+  // below, and on the warm repair path this skips re-zeroing the table.
+  n.fingers.resize(finger_count());
+  if (count == 1) {
+    std::fill(n.fingers.begin(), n.fingers.end(), n.id);
+    return finger_count();
+  }
+  // With N nodes in a 2^bits space, every finger whose target offset fits
+  // inside the gap to the immediate successor resolves to that successor —
+  // at paper scales that is the vast majority of the table (offsets are
+  // geometric, the gap is ~2^bits/N). finger_targets_ is ascending, so one
+  // search over it replaces ~log2(2^bits/N) membership searches per node.
+  const NodeId next = ids_[(r + 1) % count];
+  const u128 gap = (next - n.id) & id_mask();
+  const std::size_t k0 = static_cast<std::size_t>(
+      std::upper_bound(finger_targets_.begin(), finger_targets_.end(), gap) -
+      finger_targets_.begin());
+  std::fill(n.fingers.begin(),
+            n.fingers.begin() + static_cast<std::ptrdiff_t>(k0), next);
+  return k0;
+}
+
+void ChordRing::wire_rank(std::size_t r) {
+  const std::size_t count = ids_.size();
+  ChordNode& n = arena_[slot_[r]];
+  for (std::size_t k = wire_links(r); k < finger_count(); ++k) {
+    const std::size_t pos = lower_pos(finger_target_of(n.id, k));
+    n.fingers[k] = ids_[pos == count ? 0 : pos];
+  }
 }
 
 void ChordRing::repair_all() {
-  for (auto& [id, n] : nodes_) wire_node(n);
+  compact();
+  const std::size_t count = ids_.size();
+  // Sweeping all ranks in order makes finger k's target monotone (mod one
+  // wrap), so a rolling cursor per finger index answers each long-range
+  // finger in amortized O(1) where a membership binary search paid
+  // O(log N). Short-range fingers never touch their cursor (wire_links
+  // fills them from the successor gap).
+  std::vector<std::size_t> cursor(finger_count(), 0);
+  std::vector<u128> prev_target(finger_count(), 0);
+  for (std::size_t r = 0; r < count; ++r) {
+    ChordNode& n = arena_[slot_[r]];
+    for (std::size_t k = wire_links(r); k < finger_count(); ++k) {
+      const u128 target = finger_target_of(n.id, k);
+      std::size_t& c = cursor[k];
+      // The target sequence wrapped past zero: restart the cursor. (If the
+      // wrap happened during ranks that skipped this k and the target is
+      // already back above the last one seen, the stale cursor is still a
+      // valid lower bound — no reset needed.)
+      if (target < prev_target[k]) c = 0;
+      prev_target[k] = target;
+      while (c < count && ids_[c] < target) ++c;
+      n.fingers[k] = ids_[c == count ? 0 : c];
+    }
+  }
 }
 
 void ChordRing::add_node_exact(NodeId id) {
   SQUID_REQUIRE(id <= id_mask(), "node id exceeds the identifier space");
-  SQUID_REQUIRE(!nodes_.count(id), "duplicate node id");
-  ChordNode n;
-  n.id = id;
-  nodes_.emplace(id, std::move(n));
-  wire_node(nodes_[id]);
+  SQUID_REQUIRE(!contains(id), "duplicate node id");
+  const std::uint32_t s = insert_id(id); // compacts: array is dense now
+  wire_rank(lower_pos(id));
   // Splice the neighbors so the ring stays exactly consistent: the new
   // node's predecessor gains it as immediate successor, the successor gains
   // it as predecessor. Remote fingers elsewhere stay stale by design.
-  if (nodes_.size() > 1) {
-    ChordNode& self = nodes_[id];
+  if (live_count_ > 1) {
+    ChordNode& self = arena_[s];
     ChordNode& pred = node(self.predecessor);
     pred.successors.insert(pred.successors.begin(), id);
     if (pred.successors.size() > successor_list_len_)
@@ -130,18 +269,66 @@ void ChordRing::add_node_exact(NodeId id) {
 
 void ChordRing::build(std::size_t count, Rng& rng) {
   SQUID_REQUIRE(count >= 1, "cannot build an empty ring");
-  while (nodes_.size() < count) {
-    ChordNode n;
-    n.id = random_free_id(rng);
-    nodes_.emplace(n.id, std::move(n));
+  compact();
+  // Mirror the incremental-insert draw loop exactly: collisions retry and
+  // consume rng against everything drawn so far. Only the per-draw
+  // membership answer matters for the stream, so a hash set stands in for
+  // the seed's ordered map; the fresh ids are sorted once afterwards.
+  struct IdHash {
+    std::size_t operator()(NodeId id) const noexcept {
+      const auto lo = static_cast<std::uint64_t>(id);
+      const auto hi = static_cast<std::uint64_t>(id >> 64);
+      return static_cast<std::size_t>((lo ^ hi * 0x9e3779b97f4a7c15ull) *
+                                      0xbf58476d1ce4e5b9ull);
+    }
+  };
+  std::unordered_set<NodeId, IdHash> members(ids_.begin(), ids_.end());
+  members.reserve(count);
+  std::vector<NodeId> fresh;
+  fresh.reserve(count - std::min(count, live_count_));
+  while (members.size() < count) {
+    for (;;) {
+      const NodeId id = id_bits_ >= 128
+                            ? rng.next128()
+                            : rng.below128(static_cast<u128>(1) << id_bits_);
+      if (members.insert(id).second) {
+        fresh.push_back(id);
+        break;
+      }
+    }
   }
+  std::sort(fresh.begin(), fresh.end());
+  arena_.reserve(arena_.size() - free_slots_.size() + fresh.size());
+  std::vector<NodeId> merged;
+  std::vector<std::uint32_t> merged_slots;
+  merged.reserve(ids_.size() + fresh.size());
+  merged_slots.reserve(ids_.size() + fresh.size());
+  std::size_t old = 0;
+  for (const NodeId id : fresh) {
+    while (old < ids_.size() && ids_[old] < id) {
+      merged.push_back(ids_[old]);
+      merged_slots.push_back(slot_[old++]);
+    }
+    merged.push_back(id);
+    merged_slots.push_back(alloc_slot());
+    arena_[merged_slots.back()].id = id;
+  }
+  while (old < ids_.size()) {
+    merged.push_back(ids_[old]);
+    merged_slots.push_back(slot_[old++]);
+  }
+  ids_ = std::move(merged);
+  slot_ = std::move(merged_slots);
+  live_count_ = ids_.size();
   repair_all();
 }
+
+// --- Protocol operations -----------------------------------------------------
 
 std::optional<NodeId> ChordRing::first_alive_successor(
     const ChordNode& n) const {
   for (const NodeId s : n.successors)
-    if (nodes_.count(s)) return s;
+    if (contains(s)) return s;
   return std::nullopt;
 }
 
@@ -153,7 +340,7 @@ NodeId ChordRing::closest_preceding_alive(const ChordNode& n, u128 key) const {
   u128 best_progress = 0;
   for (std::size_t k = n.fingers.size(); k-- > 0;) {
     const NodeId f = n.fingers[k];
-    if (!nodes_.count(f) || !in_open_open(n.id, key, f)) continue;
+    if (!contains(f) || !in_open_open(n.id, key, f)) continue;
     const u128 progress = ring_distance(n.id, f, id_bits_);
     if (progress > best_progress) {
       best = f;
@@ -165,7 +352,7 @@ NodeId ChordRing::closest_preceding_alive(const ChordNode& n, u128 key) const {
 
 RouteResult ChordRing::route(NodeId from, u128 key) const {
   RouteResult result;
-  SQUID_REQUIRE(nodes_.count(from), "route source is not in the ring");
+  SQUID_REQUIRE(contains(from), "route source is not in the ring");
   SQUID_REQUIRE(key <= id_mask(), "key exceeds the identifier space");
   NodeId cur = from;
   result.path.push_back(cur);
@@ -190,37 +377,40 @@ RouteResult ChordRing::route(NodeId from, u128 key) const {
 
 RouteResult ChordRing::join(NodeId new_id, NodeId bootstrap) {
   SQUID_REQUIRE(new_id <= id_mask(), "node id exceeds the identifier space");
-  SQUID_REQUIRE(!nodes_.count(new_id), "duplicate node id");
+  SQUID_REQUIRE(!contains(new_id), "duplicate node id");
   RouteResult r = route(bootstrap, new_id);
   if (!r.ok) return r;
 
   ChordNode n;
   n.id = new_id;
-  const ChordNode& succ = node(r.dest);
-  n.successors.push_back(r.dest);
-  for (const NodeId s : succ.successors) {
-    if (n.successors.size() >= successor_list_len_) break;
-    if (s != new_id) n.successors.push_back(s);
-  }
-  // Seed fingers from the successor's table (standard bootstrap
-  // approximation); stabilization tightens them over time.
-  n.fingers = succ.fingers;
-  if (n.fingers.empty()) n.fingers.assign(finger_count(), r.dest);
-  n.fingers[0] = r.dest;
-  if (succ.has_predecessor) {
-    n.predecessor = succ.predecessor;
-    n.has_predecessor = true;
-  }
-  nodes_.emplace(new_id, std::move(n));
+  {
+    const ChordNode& succ = node(r.dest);
+    n.successors.push_back(r.dest);
+    for (const NodeId s : succ.successors) {
+      if (n.successors.size() >= successor_list_len_) break;
+      if (s != new_id) n.successors.push_back(s);
+    }
+    // Seed fingers from the successor's table (standard bootstrap
+    // approximation); stabilization tightens them over time.
+    n.fingers = succ.fingers;
+    if (n.fingers.empty()) n.fingers.assign(finger_count(), r.dest);
+    n.fingers[0] = r.dest;
+    if (succ.has_predecessor) {
+      n.predecessor = succ.predecessor;
+      n.has_predecessor = true;
+    }
+  } // the arena may reallocate below: drop the reference first
+  const std::uint32_t s = insert_id(new_id);
+  arena_[s] = std::move(n);
 
   ChordNode& succ_mut = node(r.dest);
   succ_mut.predecessor = new_id;
   succ_mut.has_predecessor = true;
   // Eager notify of the predecessor keeps the ring routable immediately, as
   // the first post-join stabilize round would.
-  if (nodes_[new_id].has_predecessor &&
-      nodes_.count(nodes_[new_id].predecessor)) {
-    ChordNode& pred = node(nodes_[new_id].predecessor);
+  const ChordNode& self = arena_[s];
+  if (self.has_predecessor && contains(self.predecessor)) {
+    ChordNode& pred = node(self.predecessor);
     pred.successors.insert(pred.successors.begin(), new_id);
     if (pred.successors.size() > successor_list_len_)
       pred.successors.pop_back();
@@ -229,13 +419,15 @@ RouteResult ChordRing::join(NodeId new_id, NodeId bootstrap) {
 }
 
 void ChordRing::leave(NodeId id) {
-  ChordNode& n = node(id);
+  const std::size_t pos = find_pos(id);
+  SQUID_REQUIRE(pos != npos, "unknown node id");
+  const ChordNode& n = arena_[slot_[pos]];
   const auto succ = first_alive_successor(n);
   // Patch the neighbors (paper 3.2 Node Departures); distant finger tables
   // stay stale until their owners stabilize.
   if (succ && *succ != id) {
     ChordNode& s = node(*succ);
-    if (n.has_predecessor && nodes_.count(n.predecessor)) {
+    if (n.has_predecessor && contains(n.predecessor)) {
       s.predecessor = n.predecessor;
       s.has_predecessor = true;
       ChordNode& p = node(n.predecessor);
@@ -243,16 +435,17 @@ void ChordRing::leave(NodeId id) {
       p.successors.insert(p.successors.begin(), *succ);
     }
   }
-  nodes_.erase(id);
+  remove_pos(pos);
 }
 
 void ChordRing::fail(NodeId id) {
-  SQUID_REQUIRE(nodes_.count(id), "unknown node id");
-  nodes_.erase(id);
+  const std::size_t pos = find_pos(id);
+  SQUID_REQUIRE(pos != npos, "unknown node id");
+  remove_pos(pos);
 }
 
 void ChordRing::stabilize(NodeId id, Rng& rng) {
-  if (!nodes_.count(id)) return;
+  if (!contains(id)) return;
   ChordNode& n = node(id);
 
   // 1. Successor repair: drop dead list entries from the front.
@@ -266,7 +459,7 @@ void ChordRing::stabilize(NodeId id, Rng& rng) {
   // 2. Classic stabilize: adopt the successor's predecessor if closer.
   {
     const ChordNode& s = node(*succ);
-    if (s.has_predecessor && nodes_.count(s.predecessor) &&
+    if (s.has_predecessor && contains(s.predecessor) &&
         in_open_open(id, *succ, s.predecessor)) {
       succ = s.predecessor;
     }
@@ -276,14 +469,14 @@ void ChordRing::stabilize(NodeId id, Rng& rng) {
   std::vector<NodeId> fresh{*succ};
   for (const NodeId s : node(*succ).successors) {
     if (fresh.size() >= successor_list_len_) break;
-    if (s != id && nodes_.count(s)) fresh.push_back(s);
+    if (s != id && contains(s)) fresh.push_back(s);
   }
   n.successors = std::move(fresh);
 
   // 4. Notify the successor about us.
   {
     ChordNode& s = node(*succ);
-    if (!s.has_predecessor || !nodes_.count(s.predecessor) ||
+    if (!s.has_predecessor || !contains(s.predecessor) ||
         in_open_open(s.predecessor, s.id, id)) {
       s.predecessor = id;
       s.has_predecessor = true;
@@ -309,10 +502,12 @@ void ChordRing::stabilize_all(Rng& rng, unsigned rounds) {
 }
 
 bool ChordRing::ring_consistent() const {
-  for (const auto& [id, n] : nodes_) {
+  for (std::size_t pos = 0; pos < ids_.size(); ++pos) {
+    if (slot_[pos] == kDeadSlot) continue;
+    const ChordNode& n = arena_[slot_[pos]];
     const auto succ = first_alive_successor(n);
     if (!succ) return false;
-    if (*succ != successor_of((id + 1) & id_mask())) return false;
+    if (*succ != successor_of((n.id + 1) & id_mask())) return false;
   }
   return true;
 }
