@@ -1,9 +1,11 @@
 #include "common/fixture.hpp"
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <set>
 
+#include "squid/obs/export.hpp"
 #include "squid/util/require.hpp"
 
 namespace squid::bench {
@@ -20,9 +22,14 @@ Flags Flags::parse(int argc, char** argv) {
       flags.scale = arg.substr(8);
       SQUID_REQUIRE(flags.scale == "paper" || flags.scale == "small",
                     "--scale must be 'paper' or 'small'");
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      flags.metrics_out = arg.substr(14);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      flags.trace_out = arg.substr(12);
     } else {
       std::cerr << "usage: " << argv[0]
-                << " [--csv] [--seed=N] [--scale=paper|small]\n";
+                << " [--csv] [--seed=N] [--scale=paper|small]"
+                << " [--metrics-out=FILE] [--trace-out=FILE]\n";
       std::exit(2);
     }
   }
@@ -148,6 +155,37 @@ void emit(const std::string& title, const Table& table, const Flags& flags) {
   std::cout << "\n";
 }
 
+void maybe_capture_trace(core::SquidSystem& sys, const keyword::Query& query,
+                         const Flags& flags, Rng& rng) {
+  if (flags.trace_out.empty()) return;
+  if (!obs::kEnabled) {
+    std::cerr << "--trace-out ignored: observability compiled out "
+                 "(rebuild with -DSQUID_OBS=ON)\n";
+    return;
+  }
+  sys.set_tracing(true);
+  const auto result = sys.query(query, sys.ring().random_node(rng));
+  sys.set_tracing(false);
+  SQUID_REQUIRE(result.trace != nullptr, "tracing enabled but no trace");
+  std::ofstream out(flags.trace_out);
+  if (!out) {
+    std::cerr << "cannot open " << flags.trace_out << "\n";
+    return;
+  }
+  obs::write_trace_json(*result.trace, out);
+  std::cerr << "trace (" << result.trace->spans.size() << " spans) -> "
+            << flags.trace_out << "\n";
+}
+
+void maybe_dump_metrics(const Flags& flags) {
+  if (flags.metrics_out.empty()) return;
+  if (obs::dump_metrics(obs::Registry::global(), flags.metrics_out)) {
+    std::cerr << "metrics -> " << flags.metrics_out << "\n";
+  } else {
+    std::cerr << "cannot open " << flags.metrics_out << "\n";
+  }
+}
+
 void run_growth_figure(const std::string& figure, const Flags& flags,
                        const SetupFactory& setup) {
   struct Metric {
@@ -165,8 +203,8 @@ void run_growth_figure(const std::string& figure, const Flags& flags,
   const auto scales = paper_scales(flags);
   std::vector<std::vector<QueryAverages>> grid; // [scale][query]
   std::vector<std::string> labels;
-  for (const auto& scale : scales) {
-    const FigureSetup fs = setup(scale);
+  for (std::size_t s = 0; s < scales.size(); ++s) {
+    const FigureSetup fs = setup(scales[s]);
     if (labels.empty())
       for (const auto& nq : fs.queries) labels.push_back(nq.label);
     Rng rng(flags.seed ^ 0x517ab1e);
@@ -174,6 +212,8 @@ void run_growth_figure(const std::string& figure, const Flags& flags,
     for (const auto& nq : fs.queries)
       row.push_back(run_query(*fs.sys, nq.query, 10, rng));
     grid.push_back(std::move(row));
+    if (s + 1 == scales.size() && !fs.queries.empty())
+      maybe_capture_trace(*fs.sys, fs.queries.front().query, flags, rng);
   }
 
   for (const auto& metric : metrics) {
@@ -189,12 +229,14 @@ void run_growth_figure(const std::string& figure, const Flags& flags,
     }
     emit(figure + ": " + metric.name, table, flags);
   }
+  maybe_dump_metrics(flags);
 }
 
 void run_metrics_figure(const std::string& figure, const Flags& flags,
                         const std::vector<ScalePoint>& scales,
                         const SetupFactory& setup) {
-  for (const auto& scale : scales) {
+  for (std::size_t s = 0; s < scales.size(); ++s) {
+    const ScalePoint& scale = scales[s];
     const FigureSetup fs = setup(scale);
     Rng rng(flags.seed ^ 0x9a77e2);
     Table table({"query", "matches", "routing nodes", "messages",
@@ -209,7 +251,10 @@ void run_metrics_figure(const std::string& figure, const Flags& flags,
     emit(figure + ": all metrics, " + std::to_string(scale.nodes) +
              " nodes / " + std::to_string(scale.keys) + " keys",
          table, flags);
+    if (s + 1 == scales.size() && !fs.queries.empty())
+      maybe_capture_trace(*fs.sys, fs.queries.front().query, flags, rng);
   }
+  maybe_dump_metrics(flags);
 }
 
 } // namespace squid::bench

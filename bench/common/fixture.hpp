@@ -26,6 +26,12 @@ struct Flags {
   /// "paper" replays the published scales; "small" shrinks everything ~10x
   /// so the full bench suite smoke-runs quickly.
   std::string scale = "paper";
+  /// Observability sidecars (empty = off): --metrics-out dumps the global
+  /// metrics registry after the run (.json or .csv by extension);
+  /// --trace-out captures one traced replay of the figure's first query at
+  /// the largest scale as Chrome/Perfetto trace_event JSON.
+  std::string metrics_out;
+  std::string trace_out;
 
   static Flags parse(int argc, char** argv);
   double shrink() const { return scale == "small" ? 0.1 : 1.0; }
@@ -79,6 +85,16 @@ QueryAverages run_query(const core::SquidSystem& sys,
 
 /// Print `table` under a headline, honoring --csv.
 void emit(const std::string& title, const Table& table, const Flags& flags);
+
+/// Honor --trace-out: replay `query` once with tracing enabled on `sys`
+/// and write the span trace as Perfetto JSON. No-op when the flag is
+/// empty; warns when observability is compiled out.
+void maybe_capture_trace(core::SquidSystem& sys, const keyword::Query& query,
+                         const Flags& flags, Rng& rng);
+
+/// Honor --metrics-out: dump the global metrics registry snapshot
+/// accumulated over the whole run. No-op when the flag is empty.
+void maybe_dump_metrics(const Flags& flags);
 
 /// A named query replayed by a figure bench.
 struct NamedQuery {

@@ -1,14 +1,18 @@
 // Interactive Squid shell: drive a simulated deployment from the command
 // line — build a network, publish and remove documents, run flexible
-// queries, inspect load, and snapshot/restore state.
+// queries, explain how a query resolved, inspect load, and
+// snapshot/restore state.
 //
 //   $ ./squid_cli
 //   squid> build 64
 //   squid> publish report.pdf grid data
 //   squid> query (gri*, *)
+//   squid> explain (gri*, *)
 //   squid> save /tmp/squid.snapshot
 //
 // Reads commands from stdin (scriptable: `./squid_cli < commands.txt`).
+// With --trace-out=FILE, every `explain` additionally writes the span
+// trace as Chrome/Perfetto trace_event JSON to FILE.
 
 #include <fstream>
 #include <iostream>
@@ -16,6 +20,7 @@
 
 #include "squid/core/serialize.hpp"
 #include "squid/core/system.hpp"
+#include "squid/obs/export.hpp"
 #include "squid/stats/summary.hpp"
 
 namespace {
@@ -35,15 +40,42 @@ void print_help() {
       "  publish <name> <kw1> <kw2> index an element\n"
       "  unpublish <name> <kw1> <kw2>\n"
       "  query <text>               e.g. query (comp*, a-m)\n"
+      "  explain <text>             run a query and print its span trace\n"
       "  loads                      load distribution summary\n"
       "  stats                      system counters\n"
       "  save <file> | load <file>  snapshot to/from disk\n"
       "  help | quit\n";
 }
 
+void print_usage(const char* argv0) {
+  std::cout << "usage: " << argv0 << " [--help] [--trace-out=FILE]\n"
+            << "\nInteractive shell over a simulated Squid deployment;\n"
+            << "reads commands from stdin, one per line.\n\n";
+  print_help();
+  std::cout << "\nflags:\n"
+            << "  --help            print this message and exit\n"
+            << "  --trace-out=FILE  also write each `explain` trace as\n"
+            << "                    Perfetto trace_event JSON to FILE\n";
+}
+
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(argv[0]);
+      return 0;
+    }
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(12);
+      continue;
+    }
+    std::cerr << "unknown flag '" << arg << "' — try --help\n";
+    return 2;
+  }
+
   std::unique_ptr<core::SquidSystem> sys;
   Rng rng(1);
   std::cout << "squid shell — 2D keyword space, 'help' for commands\n";
@@ -92,6 +124,34 @@ int main() {
                   << result.stats.critical_path_hops << " hops):";
         for (const auto& e : result.elements) std::cout << ' ' << e.name;
         std::cout << '\n';
+      } else if (command == "explain") {
+        if (!obs::kEnabled) {
+          std::cout << "tracing unavailable: rebuilt with -DSQUID_OBS=OFF\n";
+          continue;
+        }
+        std::string text;
+        std::getline(args, text);
+        const bool was_tracing = sys->tracing();
+        sys->set_tracing(true);
+        const auto result = sys->query(text, rng);
+        sys->set_tracing(was_tracing);
+        if (!result.trace) {
+          std::cout << "no trace recorded\n";
+          continue;
+        }
+        obs::print_span_tree(*result.trace, std::cout);
+        std::cout << result.stats.matches << " matches, "
+                  << result.stats.messages << " msgs, depth "
+                  << result.stats.critical_path_hops << " hops\n";
+        if (!trace_out.empty()) {
+          std::ofstream out(trace_out);
+          if (out) {
+            obs::write_trace_json(*result.trace, out);
+            std::cout << "trace written to " << trace_out << '\n';
+          } else {
+            std::cout << "cannot write " << trace_out << '\n';
+          }
+        }
       } else if (command == "loads") {
         Summary loads;
         for (const auto& [id, load] : sys->node_loads())

@@ -165,6 +165,15 @@ public:
     cache_stats_ = {};
   }
 
+  // --- Observability (obs/trace.hpp) ---------------------------------------
+
+  /// Toggle span-level query tracing at runtime. Seeded from
+  /// SquidConfig::trace_queries. While on, every query() attaches a trace
+  /// to QueryResult::trace; a no-op (and always false) when the
+  /// observability layer is compiled out (SQUID_OBS_ENABLED=0).
+  void set_tracing(bool on) noexcept;
+  bool tracing() const noexcept { return trace_enabled_; }
+
 private:
   struct StoredKey {
     sfc::Point point; ///< cached coordinates (avoids inverse mapping)
@@ -180,21 +189,25 @@ private:
   /// Count of stored keys in the wrapped ring interval (from, to].
   std::size_t keys_in_range(NodeId from, NodeId to) const;
 
+  // The query-path methods thread two ids alongside the work: `event`, the
+  // timing-DAG event the step executes under, and `span`, the parent trace
+  // span new spans attach to (-1 / ignored when tracing is off).
   void resolve_at_node(QueryContext& ctx, NodeId at,
                        std::vector<sfc::ClusterNode> clusters,
-                       std::int32_t event) const;
+                       std::int32_t event, std::int32_t span) const;
   void collect_segment(QueryContext& ctx, NodeId at, sfc::Segment segment,
-                       bool covered, std::int32_t event) const;
+                       bool covered, std::int32_t event,
+                       std::int32_t span) const;
   void collect_covered(QueryContext& ctx, NodeId at, sfc::Segment segment,
-                       std::int32_t event) const;
+                       std::int32_t event, std::int32_t span) const;
   void scan_local(QueryContext& ctx, NodeId at, sfc::Segment segment,
-                  bool covered) const;
+                  bool covered, std::int32_t event, std::int32_t span) const;
   /// Clusters arrive paired with their precomputed segment-lo key, sorted
   /// ascending, so batching never re-derives segments.
   void dispatch_remote(
       QueryContext& ctx, NodeId from,
       const std::vector<std::pair<u128, sfc::ClusterNode>>& clusters,
-      std::int32_t event) const;
+      std::int32_t event, std::int32_t span) const;
 
   /// Rank of the first stored key strictly greater than `v` (== the number
   /// of keys <= v): the primitive behind every load probe and split point.
@@ -212,6 +225,7 @@ private:
   std::vector<StoredKey> key_data_;
   std::size_t element_count_ = 0;
   std::size_t balance_moves_ = 0;
+  bool trace_enabled_ = false; ///< runtime half of the tracing switch
   /// Per-peer memory of owners learned from aggregation replies:
   /// peer -> (cluster level, prefix) -> owner. Only the dispatching peer's
   /// own entries are consulted (no global knowledge leaks in).

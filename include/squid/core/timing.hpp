@@ -23,8 +23,26 @@ struct LinkModel {
   double processing_ms = 1.0;
 };
 
+/// One replayed event: when its message finished arriving, plus the DAG
+/// edge it rode. Indexed by timing-event id — the same ids trace spans
+/// carry in obs::Span::event, so a breakdown row joins directly onto the
+/// span that caused it.
+struct EventCompletion {
+  double at_ms = 0.0;       ///< arrival time of this event's message
+  std::int32_t parent = -1; ///< the event it waited on (-1: query start)
+  std::uint32_t hops = 0;   ///< overlay hops the message took
+};
+
+/// Replay the DAG once under `model`, reporting the per-event arrival
+/// times. Entry 0 is the query start (0 ms). Consumes the rng in event
+/// order, one draw per hop — exactly the stream sample_completion_ms
+/// consumes, which is implemented on top of this.
+std::vector<EventCompletion> sample_completion_breakdown(
+    const std::vector<TimingEvent>& timing, const LinkModel& model, Rng& rng);
+
 /// One sampled wall-clock completion time (ms) of the query whose timing
-/// DAG is `timing`, under `model`.
+/// DAG is `timing`, under `model`: the latest arrival in one replayed
+/// breakdown.
 double sample_completion_ms(const std::vector<TimingEvent>& timing,
                             const LinkModel& model, Rng& rng);
 

@@ -3,10 +3,15 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "squid/keyword/space.hpp"
+
+namespace squid::obs {
+struct Trace;
+}
 
 namespace squid::core {
 
@@ -51,6 +56,11 @@ struct QueryResult {
   /// The query's message-dependency DAG, for wall-clock replay under a
   /// link-latency model (core/timing.hpp).
   std::vector<TimingEvent> timing;
+  /// Span-level trace of the resolution (obs/trace.hpp). Populated only
+  /// when tracing is compiled in AND enabled on the system
+  /// (SquidSystem::set_tracing / SquidConfig::trace_queries); null
+  /// otherwise. `stats` is derivable from it (obs::derive_stats).
+  std::shared_ptr<const obs::Trace> trace;
 };
 
 struct SquidConfig {
@@ -72,6 +82,10 @@ struct SquidConfig {
   /// prefix, and sends later sub-queries for cached prefixes directly
   /// (verified on arrival; stale entries fall back to routing).
   bool cache_cluster_owners = false;
+  /// Record a span-level trace for every query() (obs/trace.hpp) and
+  /// attach it as QueryResult::trace. Runtime half of the zero-cost
+  /// contract; SquidSystem::set_tracing toggles it after construction.
+  bool trace_queries = false;
 };
 
 /// Hit/miss counters for the cluster-owner cache.

@@ -1,0 +1,42 @@
+// Exporters for traces and metrics (DESIGN.md 4c).
+//
+// - write_trace_json: Chrome/Perfetto `trace_event` JSON. Load the file in
+//   https://ui.perfetto.dev (or chrome://tracing): each simulated peer that
+//   executed spans gets its own track, laid out on the virtual clock (one
+//   tick = one overlay hop, rendered as 1ms so the UI has visible widths).
+// - write_metrics_csv / write_metrics_json: flat dumps of a Registry
+//   snapshot, the machine-readable sidecar the bench fixtures emit.
+// - print_span_tree: human-oriented rendering with per-subtree cost
+//   rollups; backs `squid_cli explain`.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "squid/obs/metrics.hpp"
+#include "squid/obs/trace.hpp"
+
+namespace squid::obs {
+
+/// Chrome trace_event JSON (object form, "traceEvents" array of complete
+/// "ph":"X" events). Valid JSON; loads in Perfetto.
+void write_trace_json(const Trace& trace, std::ostream& out);
+
+/// One row per metric: kind,name,field,value. Histograms emit count/sum/
+/// min/max rows plus one row per bucket.
+void write_metrics_csv(const Registry::Snapshot& snapshot, std::ostream& out);
+void write_metrics_json(const Registry::Snapshot& snapshot,
+                        std::ostream& out);
+
+/// Write `registry`'s current snapshot to `path`; format picked by
+/// extension (".json" -> JSON, anything else -> CSV). Returns false when
+/// the file cannot be opened.
+bool dump_metrics(const Registry& registry, const std::string& path);
+
+/// Pretty-print the span tree. Every span line shows its own attributes;
+/// aggregate lines (in brackets) roll up messages, keys scanned, and
+/// matches over the whole subtree.
+void print_span_tree(const Trace& trace, std::ostream& out);
+
+} // namespace squid::obs

@@ -1,0 +1,137 @@
+// Per-query trace recording (DESIGN.md 4c).
+//
+// The query engine's cost accounting (QueryStats) answers *what* a query
+// cost; a trace answers *why*: a tree of typed spans mirrors every step the
+// distributed resolution took — refinement descents, pruned subtrees,
+// cluster dispatches, overlay routing legs, local scans, owner-cache
+// consults, and sub-cluster aggregation merges. Timestamps are virtual
+// ticks on the sim kernel's clock (sim::Time, one tick per overlay hop):
+// a span's start is the hop-depth of the timing event that delivered its
+// work, so the trace lays out along the query's critical path.
+//
+// Contract: the legacy QueryStats aggregates are *derivable* from a trace
+// (derive_stats below); tests/obs/trace_differential_test.cpp holds the two
+// bit-identical on the differential query suites.
+//
+// Zero-cost when disabled: recording is gated by the SQUID_OBS_ENABLED
+// macro (compile time; see obs/metrics.hpp) and by the per-system runtime
+// flag (SquidSystem::set_tracing). With the macro off the engine's trace
+// pointer is a constexpr nullptr and every recording branch folds away;
+// with it on but tracing off, the cost is one predictable branch per site.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "squid/overlay/id_space.hpp"
+#include "squid/sim/engine.hpp"
+
+namespace squid::core {
+struct QueryStats;
+}
+
+namespace squid::obs {
+
+/// Span taxonomy (DESIGN.md 4c). One kind per engine step worth explaining.
+enum class SpanKind : std::uint8_t {
+  kQuery,            ///< root: the whole query, anchored at the origin
+  kRefineDescend,    ///< one node expanding its assigned refinement subtree
+  kPrune,            ///< a cluster/cell classified disjoint and dropped
+  kClusterDispatch,  ///< a batch of clusters shipped to a remote owner
+  kRouteHop,         ///< an overlay routing leg (route() or neighbor forward)
+  kLocalScan,        ///< a segment scan against one peer's key store
+  kCacheHit,         ///< owner-cache consult that resolved the destination
+  kCacheMiss,        ///< owner-cache consult that missed (or was stale)
+  kAggregationMerge, ///< sub-clusters merged into one aggregated message
+};
+
+const char* span_kind_name(SpanKind kind) noexcept;
+
+/// One trace span. Plain data; unused attributes stay zero. `event` is the
+/// index of the QueryResult::timing event this span executed under — the
+/// same ids core::sample_completion_breakdown reports, so a wall-clock
+/// replay can be joined back onto the trace.
+struct Span {
+  SpanKind kind = SpanKind::kQuery;
+  std::int32_t parent = -1; ///< parent span index, -1 for the root
+  std::int32_t event = 0;   ///< timing-DAG event id (QueryResult::timing)
+  sim::Time start = 0;      ///< virtual ticks (overlay hops from the origin)
+  sim::Time end = 0;
+  overlay::NodeId node = 0; ///< peer performing / receiving the step
+  u128 range_lo = 0;        ///< cluster segment or scanned index range
+  u128 range_hi = 0;
+  std::uint32_t level = 0;  ///< refinement-tree level of the cluster
+  std::uint32_t hops = 0;   ///< overlay hops paid by this step
+  std::uint32_t messages = 0;   ///< query messages paid by this step
+  std::uint32_t batch = 0;      ///< clusters carried (dispatch/merge spans)
+  std::uint64_t keys_scanned = 0;
+  std::uint64_t keys_matched = 0;
+  std::uint64_t matches = 0;    ///< data elements matched (local scans)
+  /// Slice [path_begin, path_end) into Trace::nodes: the peers this step
+  /// touched as *routing* participants (route paths, forward endpoints).
+  std::uint32_t path_begin = 0;
+  std::uint32_t path_end = 0;
+};
+
+/// A recorded query trace: the span tree plus the shared node-path pool.
+struct Trace {
+  std::vector<Span> spans;
+  std::vector<overlay::NodeId> nodes; ///< storage for Span path slices
+};
+
+/// Builder used by the query engine. Span ids are indices into the trace;
+/// hold ids, not references (the vector reallocates).
+class TraceRecorder {
+public:
+  /// Open a span; `start` is the virtual-clock tick it begins at. Returns
+  /// its id. The span's `end` defaults to `start`.
+  std::int32_t begin(SpanKind kind, std::int32_t parent, std::int32_t event,
+                     sim::Time start) {
+    Span span;
+    span.kind = kind;
+    span.parent = parent;
+    span.event = event;
+    span.start = start;
+    span.end = start;
+    trace_.spans.push_back(span);
+    return static_cast<std::int32_t>(trace_.spans.size() - 1);
+  }
+
+  Span& at(std::int32_t id) {
+    return trace_.spans[static_cast<std::size_t>(id)];
+  }
+
+  /// Record the routing path of span `id` (appends to the shared pool).
+  template <typename It>
+  void set_path(std::int32_t id, It first, It last) {
+    Span& span = at(id);
+    span.path_begin = static_cast<std::uint32_t>(trace_.nodes.size());
+    trace_.nodes.insert(trace_.nodes.end(), first, last);
+    span.path_end = static_cast<std::uint32_t>(trace_.nodes.size());
+  }
+  void add_path_node(std::int32_t id, overlay::NodeId node) {
+    Span& span = at(id);
+    if (span.path_end != trace_.nodes.size()) {
+      // Paths must be contiguous; only the most recent span can grow.
+      span.path_begin = static_cast<std::uint32_t>(trace_.nodes.size());
+      span.path_end = span.path_begin;
+    }
+    trace_.nodes.push_back(node);
+    span.path_end = static_cast<std::uint32_t>(trace_.nodes.size());
+  }
+
+  const Trace& trace() const noexcept { return trace_; }
+  Trace take() noexcept { return std::move(trace_); }
+
+private:
+  Trace trace_;
+};
+
+/// Recompute the legacy per-query aggregates from a trace alone. For any
+/// query resolved with tracing on, this is bit-identical to the
+/// QueryStats the engine counted along the way (the differential suite
+/// enforces it).
+core::QueryStats derive_stats(const Trace& trace);
+
+} // namespace squid::obs

@@ -1,6 +1,13 @@
 // The distributed query engine (paper 3.4): translate the query to
 // refinement-tree clusters, embed the tree into the overlay, prune branches
 // that resolve locally, and aggregate sub-clusters headed to the same peer.
+//
+// Observability (DESIGN.md 4c): every accounting site below pairs its
+// QueryStats mutation with a trace span carrying the same quantities, so
+// obs::derive_stats can rebuild the legacy aggregates bit-identically from
+// the trace alone (tests/obs/trace_differential_test.cpp enforces this).
+// With SQUID_OBS_ENABLED=0 the context's trace pointer is a constexpr
+// nullptr and every `if (ctx.trace)` branch folds away.
 
 #include <algorithm>
 #include <atomic>
@@ -9,6 +16,8 @@
 #include <set>
 
 #include "squid/core/system.hpp"
+#include "squid/obs/metrics.hpp"
+#include "squid/obs/trace.hpp"
 #include "squid/sfc/cursor.hpp"
 #include "squid/util/require.hpp"
 
@@ -27,18 +36,35 @@ struct SquidSystem::QueryContext {
   std::vector<DataElement> results;
   /// Message-dependency DAG; event 0 is the query start at the origin.
   std::vector<TimingEvent> timing{TimingEvent{}};
+#if SQUID_OBS_ENABLED
+  /// Non-null only while this query records a trace.
+  obs::TraceRecorder* trace = nullptr;
+#else
+  static constexpr obs::TraceRecorder* trace = nullptr;
+#endif
+  /// Hop-depth of each timing event (= virtual-clock tick of delivery).
+  /// Maintained parallel to `timing`, but only while tracing.
+  std::vector<sim::Time> depth;
   /// Pending cross-node work: clusters already assigned to their owner,
-  /// plus the timing event that delivered them.
+  /// plus the timing event that delivered them and the dispatch span that
+  /// sent them (parent for the receiving node's spans).
   struct Task {
     NodeId node;
     std::vector<sfc::ClusterNode> clusters;
     std::int32_t event = 0;
+    std::int32_t span = -1;
   };
   std::deque<Task> tasks;
 
   std::int32_t add_event(std::int32_t parent, std::size_t hops) {
     timing.push_back(TimingEvent{parent, static_cast<std::uint32_t>(hops)});
+    if (trace)
+      depth.push_back(depth[static_cast<std::size_t>(parent)] + hops);
     return static_cast<std::int32_t>(timing.size() - 1);
+  }
+  /// Virtual-clock tick of `event`. Only valid while tracing.
+  sim::Time tick(std::int32_t event) const {
+    return depth[static_cast<std::size_t>(event)];
   }
   /// Safety valve for inconsistent rings (heavy churn): a real query would
   /// time out; we stop dispatching and return what was found.
@@ -85,10 +111,17 @@ private:
 
 } // namespace
 
+void SquidSystem::set_tracing(bool on) noexcept {
+  trace_enabled_ = on && SQUID_OBS_ENABLED != 0;
+}
+
 void SquidSystem::scan_local(QueryContext& ctx, NodeId at, sfc::Segment seg,
-                             bool covered) const {
+                             bool covered, std::int32_t event,
+                             std::int32_t span) const {
   ctx.processing.insert(at);
-  bool found = false;
+  std::uint64_t scanned = 0;
+  std::uint64_t matched = 0;
+  std::uint64_t collected = 0;
   // One contiguous sweep over the flat store: binary search to the segment
   // start, then walk the index/payload arrays in lockstep.
   std::size_t i = static_cast<std::size_t>(
@@ -96,8 +129,10 @@ void SquidSystem::scan_local(QueryContext& ctx, NodeId at, sfc::Segment seg,
       key_index_.begin());
   for (; i < key_index_.size() && key_index_[i] <= seg.hi; ++i) {
     const StoredKey& key = key_data_[i];
+    ++scanned;
     if (!covered && !ctx.rect.contains(key.point)) continue;
-    found = true;
+    ++matched;
+    collected += key.elements.size();
     if (ctx.count_only) {
       ctx.count += key.elements.size();
     } else {
@@ -105,12 +140,24 @@ void SquidSystem::scan_local(QueryContext& ctx, NodeId at, sfc::Segment seg,
                          key.elements.end());
     }
   }
-  if (found) ctx.data_nodes.insert(at);
+  if (matched > 0) ctx.data_nodes.insert(at);
+  if (ctx.trace) {
+    const std::int32_t id = ctx.trace->begin(obs::SpanKind::kLocalScan, span,
+                                             event, ctx.tick(event));
+    obs::Span& s = ctx.trace->at(id);
+    s.node = at;
+    s.range_lo = seg.lo;
+    s.range_hi = seg.hi;
+    s.keys_scanned = scanned;
+    s.keys_matched = matched;
+    s.matches = collected;
+  }
 }
 
 void SquidSystem::collect_segment(QueryContext& ctx, NodeId at,
                                   sfc::Segment seg, bool covered,
-                                  std::int32_t event) const {
+                                  std::int32_t event,
+                                  std::int32_t span) const {
   // Scan every owner of `seg` in ring order. The paper notes a cluster "may
   // be mapped to one or more adjacent nodes"; each forward to the next
   // owner is one neighbor message. `covered` skips per-key filtering when
@@ -124,11 +171,23 @@ void SquidSystem::collect_segment(QueryContext& ctx, NodeId at,
     ctx.messages += 1;
     ctx.routing.insert(r.path.begin(), r.path.end());
     at = r.dest;
+    const sim::Time sent = ctx.trace ? ctx.tick(event) : 0;
     event = ctx.add_event(event, r.hops());
+    if (ctx.trace) {
+      const std::int32_t id =
+          ctx.trace->begin(obs::SpanKind::kRouteHop, span, event, sent);
+      ctx.trace->set_path(id, r.path.begin(), r.path.end());
+      obs::Span& s = ctx.trace->at(id);
+      s.node = at;
+      s.hops = static_cast<std::uint32_t>(r.hops());
+      s.messages = 1;
+      s.end = ctx.tick(event);
+      span = id;
+    }
   }
   for (;;) {
     const sfc::Segment local = clip_local(at, seg);
-    scan_local(ctx, at, local, covered);
+    scan_local(ctx, at, local, covered, event, span);
     if (entirely_local(at, seg)) return;
     if (ctx.dispatch_budget == 0) return;
     --ctx.dispatch_budget;
@@ -137,20 +196,34 @@ void SquidSystem::collect_segment(QueryContext& ctx, NodeId at,
     ctx.routing.insert(at);
     ctx.routing.insert(next);
     seg.lo = local.hi + 1;
-    at = next;
+    const sim::Time sent = ctx.trace ? ctx.tick(event) : 0;
     event = ctx.add_event(event, 1); // one neighbor forward
+    if (ctx.trace) {
+      const std::int32_t id =
+          ctx.trace->begin(obs::SpanKind::kRouteHop, span, event, sent);
+      ctx.trace->add_path_node(id, at);
+      ctx.trace->add_path_node(id, next);
+      obs::Span& s = ctx.trace->at(id);
+      s.node = next;
+      s.hops = 1;
+      s.messages = 1;
+      s.end = ctx.tick(event);
+      span = id;
+    }
+    at = next;
   }
 }
 
 void SquidSystem::collect_covered(QueryContext& ctx, NodeId at,
-                                  sfc::Segment seg, std::int32_t event) const {
-  collect_segment(ctx, at, seg, /*covered=*/true, event);
+                                  sfc::Segment seg, std::int32_t event,
+                                  std::int32_t span) const {
+  collect_segment(ctx, at, seg, /*covered=*/true, event, span);
 }
 
 void SquidSystem::dispatch_remote(
     QueryContext& ctx, NodeId from,
     const std::vector<std::pair<u128, sfc::ClusterNode>>& clusters,
-    std::int32_t event) const {
+    std::int32_t event, std::int32_t span) const {
   // Paper 3.4.2, second optimization: the clusters are in ascending curve
   // order; probe with the first, learn the owner's identifier from its
   // reply, then ship every further cluster owned by the same peer as one
@@ -161,6 +234,18 @@ void SquidSystem::dispatch_remote(
     if (ctx.dispatch_budget == 0) return;
     --ctx.dispatch_budget;
     const u128 head_lo = clusters[i].first;
+
+    // The dispatch span opens before its outcome is known; route/cache
+    // consult spans nest under it. A failed route leaves it zero-cost.
+    std::int32_t dspan = -1;
+    if (ctx.trace) {
+      dspan = ctx.trace->begin(obs::SpanKind::kClusterDispatch, span, event,
+                               ctx.tick(event));
+      obs::Span& s = ctx.trace->at(dspan);
+      s.level = clusters[i].second.level;
+      s.range_lo = head_lo;
+      s.range_hi = head_lo;
+    }
 
     NodeId dest = 0;
     bool resolved = false;
@@ -181,12 +266,32 @@ void SquidSystem::dispatch_remote(
           ctx.messages += 1; // one direct message, no overlay routing
           ctx.routing.insert(from);
           ctx.routing.insert(dest);
+          if (ctx.trace) {
+            const std::int32_t id = ctx.trace->begin(
+                obs::SpanKind::kCacheHit, dspan, event, ctx.tick(event));
+            ctx.trace->add_path_node(id, from);
+            ctx.trace->add_path_node(id, dest);
+            obs::Span& s = ctx.trace->at(id);
+            s.node = dest;
+            s.level = clusters[i].second.level;
+            s.messages = 1;
+            s.end = s.start + 1; // direct send: one hop
+          }
         } else if (hit != cache_it->second.end()) {
           ++cache_stats_.stale;
           cache_it->second.erase(hit);
         }
       }
-      if (!resolved) ++cache_stats_.misses;
+      if (!resolved) {
+        ++cache_stats_.misses;
+        if (ctx.trace) {
+          const std::int32_t id = ctx.trace->begin(
+              obs::SpanKind::kCacheMiss, dspan, event, ctx.tick(event));
+          obs::Span& s = ctx.trace->at(id);
+          s.node = from;
+          s.level = clusters[i].second.level;
+        }
+      }
     }
 
     std::size_t dispatch_hops = 1; // direct send when the cache resolved it
@@ -197,11 +302,25 @@ void SquidSystem::dispatch_remote(
       ctx.routing.insert(r.path.begin(), r.path.end());
       dest = r.dest;
       dispatch_hops = std::max<std::size_t>(r.hops(), 1);
+      if (ctx.trace) {
+        const std::int32_t id = ctx.trace->begin(
+            obs::SpanKind::kRouteHop, dspan, event, ctx.tick(event));
+        ctx.trace->set_path(id, r.path.begin(), r.path.end());
+        obs::Span& s = ctx.trace->at(id);
+        s.node = dest;
+        s.hops = static_cast<std::uint32_t>(r.hops());
+        s.messages = 1;
+        s.end = s.start + r.hops();
+      }
     }
 
     std::size_t batch_end = i + 1;
+    bool reply_message = false;
     if (config_.aggregate_subclusters) {
-      if (!from_cache) ctx.messages += 1; // the owner's identifier reply
+      if (!from_cache) {
+        ctx.messages += 1; // the owner's identifier reply
+        reply_message = true;
+      }
       if (config_.cache_cluster_owners) {
         owner_cache_[from][{clusters[i].second.level,
                             clusters[i].second.prefix}] = dest;
@@ -217,19 +336,47 @@ void SquidSystem::dispatch_remote(
     // identifier reply and then one direct hop (reply + batch = 2 hops).
     const std::int32_t batch_event = ctx.add_event(
         event, dispatch_hops + (batch_end > i + 1 ? 2 : 0));
+    if (ctx.trace) {
+      if (batch_end > i + 1) {
+        const std::int32_t id = ctx.trace->begin(
+            obs::SpanKind::kAggregationMerge, dspan, event, ctx.tick(event));
+        obs::Span& s = ctx.trace->at(id);
+        s.node = from;
+        s.batch = static_cast<std::uint32_t>(batch_end - i - 1);
+        s.messages = 1; // the aggregated batch
+        s.end = ctx.tick(batch_event);
+      }
+      obs::Span& s = ctx.trace->at(dspan);
+      s.node = dest;
+      s.event = batch_event;
+      s.batch = static_cast<std::uint32_t>(batch_end - i);
+      s.hops = static_cast<std::uint32_t>(dispatch_hops);
+      s.messages = reply_message ? 1 : 0; // the identifier reply, if paid
+      s.range_hi = clusters[batch_end - 1].first;
+      s.end = ctx.tick(batch_event);
+    }
     std::vector<sfc::ClusterNode> batch;
     batch.reserve(batch_end - i);
     for (std::size_t k = i; k < batch_end; ++k)
       batch.push_back(clusters[k].second);
-    ctx.tasks.push_back({dest, std::move(batch), batch_event});
+    ctx.tasks.push_back({dest, std::move(batch), batch_event, dspan});
     i = batch_end;
   }
 }
 
 void SquidSystem::resolve_at_node(QueryContext& ctx, NodeId at,
                                   std::vector<sfc::ClusterNode> clusters,
-                                  std::int32_t event) const {
+                                  std::int32_t event,
+                                  std::int32_t span) const {
   ctx.processing.insert(at);
+  if (ctx.trace) {
+    const std::int32_t id = ctx.trace->begin(obs::SpanKind::kRefineDescend,
+                                             span, event, ctx.tick(event));
+    obs::Span& s = ctx.trace->at(id);
+    s.node = at;
+    s.batch = static_cast<std::uint32_t>(clusters.size());
+    span = id;
+  }
   const NodeId pred = ring_.predecessor_of(at);
   std::vector<std::pair<u128, sfc::ClusterNode>> remote; // (segment lo, node)
 
@@ -265,25 +412,49 @@ void SquidSystem::resolve_at_node(QueryContext& ctx, NodeId at,
       cursor.seek(cluster.prefix, cluster.level);
       relation = cursor.relation_to(ctx.rect);
     }
-    if (relation == CellRelation::disjoint) continue;
+    if (relation == CellRelation::disjoint) {
+      if (ctx.trace) {
+        const sfc::Segment pruned = refiner_.segment_of(cluster);
+        const std::int32_t id = ctx.trace->begin(obs::SpanKind::kPrune, span,
+                                                 event, ctx.tick(event));
+        obs::Span& s = ctx.trace->at(id);
+        s.node = at;
+        s.level = cluster.level;
+        s.range_lo = pruned.lo;
+        s.range_hi = pruned.hi;
+      }
+      continue;
+    }
     const sfc::Segment seg = refiner_.segment_of(cluster);
     if (relation == CellRelation::covered) {
-      collect_covered(ctx, at, seg, event);
+      collect_covered(ctx, at, seg, event, span);
       continue;
     }
     const bool owns_lo = in_open_closed(pred, at, seg.lo);
     if (owns_lo && entirely_local(at, seg)) {
       // Fig 8's pruning: the owner's identifier is past the cluster's last
       // index, so every possible match is stored here.
-      scan_local(ctx, at, seg, /*covered=*/false);
+      scan_local(ctx, at, seg, /*covered=*/false, event, span);
       continue;
     }
     if (item.classified) cursor.seek(cluster.prefix, cluster.level);
     for (u128 w = 0; w < fanout; ++w) {
       const auto rel = cursor.classify_child(w, ctx.rect);
-      if (rel == CellRelation::disjoint) continue;
       const sfc::ClusterNode child{
           (dims >= 128 ? 0 : cluster.prefix << dims) | w, cluster.level + 1};
+      if (rel == CellRelation::disjoint) {
+        if (ctx.trace) {
+          const sfc::Segment pruned = refiner_.segment_of(child);
+          const std::int32_t id = ctx.trace->begin(
+              obs::SpanKind::kPrune, span, event, ctx.tick(event));
+          obs::Span& s = ctx.trace->at(id);
+          s.node = at;
+          s.level = child.level;
+          s.range_lo = pruned.lo;
+          s.range_hi = pruned.hi;
+        }
+        continue;
+      }
       const u128 child_lo = refiner_.segment_of(child).lo;
       if (in_open_closed(pred, at, child_lo)) {
         work.push_back({child, rel, true});
@@ -297,7 +468,7 @@ void SquidSystem::resolve_at_node(QueryContext& ctx, NodeId at,
   // segment_of for every comparison.
   std::sort(remote.begin(), remote.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
-  dispatch_remote(ctx, at, remote, event);
+  dispatch_remote(ctx, at, remote, event, span);
 }
 
 namespace {
@@ -315,6 +486,28 @@ std::size_t critical_path_of(const std::vector<TimingEvent>& timing) {
   return best;
 }
 
+/// Per-query registry publishing (one shot at query end; handles resolved
+/// once). Dead code when the obs layer is compiled out.
+void publish_query_metrics(const QueryStats& stats) {
+  if constexpr (obs::kEnabled) {
+    auto& registry = obs::Registry::global();
+    static obs::Counter& queries = registry.counter("squid.query.count");
+    static obs::Counter& messages = registry.counter("squid.query.messages");
+    static obs::Counter& matches = registry.counter("squid.query.matches");
+    static obs::HistogramMetric& critical =
+        registry.histogram("squid.query.critical_path_hops", 0, 64, 16);
+    static obs::HistogramMetric& processing =
+        registry.histogram("squid.query.processing_nodes", 0, 256, 32);
+    queries.add(1);
+    messages.add(stats.messages);
+    matches.add(stats.matches);
+    critical.observe(static_cast<double>(stats.critical_path_hops));
+    processing.observe(static_cast<double>(stats.processing_nodes));
+  } else {
+    (void)stats;
+  }
+}
+
 } // namespace
 
 QueryResult SquidSystem::query(const keyword::Query& query,
@@ -328,6 +521,18 @@ QueryResult SquidSystem::query(const keyword::Query& query,
   ctx.dispatch_budget = 64 * (ring_.size() + 8); // churn safety valve
   ctx.routing.insert(origin);
 
+  std::int32_t root = -1;
+#if SQUID_OBS_ENABLED
+  obs::TraceRecorder recorder;
+  if (trace_enabled_) {
+    ctx.trace = &recorder;
+    ctx.depth.push_back(0); // event 0: the query start
+    root = recorder.begin(obs::SpanKind::kQuery, -1, 0, 0);
+    recorder.at(root).node = origin;
+    recorder.add_path_node(root, origin);
+  }
+#endif
+
   bool is_point = true;
   for (const auto& iv : ctx.rect.dims) is_point &= (iv.lo == iv.hi);
   if (is_point) {
@@ -340,15 +545,30 @@ QueryResult SquidSystem::query(const keyword::Query& query,
     if (r.ok) {
       ctx.messages += 1;
       ctx.routing.insert(r.path.begin(), r.path.end());
-      (void)ctx.add_event(0, r.hops());
-      scan_local(ctx, r.dest, sfc::Segment{index, index}, /*covered=*/true);
+      const std::int32_t event = ctx.add_event(0, r.hops());
+      std::int32_t span = root;
+      if (ctx.trace) {
+        const std::int32_t id =
+            ctx.trace->begin(obs::SpanKind::kRouteHop, root, event, 0);
+        ctx.trace->set_path(id, r.path.begin(), r.path.end());
+        obs::Span& s = ctx.trace->at(id);
+        s.node = r.dest;
+        s.hops = static_cast<std::uint32_t>(r.hops());
+        s.messages = 1;
+        s.end = ctx.tick(event);
+        span = id;
+      }
+      scan_local(ctx, r.dest, sfc::Segment{index, index}, /*covered=*/true,
+                 event, span);
     }
   } else {
-    ctx.tasks.push_back({origin, std::vector<sfc::ClusterNode>{{0, 0}}, 0});
+    ctx.tasks.push_back(
+        {origin, std::vector<sfc::ClusterNode>{{0, 0}}, 0, root});
     while (!ctx.tasks.empty()) {
       auto task = std::move(ctx.tasks.front());
       ctx.tasks.pop_front();
-      resolve_at_node(ctx, task.node, std::move(task.clusters), task.event);
+      resolve_at_node(ctx, task.node, std::move(task.clusters), task.event,
+                      task.span);
     }
   }
 
@@ -361,6 +581,14 @@ QueryResult SquidSystem::query(const keyword::Query& query,
   result.stats.messages = ctx.messages;
   result.timing = std::move(ctx.timing);
   result.stats.critical_path_hops = critical_path_of(result.timing);
+#if SQUID_OBS_ENABLED
+  if (ctx.trace) {
+    recorder.at(root).end =
+        static_cast<sim::Time>(result.stats.critical_path_hops);
+    result.trace = std::make_shared<const obs::Trace>(recorder.take());
+  }
+#endif
+  publish_query_metrics(result.stats);
   return result;
 }
 
@@ -371,7 +599,8 @@ QueryResult SquidSystem::query(const std::string& text, Rng& rng) const {
 std::size_t SquidSystem::count(const keyword::Query& query,
                                NodeId origin) const {
   // Same resolution as query(), but data nodes reply with counts instead of
-  // shipping elements — the cheap existence/cardinality probe.
+  // shipping elements — the cheap existence/cardinality probe. No
+  // QueryResult, so nothing to hang a trace off: tracing stays off here.
   SQUID_REQUIRE(ring_.contains(origin), "query origin is not a live node");
   std::optional<ScopedCacheWriter> cache_guard;
   if (config_.cache_cluster_owners) cache_guard.emplace(*cache_writers_);
@@ -381,11 +610,12 @@ std::size_t SquidSystem::count(const keyword::Query& query,
   ctx.dispatch_budget = 64 * (ring_.size() + 8);
   ctx.count_only = true;
   ctx.routing.insert(origin);
-  ctx.tasks.push_back({origin, std::vector<sfc::ClusterNode>{{0, 0}}, 0});
+  ctx.tasks.push_back({origin, std::vector<sfc::ClusterNode>{{0, 0}}, 0, -1});
   while (!ctx.tasks.empty()) {
     auto task = std::move(ctx.tasks.front());
     ctx.tasks.pop_front();
-    resolve_at_node(ctx, task.node, std::move(task.clusters), task.event);
+    resolve_at_node(ctx, task.node, std::move(task.clusters), task.event,
+                    task.span);
   }
   return ctx.count;
 }
@@ -404,9 +634,29 @@ QueryResult SquidSystem::query_centralized(const keyword::Query& query,
   // The origin expands the refinement tree by itself (paper 3.4.1's
   // unscalable straw man) and sends one message per cluster. Segments are
   // an over-approximation when the cap bites, so owners filter locally.
-  for (const sfc::Segment& seg :
-       refiner_.decompose_capped(ctx.rect, max_segments)) {
-    collect_segment(ctx, origin, seg, /*covered=*/false, /*event=*/0);
+  const std::vector<sfc::Segment> segments =
+      refiner_.decompose_capped(ctx.rect, max_segments);
+
+  std::int32_t root = -1;
+  std::int32_t span = -1;
+#if SQUID_OBS_ENABLED
+  obs::TraceRecorder recorder;
+  if (trace_enabled_) {
+    ctx.trace = &recorder;
+    ctx.depth.push_back(0);
+    root = recorder.begin(obs::SpanKind::kQuery, -1, 0, 0);
+    recorder.at(root).node = origin;
+    recorder.add_path_node(root, origin);
+    // The origin is the lone processing node; model its decomposition as
+    // one refine-descend span so derive_stats sees it.
+    span = recorder.begin(obs::SpanKind::kRefineDescend, root, 0, 0);
+    recorder.at(span).node = origin;
+    recorder.at(span).batch = static_cast<std::uint32_t>(segments.size());
+  }
+#endif
+
+  for (const sfc::Segment& seg : segments) {
+    collect_segment(ctx, origin, seg, /*covered=*/false, /*event=*/0, span);
   }
 
   QueryResult result;
@@ -418,6 +668,13 @@ QueryResult SquidSystem::query_centralized(const keyword::Query& query,
   result.stats.messages = ctx.messages;
   result.timing = std::move(ctx.timing);
   result.stats.critical_path_hops = critical_path_of(result.timing);
+#if SQUID_OBS_ENABLED
+  if (ctx.trace) {
+    recorder.at(root).end =
+        static_cast<sim::Time>(result.stats.critical_path_hops);
+    result.trace = std::make_shared<const obs::Trace>(recorder.take());
+  }
+#endif
   return result;
 }
 

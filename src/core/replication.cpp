@@ -1,5 +1,6 @@
 #include "squid/core/replication.hpp"
 
+#include "squid/obs/metrics.hpp"
 #include "squid/util/require.hpp"
 
 namespace squid::core {
@@ -70,6 +71,8 @@ SquidSystem::NodeId ReplicationManager::join_node(Rng& rng) {
 }
 
 std::size_t ReplicationManager::repair() {
+  if constexpr (obs::kEnabled)
+    obs::Registry::global().counter("squid.replication.repairs").add(1);
   std::size_t transfers = 0;
   for (auto& [key, owners] : holders_) {
     if (owners.empty()) continue; // unrecoverable
@@ -90,6 +93,14 @@ std::size_t ReplicationManager::repair() {
         }
       }
     }
+  }
+  if constexpr (obs::kEnabled) {
+    obs::Registry::global()
+        .counter("squid.replication.transfers")
+        .add(transfers);
+    obs::Registry::global()
+        .gauge("squid.replication.lost_keys")
+        .set(static_cast<double>(lost_keys()));
   }
   return transfers;
 }

@@ -2,16 +2,35 @@
 
 #include <algorithm>
 
+#include "squid/obs/metrics.hpp"
 #include "squid/util/require.hpp"
 
 namespace squid::core {
+
+namespace {
+
+/// One relaxed-atomic bump on a pre-resolved registry handle; dead code
+/// with the obs layer compiled out.
+void bump(const char* name, std::uint64_t n = 1) {
+  if constexpr (obs::kEnabled) {
+    obs::Registry::global().counter(name).add(n);
+  } else {
+    (void)name;
+    (void)n;
+  }
+}
+
+} // namespace
 
 SquidSystem::SquidSystem(keyword::KeywordSpace space, SquidConfig config)
     : space_(std::move(space)), config_(std::move(config)),
       curve_(sfc::make_curve(config_.curve, space_.dims(),
                              space_.bits_per_dim())),
       refiner_(*curve_),
-      ring_(curve_->index_bits(), config_.successor_list, config_.finger_base) {}
+      ring_(curve_->index_bits(), config_.successor_list,
+            config_.finger_base) {
+  set_tracing(config_.trace_queries);
+}
 
 u128 SquidSystem::index_of_element(const DataElement& element) const {
   return curve_->index_of(space_.encode(element.keys));
@@ -51,6 +70,7 @@ SquidSystem::NodeId SquidSystem::join_node(Rng& rng) {
     }
   }
   ring_.add_node_exact(best);
+  bump("squid.balance.sampled_joins");
   return best;
 }
 
@@ -72,6 +92,11 @@ void SquidSystem::publish(const DataElement& element) {
   }
   key_data_[pos].elements.push_back(element);
   ++element_count_;
+  if constexpr (obs::kEnabled) {
+    static obs::Counter& publishes =
+        obs::Registry::global().counter("squid.system.publishes");
+    publishes.add(1);
+  }
 }
 
 void SquidSystem::publish_batch(const std::vector<DataElement>& elements) {
@@ -119,6 +144,7 @@ void SquidSystem::publish_batch(const std::vector<DataElement>& elements) {
   key_index_ = std::move(merged_index);
   key_data_ = std::move(merged_data);
   element_count_ += elements.size();
+  bump("squid.system.publishes", elements.size());
 }
 
 bool SquidSystem::unpublish(const DataElement& element) {
@@ -136,6 +162,7 @@ bool SquidSystem::unpublish(const DataElement& element) {
     key_index_.erase(it);
     key_data_.erase(key_data_.begin() + static_cast<std::ptrdiff_t>(pos));
   }
+  bump("squid.system.unpublishes");
   return true;
 }
 
@@ -243,6 +270,7 @@ std::size_t SquidSystem::runtime_balance_sweep(double threshold) {
       ring_.add_node_exact(boundary);
       ++moves;
       ++balance_moves_;
+      bump("squid.balance.moves");
     } else if (static_cast<double>(load_pred) >
                threshold *
                    static_cast<double>(std::max<std::size_t>(load_self, 1))) {
@@ -259,8 +287,10 @@ std::size_t SquidSystem::runtime_balance_sweep(double threshold) {
       ring_.add_node_exact(boundary);
       ++moves;
       ++balance_moves_;
+      bump("squid.balance.moves");
     }
   }
+  bump("squid.balance.sweeps");
   return moves;
 }
 

@@ -6,23 +6,41 @@
 
 namespace squid::core {
 
-double sample_completion_ms(const std::vector<TimingEvent>& timing,
-                            const LinkModel& model, Rng& rng) {
+std::vector<EventCompletion> sample_completion_breakdown(
+    const std::vector<TimingEvent>& timing, const LinkModel& model,
+    Rng& rng) {
   SQUID_REQUIRE(model.base_ms >= 0 && model.jitter_ms >= 0 &&
                     model.processing_ms >= 0,
                 "link model costs must be nonnegative");
-  if (timing.empty()) return 0.0;
-  std::vector<double> at(timing.size(), 0.0);
-  double completion = 0.0;
+  std::vector<EventCompletion> events(timing.size());
   for (std::size_t i = 1; i < timing.size(); ++i) {
     const auto parent = static_cast<std::size_t>(timing[i].parent);
     SQUID_REQUIRE(parent < i, "timing DAG must reference earlier events");
     double transit = 0.0;
     for (std::uint32_t hop = 0; hop < timing[i].hops; ++hop)
       transit += model.base_ms + model.jitter_ms * rng.uniform();
-    at[i] = at[parent] + transit + model.processing_ms;
-    completion = std::max(completion, at[i]);
+    events[i].at_ms = events[parent].at_ms + transit + model.processing_ms;
+    events[i].parent = timing[i].parent;
+    events[i].hops = timing[i].hops;
   }
+  return events;
+}
+
+double sample_completion_ms(const std::vector<TimingEvent>& timing,
+                            const LinkModel& model, Rng& rng) {
+  // Built on the breakdown so the two stay bit-identical: same rng stream,
+  // same arrival arithmetic, completion = the latest arrival.
+  if (timing.empty()) {
+    SQUID_REQUIRE(model.base_ms >= 0 && model.jitter_ms >= 0 &&
+                      model.processing_ms >= 0,
+                  "link model costs must be nonnegative");
+    return 0.0;
+  }
+  const std::vector<EventCompletion> events =
+      sample_completion_breakdown(timing, model, rng);
+  double completion = 0.0;
+  for (const EventCompletion& event : events)
+    completion = std::max(completion, event.at_ms);
   return completion;
 }
 

@@ -1,0 +1,244 @@
+#include "squid/obs/export.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "squid/util/u128.hpp"
+
+namespace squid::obs {
+
+namespace {
+
+/// Short peer label: hex of the id (u128 has no ostream operator).
+std::string node_label(overlay::NodeId id) { return to_hex_string(id); }
+
+/// Track assignment: one Perfetto tid per distinct executing peer, in order
+/// of first appearance (the origin's track comes first).
+std::map<overlay::NodeId, int> assign_tracks(const Trace& trace) {
+  std::map<overlay::NodeId, int> track;
+  int next = 1;
+  for (const Span& span : trace.spans)
+    if (track.emplace(span.node, next).second) ++next;
+  return track;
+}
+
+void write_json_escaped(std::ostream& out, const std::string& text) {
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+}
+
+} // namespace
+
+void write_trace_json(const Trace& trace, std::ostream& out) {
+  const auto tracks = assign_tracks(trace);
+  // Virtual ticks are overlay hops; render one hop as 1ms (1000us) so the
+  // Perfetto timeline has visible extents. Instant steps get 1 tick of
+  // width rather than a zero-duration sliver.
+  constexpr sim::Time kTickUs = 1000;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  // Name the per-peer tracks.
+  for (const auto& [node, tid] : tracks) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"args\":{\"name\":\"peer ";
+    write_json_escaped(out, node_label(node));
+    out << "\"}}";
+  }
+  for (std::size_t i = 0; i < trace.spans.size(); ++i) {
+    const Span& span = trace.spans[i];
+    const sim::Time dur = span.end > span.start ? span.end - span.start : 1;
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << span_kind_name(span.kind)
+        << "\",\"cat\":\"squid\",\"ph\":\"X\",\"ts\":" << span.start * kTickUs
+        << ",\"dur\":" << dur * kTickUs
+        << ",\"pid\":1,\"tid\":" << tracks.at(span.node) << ",\"args\":{"
+        << "\"span\":" << i << ",\"parent\":" << span.parent
+        << ",\"event\":" << span.event << ",\"node\":\"";
+    write_json_escaped(out, node_label(span.node));
+    out << "\",\"level\":" << span.level << ",\"hops\":" << span.hops
+        << ",\"messages\":" << span.messages << ",\"batch\":" << span.batch
+        << ",\"keys_scanned\":" << span.keys_scanned
+        << ",\"keys_matched\":" << span.keys_matched
+        << ",\"matches\":" << span.matches << ",\"range\":\"["
+        << to_string(span.range_lo) << "," << to_string(span.range_hi)
+        << "]\"}}";
+  }
+  out << "]}\n";
+}
+
+void write_metrics_csv(const Registry::Snapshot& snapshot,
+                       std::ostream& out) {
+  out << "kind,name,field,value\n";
+  for (const auto& row : snapshot.counters)
+    out << "counter," << row.name << ",value," << row.value << "\n";
+  for (const auto& row : snapshot.gauges)
+    out << "gauge," << row.name << ",value," << row.value << "\n";
+  for (const auto& row : snapshot.histograms) {
+    const auto& snap = row.snapshot;
+    out << "histogram," << row.name << ",count," << snap.count << "\n";
+    out << "histogram," << row.name << ",sum," << snap.sum << "\n";
+    out << "histogram," << row.name << ",min," << snap.min << "\n";
+    out << "histogram," << row.name << ",max," << snap.max << "\n";
+    for (std::size_t b = 0; b < snap.buckets.size(); ++b)
+      out << "histogram," << row.name << ",bucket_ge_" << snap.bucket_lo[b]
+          << "," << snap.buckets[b] << "\n";
+  }
+}
+
+void write_metrics_json(const Registry::Snapshot& snapshot,
+                        std::ostream& out) {
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& row : snapshot.counters) {
+    out << (first ? "" : ",") << "\n    \"" << row.name
+        << "\": " << row.value;
+    first = false;
+  }
+  out << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& row : snapshot.gauges) {
+    out << (first ? "" : ",") << "\n    \"" << row.name
+        << "\": " << row.value;
+    first = false;
+  }
+  out << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& row : snapshot.histograms) {
+    const auto& snap = row.snapshot;
+    out << (first ? "" : ",") << "\n    \"" << row.name
+        << "\": {\"count\": " << snap.count << ", \"sum\": " << snap.sum
+        << ", \"min\": " << snap.min << ", \"max\": " << snap.max
+        << ", \"buckets\": [";
+    for (std::size_t b = 0; b < snap.buckets.size(); ++b)
+      out << (b ? "," : "") << snap.buckets[b];
+    out << "]}";
+    first = false;
+  }
+  out << "\n  }\n}\n";
+}
+
+bool dump_metrics(const Registry& registry, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  const auto snapshot = registry.snapshot();
+  if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0) {
+    write_metrics_json(snapshot, out);
+  } else {
+    write_metrics_csv(snapshot, out);
+  }
+  return true;
+}
+
+namespace {
+
+struct Rollup {
+  std::uint64_t messages = 0;
+  std::uint64_t keys_scanned = 0;
+  std::uint64_t matches = 0;
+  std::uint64_t spans = 0;
+};
+
+void print_span(const Trace& trace,
+                const std::vector<std::vector<std::int32_t>>& children,
+                const std::vector<Rollup>& rollups, std::int32_t id,
+                const std::string& indent, bool last, std::ostream& out) {
+  const Span& span = trace.spans[static_cast<std::size_t>(id)];
+  const Rollup& roll = rollups[static_cast<std::size_t>(id)];
+  out << indent;
+  if (span.parent >= 0) out << (last ? "`- " : "|- ");
+  out << span_kind_name(span.kind);
+
+  switch (span.kind) {
+  case SpanKind::kQuery:
+    out << " @" << node_label(span.node);
+    break;
+  case SpanKind::kRefineDescend:
+    out << " @" << node_label(span.node) << " clusters=" << span.batch;
+    break;
+  case SpanKind::kPrune:
+    out << " level=" << span.level << " range=[" << to_string(span.range_lo)
+        << "," << to_string(span.range_hi) << "]";
+    break;
+  case SpanKind::kClusterDispatch:
+    out << " ->" << node_label(span.node) << " batch=" << span.batch
+        << " hops=" << span.hops;
+    break;
+  case SpanKind::kRouteHop:
+    out << " ->" << node_label(span.node) << " hops=" << span.hops;
+    break;
+  case SpanKind::kLocalScan:
+    out << " @" << node_label(span.node) << " scanned=" << span.keys_scanned
+        << " matched=" << span.keys_matched << " elements=" << span.matches;
+    break;
+  case SpanKind::kCacheHit:
+  case SpanKind::kCacheMiss:
+    out << " level=" << span.level;
+    break;
+  case SpanKind::kAggregationMerge:
+    out << " batch=" << span.batch;
+    break;
+  }
+  out << "  [t" << span.start << "-t" << span.end;
+  if (roll.spans > 1) {
+    // Subtree rollup: what resolving everything underneath cost.
+    out << " | subtree: " << roll.spans << " spans, " << roll.messages
+        << " msgs, " << roll.keys_scanned << " scanned, " << roll.matches
+        << " matches";
+  } else if (span.messages > 0) {
+    out << " | " << span.messages << " msg" << (span.messages > 1 ? "s" : "");
+  }
+  out << "]\n";
+
+  const auto& kids = children[static_cast<std::size_t>(id)];
+  const std::string next_indent =
+      span.parent >= 0 ? indent + (last ? "   " : "|  ") : indent;
+  for (std::size_t k = 0; k < kids.size(); ++k)
+    print_span(trace, children, rollups, kids[k], next_indent,
+               k + 1 == kids.size(), out);
+}
+
+} // namespace
+
+void print_span_tree(const Trace& trace, std::ostream& out) {
+  if (trace.spans.empty()) {
+    out << "(empty trace)\n";
+    return;
+  }
+  std::vector<std::vector<std::int32_t>> children(trace.spans.size());
+  std::vector<Rollup> rollups(trace.spans.size());
+  for (std::size_t i = 0; i < trace.spans.size(); ++i) {
+    const Span& span = trace.spans[i];
+    if (span.parent >= 0)
+      children[static_cast<std::size_t>(span.parent)].push_back(
+          static_cast<std::int32_t>(i));
+    rollups[i].messages = span.messages;
+    rollups[i].keys_scanned = span.keys_scanned;
+    rollups[i].matches = span.matches;
+    rollups[i].spans = 1;
+  }
+  // Children always follow parents (the recorder appends), so one reverse
+  // sweep accumulates subtree rollups bottom-up.
+  for (std::size_t i = trace.spans.size(); i-- > 0;) {
+    const Span& span = trace.spans[i];
+    if (span.parent < 0) continue;
+    Rollup& up = rollups[static_cast<std::size_t>(span.parent)];
+    up.messages += rollups[i].messages;
+    up.keys_scanned += rollups[i].keys_scanned;
+    up.matches += rollups[i].matches;
+    up.spans += rollups[i].spans;
+  }
+  for (std::size_t i = 0; i < trace.spans.size(); ++i)
+    if (trace.spans[i].parent < 0)
+      print_span(trace, children, rollups, static_cast<std::int32_t>(i), "",
+                 true, out);
+}
+
+} // namespace squid::obs

@@ -1,0 +1,99 @@
+#include "squid/obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace squid::obs {
+
+void HistogramMetric::observe(double v) {
+  if constexpr (!kEnabled) {
+    (void)v;
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  histogram_.add(v);
+  if (count_ == 0 || v < min_) min_ = v;
+  if (count_ == 0 || v > max_) max_ = v;
+  sum_ += v;
+  ++count_;
+}
+
+HistogramMetric::Snapshot HistogramMetric::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.count = count_;
+  snap.sum = sum_;
+  snap.min = min_;
+  snap.max = max_;
+  snap.buckets.reserve(histogram_.buckets());
+  snap.bucket_lo.reserve(histogram_.buckets());
+  for (std::size_t b = 0; b < histogram_.buckets(); ++b) {
+    snap.buckets.push_back(histogram_.count(b));
+    snap.bucket_lo.push_back(histogram_.bucket_lo(b));
+  }
+  return snap;
+}
+
+void HistogramMetric::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Histogram fresh(histogram_.bucket_lo(0),
+                  histogram_.bucket_hi(histogram_.buckets() - 1),
+                  histogram_.buckets());
+  histogram_ = std::move(fresh);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+HistogramMetric& Registry::histogram(std::string_view name, double lo,
+                                     double hi, std::size_t buckets) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_
+              .emplace(std::string(name),
+                       std::make_unique<HistogramMetric>(lo, hi, buckets))
+              .first->second;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  for (const auto& [name, c] : counters_)
+    snap.counters.push_back({name, c->value()});
+  for (const auto& [name, g] : gauges_)
+    snap.gauges.push_back({name, g->value()});
+  for (const auto& [name, h] : histograms_)
+    snap.histograms.push_back({name, h->snapshot()});
+  return snap;
+}
+
+} // namespace squid::obs

@@ -1,0 +1,64 @@
+#include "squid/obs/trace.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "squid/core/types.hpp"
+
+namespace squid::obs {
+
+const char* span_kind_name(SpanKind kind) noexcept {
+  switch (kind) {
+  case SpanKind::kQuery: return "query";
+  case SpanKind::kRefineDescend: return "refine-descend";
+  case SpanKind::kPrune: return "prune";
+  case SpanKind::kClusterDispatch: return "cluster-dispatch";
+  case SpanKind::kRouteHop: return "route-hop";
+  case SpanKind::kLocalScan: return "local-scan";
+  case SpanKind::kCacheHit: return "cache-hit";
+  case SpanKind::kCacheMiss: return "cache-miss";
+  case SpanKind::kAggregationMerge: return "aggregation-merge";
+  }
+  return "unknown";
+}
+
+core::QueryStats derive_stats(const Trace& trace) {
+  // Re-derive every legacy aggregate purely from span attributes, mirroring
+  // the engine's accounting rules:
+  //  - messages: each span carries the query messages its step paid;
+  //  - routing nodes: the union of all span path slices (route paths,
+  //    forward endpoints, direct-send endpoints, plus the origin recorded
+  //    on the root span);
+  //  - processing nodes: peers that expanded a refinement subtree or
+  //    scanned their store;
+  //  - data nodes: peers whose scan matched at least one key;
+  //  - matches: elements collected by local scans;
+  //  - critical path: the latest virtual-clock tick any span reaches
+  //    (span times are hop-depths in the timing DAG).
+  core::QueryStats stats;
+  std::set<overlay::NodeId> routing;
+  std::set<overlay::NodeId> processing;
+  std::set<overlay::NodeId> data_nodes;
+  sim::Time critical = 0;
+  for (const Span& span : trace.spans) {
+    stats.messages += span.messages;
+    for (std::uint32_t p = span.path_begin; p < span.path_end; ++p)
+      routing.insert(trace.nodes[p]);
+    if (span.kind == SpanKind::kRefineDescend ||
+        span.kind == SpanKind::kLocalScan) {
+      processing.insert(span.node);
+    }
+    if (span.kind == SpanKind::kLocalScan) {
+      stats.matches += span.matches;
+      if (span.keys_matched > 0) data_nodes.insert(span.node);
+    }
+    critical = std::max(critical, span.end);
+  }
+  stats.routing_nodes = routing.size();
+  stats.processing_nodes = processing.size();
+  stats.data_nodes = data_nodes.size();
+  stats.critical_path_hops = static_cast<std::size_t>(critical);
+  return stats;
+}
+
+} // namespace squid::obs

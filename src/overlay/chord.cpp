@@ -4,9 +4,47 @@
 #include <cassert>
 #include <unordered_set>
 
+#include "squid/obs/metrics.hpp"
 #include "squid/util/require.hpp"
 
 namespace squid::overlay {
+
+namespace {
+
+/// Registry handles for the ring's maintenance metrics, resolved once.
+/// Counters are relaxed atomics, so the const routing path stays safe under
+/// the concurrent readers of parallel_query_test.
+struct RingMetrics {
+  obs::Counter& routes;
+  obs::Counter& route_hops;
+  obs::Counter& route_failures;
+  obs::Counter& stabilize_ops;
+  obs::Counter& successor_fallbacks;
+  obs::Counter& finger_fixes;
+  obs::Counter& compactions;
+  obs::Counter& tombstones_dropped;
+  obs::Counter& joins;
+  obs::Counter& leaves;
+  obs::Counter& fails;
+
+  static RingMetrics& get() {
+    auto& r = obs::Registry::global();
+    static RingMetrics m{r.counter("squid.ring.routes"),
+                         r.counter("squid.ring.route_hops"),
+                         r.counter("squid.ring.route_failures"),
+                         r.counter("squid.ring.stabilize_ops"),
+                         r.counter("squid.ring.successor_fallbacks"),
+                         r.counter("squid.ring.finger_fixes"),
+                         r.counter("squid.ring.compactions"),
+                         r.counter("squid.ring.tombstones_dropped"),
+                         r.counter("squid.ring.joins"),
+                         r.counter("squid.ring.leaves"),
+                         r.counter("squid.ring.fails")};
+    return m;
+  }
+};
+
+} // namespace
 
 ChordRing::ChordRing(unsigned id_bits, unsigned successors,
                      unsigned finger_base)
@@ -66,6 +104,10 @@ std::uint32_t ChordRing::alloc_slot() {
 
 void ChordRing::compact() {
   if (dead_pos_.empty()) return;
+  if constexpr (obs::kEnabled) {
+    RingMetrics::get().compactions.add(1);
+    RingMetrics::get().tombstones_dropped.add(dead_pos_.size());
+  }
   std::size_t out = 0;
   for (std::size_t pos = 0; pos < ids_.size(); ++pos) {
     if (slot_[pos] == kDeadSlot) continue;
@@ -320,6 +362,7 @@ void ChordRing::build(std::size_t count, Rng& rng) {
   ids_ = std::move(merged);
   slot_ = std::move(merged_slots);
   live_count_ = ids_.size();
+  if constexpr (obs::kEnabled) RingMetrics::get().joins.add(fresh.size());
   repair_all();
 }
 
@@ -351,28 +394,37 @@ NodeId ChordRing::closest_preceding_alive(const ChordNode& n, u128 key) const {
 }
 
 RouteResult ChordRing::route(NodeId from, u128 key) const {
-  RouteResult result;
-  SQUID_REQUIRE(contains(from), "route source is not in the ring");
-  SQUID_REQUIRE(key <= id_mask(), "key exceeds the identifier space");
-  NodeId cur = from;
-  result.path.push_back(cur);
-  for (std::size_t hop = 0; hop < max_route_hops(); ++hop) {
-    const ChordNode& n = node(cur);
-    const auto succ = first_alive_successor(n);
-    if (!succ) return result; // partitioned: no live successor known
-    if (in_open_closed(cur, *succ, key)) {
-      result.ok = true;
-      result.dest = *succ;
-      if (*succ != cur) result.path.push_back(*succ);
-      return result;
+  const RouteResult result = [&] {
+    RouteResult r;
+    SQUID_REQUIRE(contains(from), "route source is not in the ring");
+    SQUID_REQUIRE(key <= id_mask(), "key exceeds the identifier space");
+    NodeId cur = from;
+    r.path.push_back(cur);
+    for (std::size_t hop = 0; hop < max_route_hops(); ++hop) {
+      const ChordNode& n = node(cur);
+      const auto succ = first_alive_successor(n);
+      if (!succ) return r; // partitioned: no live successor known
+      if (in_open_closed(cur, *succ, key)) {
+        r.ok = true;
+        r.dest = *succ;
+        if (*succ != cur) r.path.push_back(*succ);
+        return r;
+      }
+      NodeId next = closest_preceding_alive(n, key);
+      if (next == cur) next = *succ; // fingers useless: crawl the ring
+      if (next == cur) return r; // single stale node: no progress
+      r.path.push_back(next);
+      cur = next;
     }
-    NodeId next = closest_preceding_alive(n, key);
-    if (next == cur) next = *succ; // fingers useless: crawl the ring
-    if (next == cur) return result; // single stale node: no progress
-    result.path.push_back(next);
-    cur = next;
+    return r; // hop budget exhausted (routing loop under heavy churn)
+  }();
+  if constexpr (obs::kEnabled) {
+    RingMetrics& m = RingMetrics::get();
+    m.routes.add(1);
+    if (result.ok) m.route_hops.add(result.hops());
+    else m.route_failures.add(1);
   }
-  return result; // hop budget exhausted (routing loop under heavy churn)
+  return result;
 }
 
 RouteResult ChordRing::join(NodeId new_id, NodeId bootstrap) {
@@ -380,6 +432,7 @@ RouteResult ChordRing::join(NodeId new_id, NodeId bootstrap) {
   SQUID_REQUIRE(!contains(new_id), "duplicate node id");
   RouteResult r = route(bootstrap, new_id);
   if (!r.ok) return r;
+  if constexpr (obs::kEnabled) RingMetrics::get().joins.add(1);
 
   ChordNode n;
   n.id = new_id;
@@ -421,6 +474,7 @@ RouteResult ChordRing::join(NodeId new_id, NodeId bootstrap) {
 void ChordRing::leave(NodeId id) {
   const std::size_t pos = find_pos(id);
   SQUID_REQUIRE(pos != npos, "unknown node id");
+  if constexpr (obs::kEnabled) RingMetrics::get().leaves.add(1);
   const ChordNode& n = arena_[slot_[pos]];
   const auto succ = first_alive_successor(n);
   // Patch the neighbors (paper 3.2 Node Departures); distant finger tables
@@ -441,11 +495,13 @@ void ChordRing::leave(NodeId id) {
 void ChordRing::fail(NodeId id) {
   const std::size_t pos = find_pos(id);
   SQUID_REQUIRE(pos != npos, "unknown node id");
+  if constexpr (obs::kEnabled) RingMetrics::get().fails.add(1);
   remove_pos(pos);
 }
 
 void ChordRing::stabilize(NodeId id, Rng& rng) {
   if (!contains(id)) return;
+  if constexpr (obs::kEnabled) RingMetrics::get().stabilize_ops.add(1);
   ChordNode& n = node(id);
 
   // 1. Successor repair: drop dead list entries from the front.
@@ -454,6 +510,8 @@ void ChordRing::stabilize(NodeId id, Rng& rng) {
     // All known successors died (catastrophic). A real node would re-join
     // through an out-of-band bootstrap; model that directly.
     succ = successor_of((id + 1) & id_mask());
+    if constexpr (obs::kEnabled)
+      RingMetrics::get().successor_fallbacks.add(1);
   }
 
   // 2. Classic stabilize: adopt the successor's predecessor if closer.
@@ -489,7 +547,10 @@ void ChordRing::stabilize(NodeId id, Rng& rng) {
   if (n.fingers.empty()) n.fingers.assign(finger_count(), *succ);
   const auto k = static_cast<std::size_t>(rng.below(finger_count()));
   const RouteResult r = route(id, finger_target_of(id, k));
-  if (r.ok) node(id).fingers[k] = r.dest;
+  if (r.ok) {
+    node(id).fingers[k] = r.dest;
+    if constexpr (obs::kEnabled) RingMetrics::get().finger_fixes.add(1);
+  }
   node(id).fingers[0] = *succ;
 }
 

@@ -62,8 +62,11 @@ double Summary::gini() const {
 }
 
 double Summary::percentile(double p) const {
-  SQUID_REQUIRE(!samples_.empty(), "percentile of empty sample");
   SQUID_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p out of [0,100]");
+  // An empty sample has no order statistics; return the same defined value
+  // the other aggregates (mean, min, max) use so report pipelines never
+  // trip over an empty series.
+  if (samples_.empty()) return 0.0;
   std::vector<double> sorted = samples_;
   std::sort(sorted.begin(), sorted.end());
   if (sorted.size() == 1) return sorted.front();

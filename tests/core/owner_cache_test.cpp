@@ -70,18 +70,70 @@ TEST(OwnerCache, StaleEntriesSelfHealAfterChurn) {
   const keyword::Query q = world.corpus->q1(1, true);
   const auto origin = world.sys->ring().node_ids().front();
   const std::size_t expected = world.sys->query(q, origin).stats.matches;
+  ASSERT_EQ(world.sys->cache_stats().stale, 0u); // cold run: nothing cached
 
-  // Churn invalidates owners; cached entries verified on use must fall
-  // back and results must stay complete.
-  for (int i = 0; i < 15; ++i) {
-    const auto victim = world.sys->ring().random_node(rng);
-    if (victim == origin) continue;
+  // Fail every peer except the origin and the highest-id survivor (the
+  // survivor keeps most of the space remote from the origin, so dispatches
+  // still consult the cache). Almost every cached owner identifier is now
+  // dead: warmed entries MUST detect staleness, evict, and fall back to
+  // routing — while results stay complete.
+  const auto survivor = world.sys->ring().node_ids().back();
+  ASSERT_NE(survivor, origin);
+  for (const auto victim : world.sys->ring().node_ids()) {
+    if (victim == origin || victim == survivor) continue;
     world.sys->fail_node(victim);
   }
   world.sys->repair_routing();
   const auto after = world.sys->query(q, origin);
   EXPECT_EQ(after.stats.matches, expected); // data store survives, so must results
-  EXPECT_GE(world.sys->cache_stats().stale, 0u); // counter moves when hit
+  EXPECT_GT(world.sys->cache_stats().stale, 0u); // evictions actually happened
+  // Every stale consult became a miss and re-learned a live owner.
+  EXPECT_GE(world.sys->cache_stats().misses, world.sys->cache_stats().stale);
+}
+
+TEST(OwnerCache, CountersBalanceAcrossPublishUnpublishChurn) {
+  World world = make_world(116, true);
+  Rng rng(116);
+  const keyword::Query q = world.corpus->q1(0, true);
+  const auto origin = world.sys->ring().node_ids().front();
+
+  // Cold query: consults can only miss.
+  (void)world.sys->query(q, origin);
+  const CacheStats cold = world.sys->cache_stats();
+  EXPECT_GT(cold.misses, 0u);
+  EXPECT_EQ(cold.hits, 0u);
+  EXPECT_EQ(cold.stale, 0u);
+
+  // Publishing and unpublishing data changes the store but not ring
+  // ownership: warmed entries must keep verifying, so the second run hits
+  // and never goes stale.
+  const auto extra = world.corpus->make_elements(50, rng);
+  for (const auto& e : extra) world.sys->publish(e);
+  (void)world.sys->query(q, origin);
+  const CacheStats warm = world.sys->cache_stats();
+  EXPECT_GT(warm.hits, 0u);
+  EXPECT_EQ(warm.stale, 0u);
+  for (const auto& e : extra) EXPECT_TRUE(world.sys->unpublish(e));
+  (void)world.sys->query(q, origin);
+  EXPECT_EQ(world.sys->cache_stats().stale, 0u);
+  EXPECT_GT(world.sys->cache_stats().hits, warm.hits);
+
+  // Now churn the ring. Stale detections must strictly increment the stale
+  // counter, and every consult is exactly one of hit / miss (stale consults
+  // fall through to the miss counter): hits+misses only ever grows.
+  const CacheStats before = world.sys->cache_stats();
+  const auto survivor = world.sys->ring().node_ids().back();
+  ASSERT_NE(survivor, origin);
+  for (const auto victim : world.sys->ring().node_ids()) {
+    if (victim == origin || victim == survivor) continue;
+    world.sys->fail_node(victim);
+  }
+  world.sys->repair_routing();
+  (void)world.sys->query(q, origin);
+  const CacheStats after = world.sys->cache_stats();
+  EXPECT_GT(after.stale, before.stale);
+  EXPECT_GT(after.misses, before.misses);
+  EXPECT_GE(after.hits + after.misses, before.hits + before.misses);
 }
 
 TEST(OwnerCache, DisabledByDefault) {

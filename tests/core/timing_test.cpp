@@ -71,6 +71,53 @@ TEST(Timing, EndToEndEstimateTracksCriticalPath) {
   EXPECT_LT(noisy.max(), 41.0 * total_hops + result.timing.size());
 }
 
+TEST(Timing, BreakdownMatchesCompletionBitForBit) {
+  // sample_completion_ms is defined as the max arrival of one replayed
+  // breakdown; with identical rng seeds the two must agree to the last
+  // bit — this is a regression fence for the refactor that split them.
+  Rng rng(177);
+  workload::KeywordCorpus corpus(2, 150, 0.9, rng);
+  SquidSystem sys(corpus.make_space());
+  sys.build_network(60, rng);
+  sys.publish_batch(corpus.make_elements(1500, rng));
+
+  const auto result =
+      sys.query(corpus.q1(0, true), sys.ring().random_node(rng));
+  ASSERT_GT(result.timing.size(), 1u);
+
+  const LinkModel model{20.0, 20.0, 1.0};
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng a(seed);
+    Rng b(seed);
+    const double completion = sample_completion_ms(result.timing, model, a);
+    const auto events = sample_completion_breakdown(result.timing, model, b);
+    ASSERT_EQ(events.size(), result.timing.size());
+    double latest = 0.0;
+    for (const auto& event : events) latest = std::max(latest, event.at_ms);
+    EXPECT_EQ(completion, latest); // bitwise, not approximate
+    // Both consumed the same number of draws: the streams stay in lockstep.
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Timing, BreakdownRowsMirrorTheDag) {
+  Rng rng(178);
+  const LinkModel model{10.0, 0.0, 1.0}; // deterministic
+  const std::vector<TimingEvent> dag{{-1, 0}, {0, 3}, {0, 1}, {2, 2}};
+  const auto events = sample_completion_breakdown(dag, model, rng);
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_DOUBLE_EQ(events[0].at_ms, 0.0); // the query start
+  EXPECT_EQ(events[0].parent, -1);
+  for (std::size_t i = 1; i < dag.size(); ++i) {
+    EXPECT_EQ(events[i].parent, dag[i].parent);
+    EXPECT_EQ(events[i].hops, dag[i].hops);
+    // Each event arrives after its parent by exactly hops*base + processing.
+    const auto parent = static_cast<std::size_t>(dag[i].parent);
+    EXPECT_DOUBLE_EQ(events[i].at_ms,
+                     events[parent].at_ms + 10.0 * dag[i].hops + 1.0);
+  }
+}
+
 TEST(Timing, RejectsNegativeModel) {
   Rng rng(176);
   const std::vector<TimingEvent> chain{{-1, 0}, {0, 1}};

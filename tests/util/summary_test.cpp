@@ -23,7 +23,38 @@ TEST(Summary, EmptySampleIsSafe) {
   EXPECT_DOUBLE_EQ(s.mean(), 0.0);
   EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
   EXPECT_DOUBLE_EQ(s.cv(), 0.0);
-  EXPECT_THROW(s.percentile(50), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max_over_mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.gini(), 0.0);
+  // Every aggregate of an empty series is a defined 0.0 — including the
+  // order statistics; report pipelines must not have to special-case an
+  // empty figure series.
+  EXPECT_DOUBLE_EQ(s.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 0.0);
+  // The argument contract still holds even with no samples.
+  EXPECT_THROW(s.percentile(-1), std::invalid_argument);
+  EXPECT_THROW(s.percentile(101), std::invalid_argument);
+}
+
+TEST(Summary, SingleSampleIsDefinedEverywhere) {
+  Summary s({7.0});
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0); // fewer than two samples: no spread
+  EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max_over_mean(), 1.0);
+  EXPECT_DOUBLE_EQ(s.gini(), 0.0);
+  for (const double p : {0.0, 25.0, 50.0, 99.0, 100.0})
+    EXPECT_DOUBLE_EQ(s.percentile(p), 7.0);
+}
+
+TEST(Summary, AllZeroSampleAvoidsDivisionByZero) {
+  Summary s({0.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(s.cv(), 0.0);           // mean 0: ratio defined as 0
+  EXPECT_DOUBLE_EQ(s.max_over_mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.gini(), 0.0);         // zero total: perfect equality
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
 }
 
 TEST(Summary, CvAndMaxOverMean) {
