@@ -1,0 +1,186 @@
+// Churn sweep under full fault injection (docs/FAULT_MODEL.md,
+// EXPERIMENTS.md "measuring recall under churn"): drive a seeded FaultPlan
+// — crash waves, a timed partition, a rejoin wave, and ambient message
+// loss/delay/duplication — through the sim engine against a paper-scale
+// fixture, and measure query recall, cost, and retry traffic at four
+// phases: clean baseline, mid-partition, post-churn (no repair yet), and
+// after the periodic repair window (stabilization + timeout processing +
+// replica repair). Writes BENCH_churn.json; the repaired phase is expected
+// to recover >= 99% of the baseline recall.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/fixture.hpp"
+#include "common/query_sets.hpp"
+#include "squid/core/replication.hpp"
+#include "squid/sim/fault.hpp"
+
+namespace {
+
+using namespace squid;
+using namespace squid::bench;
+
+struct PhaseStats {
+  double recall = 0; // % of the clean-baseline matches recovered
+  double messages = 0;
+  double critical = 0;
+  double retries = 0;
+  double failed = 0;
+};
+
+PhaseStats measure(const core::SquidSystem& sys,
+                   const std::vector<NamedQuery>& queries,
+                   const std::vector<std::size_t>& truth, Rng& rng) {
+  PhaseStats p;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto r = sys.query(queries[q].query, sys.ring().random_node(rng));
+    p.recall += truth[q] == 0
+                    ? 100.0
+                    : 100.0 * static_cast<double>(r.stats.matches) /
+                          static_cast<double>(truth[q]);
+    p.messages += static_cast<double>(r.stats.messages);
+    p.critical += static_cast<double>(r.stats.critical_path_hops);
+    p.retries += static_cast<double>(r.stats.retries);
+    p.failed += static_cast<double>(r.stats.failed_clusters);
+  }
+  const double n = static_cast<double>(queries.size());
+  p.recall /= n;
+  p.messages /= n;
+  p.critical /= n;
+  p.retries /= n;
+  p.failed /= n;
+  return p;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  const ScalePoint scale = paper_scales(flags)[0];
+
+  Table table({"churn %", "phase", "recall %", "messages",
+               "critical path", "retries", "failed clusters"});
+  std::string json = "[\n";
+  bool first_row = true;
+  const auto add_row = [&](double churn_pct, const char* phase,
+                           const PhaseStats& p) {
+    table.add_row({Table::cell(churn_pct), phase,
+                   Table::cell(p.recall), Table::cell(p.messages),
+                   Table::cell(p.critical), Table::cell(p.retries),
+                   Table::cell(p.failed)});
+    char entry[320];
+    std::snprintf(entry, sizeof entry,
+                  "  {\"churn_pct\": %.0f, \"phase\": \"%s\", "
+                  "\"recall_pct\": %.2f, \"messages\": %.1f, "
+                  "\"critical_path_hops\": %.2f, \"retries\": %.2f, "
+                  "\"failed_clusters\": %.2f}",
+                  churn_pct, phase, p.recall, p.messages, p.critical,
+                  p.retries, p.failed);
+    if (!first_row) json += ",\n";
+    json += entry;
+    first_row = false;
+  };
+
+  for (const double churn : {0.10, 0.20, 0.30}) {
+    KeywordFixture fx = build_keyword_fixture(2, scale, flags.seed);
+    core::ReplicationManager replication(*fx.sys, 3);
+    replication.set_auto_repair(true);
+
+    Rng churn_rng(flags.seed ^ 0xc4a5);
+    Rng measure_rng(flags.seed ^ 0x3ea5);
+    const auto queries = q1_queries(fx);
+    std::vector<std::size_t> truth;
+    for (const auto& nq : queries)
+      truth.push_back(
+          fx.sys->query(nq.query, fx.sys->ring().random_node(measure_rng))
+              .stats.matches);
+    add_row(churn * 100, "baseline",
+            measure(*fx.sys, queries, truth, measure_rng));
+
+    // The seeded fault schedule: three crash waves, a ring-splitting
+    // partition over the second measurement, ambient message faults
+    // throughout, and a partial rejoin before repair starts.
+    const std::size_t kill = static_cast<std::size_t>(
+        churn * static_cast<double>(fx.sys->ring().size()));
+    sim::FaultPlan plan;
+    plan.seed = flags.seed ^ 0xfau;
+    plan.drop_probability = 0.05;
+    plan.delay_probability = 0.2;
+    plan.max_delay = 4;
+    plan.duplicate_probability = 0.02;
+    plan.events.push_back({40, /*crash=*/true, static_cast<std::uint32_t>(kill / 3)});
+    plan.events.push_back({80, /*crash=*/true, static_cast<std::uint32_t>(kill / 3)});
+    plan.events.push_back(
+        {120, /*crash=*/true, static_cast<std::uint32_t>(kill - 2 * (kill / 3))});
+    plan.events.push_back({200, /*crash=*/false, static_cast<std::uint32_t>(kill / 3)});
+    plan.partitions.push_back(
+        {140, 180,
+         static_cast<overlay::NodeId>(static_cast<u128>(1)
+                                      << (fx.sys->curve().index_bits() - 1))});
+
+    sim::FaultInjector injector(plan);
+    fx.sys->set_fault_injector(&injector);
+    sim::Engine engine;
+    engine.set_fault_injector(&injector);
+    injector.schedule_events(engine, [&](const sim::FaultPlan::NodeEvent& e) {
+      for (std::uint32_t i = 0; i < e.count; ++i) {
+        if (e.crash) {
+          replication.fail_node(fx.sys->ring().random_node(churn_rng));
+        } else {
+          (void)replication.join_node(churn_rng);
+        }
+      }
+    });
+
+    engine.run(150); // through the crash waves, into the partition window
+    add_row(churn * 100, "partitioned",
+            measure(*fx.sys, queries, truth, measure_rng));
+
+    engine.run(220); // partition healed, rejoin wave landed; still no repair
+    add_row(churn * 100, "churn",
+            measure(*fx.sys, queries, truth, measure_rng));
+
+    // The repair window: periodic maintenance — drain timeout suspicions
+    // into ring repair, stabilize, re-replicate — until the clock hits 500.
+    std::size_t timeouts_drained = 0;
+    engine.schedule_periodic(30, [&] {
+      timeouts_drained += fx.sys->process_timeouts();
+      fx.sys->stabilize(churn_rng, 2);
+      (void)replication.repair();
+      return engine.now() < 500;
+    });
+    engine.run();
+    add_row(churn * 100, "repaired",
+            measure(*fx.sys, queries, truth, measure_rng));
+
+    std::printf("churn %2.0f%%: drops=%llu delays=%llu dups=%llu "
+                "partition_drops=%llu timeouts_drained=%llu lost_keys=%zu\n",
+                churn * 100,
+                static_cast<unsigned long long>(injector.dropped()),
+                static_cast<unsigned long long>(injector.delayed()),
+                static_cast<unsigned long long>(injector.duplicated()),
+                static_cast<unsigned long long>(injector.partition_drops()),
+                static_cast<unsigned long long>(timeouts_drained),
+                replication.lost_keys());
+
+    maybe_capture_trace(*fx.sys, queries.front().query, flags, measure_rng);
+    fx.sys->set_fault_injector(nullptr);
+  }
+  json += "\n]\n";
+
+  emit("Churn sweep: recall and cost through crash/partition/repair phases",
+       table, flags);
+  const std::string out = "BENCH_churn.json";
+  if (FILE* f = std::fopen(out.c_str(), "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  maybe_dump_metrics(flags);
+  return 0;
+}

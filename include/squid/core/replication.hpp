@@ -35,6 +35,14 @@ public:
   /// after doing so. on_fail drops the failed peer's copies *before* the
   /// ring forgets it; on_join/on_leave keep holder bookkeeping aligned.
   void fail_node(SquidSystem::NodeId id);
+
+  /// Crash-triggered re-replication (docs/FAULT_MODEL.md): while enabled,
+  /// fail_node immediately re-replicates exactly the keys that lost a copy
+  /// on the crashed peer (targeted, unlike the full repair() sweep), as
+  /// DHash's reactive maintenance does. Off by default so durability
+  /// benches can still measure the pure periodic-repair regime.
+  void set_auto_repair(bool on) noexcept { auto_repair_ = on; }
+  bool auto_repair() const noexcept { return auto_repair_; }
   void leave_node(SquidSystem::NodeId id); ///< graceful: copies handed off
   SquidSystem::NodeId join_node(Rng& rng); ///< newcomer syncs its ranges
 
@@ -59,6 +67,7 @@ private:
 
   SquidSystem& sys_;
   unsigned factor_;
+  bool auto_repair_ = false;
   std::map<u128, std::set<SquidSystem::NodeId>> holders_;
 };
 

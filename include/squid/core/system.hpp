@@ -25,6 +25,10 @@
 #include "squid/sfc/refine.hpp"
 #include "squid/util/rng.hpp"
 
+namespace squid::sim {
+class FaultInjector; // sim/fault.hpp
+}
+
 namespace squid::core {
 
 class SquidSystem {
@@ -174,6 +178,24 @@ public:
   void set_tracing(bool on) noexcept;
   bool tracing() const noexcept { return trace_enabled_; }
 
+  // --- Fault injection (sim/fault.hpp, docs/FAULT_MODEL.md) -----------------
+
+  /// Attach (or detach, with nullptr) a fault injector: every query message
+  /// leg then consults it and retries lost legs with exponential backoff
+  /// (config().send_retries / retry_backoff). Not owned; must outlive its
+  /// use. An injector with an empty plan leaves every query bit-identical
+  /// to running without one (the zero-fault differential lock).
+  void set_fault_injector(sim::FaultInjector* injector) noexcept {
+    fault_ = injector;
+  }
+  sim::FaultInjector* fault_injector() const noexcept { return fault_; }
+
+  /// Periodic maintenance: drain the injector's queued timeout reports into
+  /// ChordRing::note_timeout (successor-list fallback + finger
+  /// invalidation). Queries run const and only *accumulate* suspicion; this
+  /// is where it becomes repair. Returns reports applied.
+  std::size_t process_timeouts();
+
 private:
   struct StoredKey {
     sfc::Point point; ///< cached coordinates (avoids inverse mapping)
@@ -226,6 +248,9 @@ private:
   std::size_t element_count_ = 0;
   std::size_t balance_moves_ = 0;
   bool trace_enabled_ = false; ///< runtime half of the tracing switch
+  /// Fault injector consulted by every query message leg; null = no faults
+  /// (the default, and the zero-overhead path).
+  sim::FaultInjector* fault_ = nullptr;
   /// Per-peer memory of owners learned from aggregation replies:
   /// peer -> (cluster level, prefix) -> owner. Only the dispatching peer's
   /// own entries are consulted (no global knowledge leaks in).

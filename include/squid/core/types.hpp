@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "squid/keyword/space.hpp"
+#include "squid/sim/engine.hpp"
 
 namespace squid::obs {
 struct Trace;
@@ -38,8 +39,15 @@ struct QueryStats {
   std::size_t messages = 0;
   /// Latency proxy: overlay hops along the longest chain of *dependent*
   /// messages (independent sub-queries proceed in parallel, so this is the
-  /// critical path, not the message total).
+  /// critical path, not the message total). Under fault injection, retry
+  /// backoff waits and delivery delays count as hops on this path.
   std::size_t critical_path_hops = 0;
+  /// Fault accounting (docs/FAULT_MODEL.md); both stay 0 without an
+  /// injector. `retries`: message legs resent after a presumed loss.
+  /// `failed_clusters`: sub-queries abandoned after exhausting retries (or
+  /// unroutable under churn) — each one a potential hole in the result.
+  std::size_t retries = 0;
+  std::size_t failed_clusters = 0;
 };
 
 /// One message event in a query's dependency DAG: it could only be sent
@@ -52,6 +60,11 @@ struct TimingEvent {
 
 struct QueryResult {
   QueryStats stats;
+  /// False when any sub-query was abandoned (stats.failed_clusters > 0):
+  /// `elements` is then a partial answer — the completeness guarantee holds
+  /// only for the curve regions that resolved. Always true without fault
+  /// injection on a consistent ring.
+  bool complete = true;
   std::vector<DataElement> elements;
   /// The query's message-dependency DAG, for wall-clock replay under a
   /// link-latency model (core/timing.hpp).
@@ -86,6 +99,13 @@ struct SquidConfig {
   /// attach it as QueryResult::trace. Runtime half of the zero-cost
   /// contract; SquidSystem::set_tracing toggles it after construction.
   bool trace_queries = false;
+  /// Fault tolerance (docs/FAULT_MODEL.md): resends attempted per message
+  /// leg after a presumed loss, before the leg is abandoned. Only consulted
+  /// while a fault injector is attached.
+  unsigned send_retries = 3;
+  /// Base retry backoff in virtual ticks; attempt k waits
+  /// retry_backoff << k before resending (exponential).
+  sim::Time retry_backoff = 2;
 };
 
 /// Hit/miss counters for the cluster-owner cache.

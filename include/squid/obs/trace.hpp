@@ -44,6 +44,12 @@ enum class SpanKind : std::uint8_t {
   kCacheHit,         ///< owner-cache consult that resolved the destination
   kCacheMiss,        ///< owner-cache consult that missed (or was stale)
   kAggregationMerge, ///< sub-clusters merged into one aggregated message
+  // Fault-layer kinds (docs/FAULT_MODEL.md). Appended, never reordered:
+  // recorded span kinds are part of the trace format.
+  kRetry, ///< a leg delivered after resends/duplication; messages = extra
+          ///< copies paid, batch = resends, hops = backoff+delay penalty
+  kFault, ///< a leg abandoned (retries exhausted or unroutable);
+          ///< messages = extra attempts paid, batch = clusters lost
 };
 
 const char* span_kind_name(SpanKind kind) noexcept;

@@ -109,6 +109,14 @@ public:
   /// the successor list, notify the successor, and fix one random finger.
   void stabilize(NodeId id, Rng& rng);
 
+  /// Failure detection (docs/FAULT_MODEL.md): `observer` exhausted its
+  /// message retries against `dead` and now suspects it. Purge `dead` from
+  /// the observer's successor list, repoint fingers at the observer's next
+  /// live successor, and clear a predecessor link to it — exactly what a
+  /// real node does after an RPC timeout. Safe against false positives
+  /// (message loss to a live peer): stabilization re-learns pruned state.
+  void note_timeout(NodeId observer, NodeId dead);
+
   /// Run `rounds` full sweeps of stabilize() over every node, in random
   /// order.
   void stabilize_all(Rng& rng, unsigned rounds = 1);
@@ -119,6 +127,10 @@ public:
   NodeId predecessor_of(u128 key) const;
 
   /// Recompute every node's predecessor/successor-list/fingers exactly.
+  /// Tolerates tombstoned entries: after mass departure the membership
+  /// array may hold up to ~50% dead slots (remove_pos defers compaction),
+  /// and repair resolves every link through live entries only instead of
+  /// assuming a dense array.
   void repair_all();
 
   const ChordNode& node(NodeId id) const;
@@ -151,11 +163,12 @@ private:
   /// Array position of live node `id`, or npos.
   std::size_t find_pos(NodeId id) const;
   /// Wire predecessor, successor list, and the short-range finger prefix of
-  /// the node at live rank `r` (requires a compacted array). Returns the
-  /// first finger index still needing a membership search.
+  /// the node at array position `r` (must be live; tombstoned neighbors are
+  /// skipped). Returns the first finger index still needing a membership
+  /// search.
   std::size_t wire_links(std::size_t r);
-  /// Wire node at live rank `r` exactly by rank arithmetic; requires a
-  /// compacted array.
+  /// Wire the node at array position `r` exactly (binary search per finger,
+  /// stepping over tombstones).
   void wire_rank(std::size_t r);
   /// Drop tombstones, restoring ids_/slot_ to dense rank order.
   void compact();

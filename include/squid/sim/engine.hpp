@@ -13,10 +13,14 @@
 #include <queue>
 #include <vector>
 
+#include "squid/overlay/id_space.hpp"
+
 namespace squid::sim {
 
 /// Virtual time in abstract ticks (experiments decide the unit).
 using Time = std::uint64_t;
+
+class FaultInjector; // sim/fault.hpp
 
 class Engine {
 public:
@@ -31,6 +35,24 @@ public:
   /// Schedule `action` every `period` ticks, starting `period` from now,
   /// until it returns false.
   void schedule_periodic(Time period, std::function<bool()> action);
+
+  /// Attach (or detach, with nullptr) a fault injector. While attached,
+  /// send() consults it for every message and run() keeps its virtual
+  /// clock aligned with the engine's. Not owned; must outlive the engine's
+  /// use of it.
+  void set_fault_injector(FaultInjector* injector) noexcept {
+    fault_ = injector;
+  }
+  FaultInjector* fault_injector() const noexcept { return fault_; }
+
+  /// Schedule a *message* from one peer to another: `action` models its
+  /// arrival after `delay` ticks of transit. With a fault injector attached
+  /// the message may be dropped (never scheduled; returns false), delayed
+  /// (extra ticks added), or duplicated (scheduled twice at the same
+  /// arrival tick; FIFO tie-break keeps the order deterministic). Without
+  /// an injector this is exactly schedule().
+  bool send(Time delay, overlay::NodeId from, overlay::NodeId to,
+            Action action);
 
   /// Run events until the queue drains or `until` is passed (events with
   /// timestamps beyond `until` stay queued). Returns events executed.
@@ -54,6 +76,7 @@ private:
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  FaultInjector* fault_ = nullptr;
 };
 
 } // namespace squid::sim

@@ -19,6 +19,7 @@
 #include "squid/obs/metrics.hpp"
 #include "squid/obs/trace.hpp"
 #include "squid/sfc/cursor.hpp"
+#include "squid/sim/fault.hpp"
 #include "squid/util/require.hpp"
 
 namespace squid::core {
@@ -69,6 +70,89 @@ struct SquidSystem::QueryContext {
   /// Safety valve for inconsistent rings (heavy churn): a real query would
   /// time out; we stop dispatching and return what was found.
   std::size_t dispatch_budget = 0;
+
+  // --- Fault accounting (docs/FAULT_MODEL.md) -------------------------------
+
+  bool complete = true; ///< false once any sub-query is abandoned
+  std::size_t retries = 0;
+  std::size_t failed_clusters = 0;
+
+  /// Outcome of one fault-aware message-leg delivery (attempt_leg).
+  struct Leg {
+    bool delivered = true;
+    std::size_t extra_messages = 0; ///< resends + duplicate copies paid
+    std::size_t resends = 0;
+    sim::Time penalty = 0; ///< backoff waits + delivery delay, in ticks
+  };
+
+  /// Deliver one message leg from -> to under the injector, resending with
+  /// exponential backoff (cfg.retry_backoff << attempt) up to
+  /// cfg.send_retries times. Null injector: immediate clean delivery (the
+  /// zero-overhead path — no draws, no spans, no accounting).
+  Leg attempt_leg(sim::FaultInjector* fault, const SquidConfig& cfg,
+                  NodeId from, NodeId to) {
+    Leg out;
+    if (fault == nullptr) return out;
+    const unsigned attempts = 1 + cfg.send_retries;
+    for (unsigned a = 0; a < attempts; ++a) {
+      const sim::FaultInjector::Delivery verdict = fault->decide(from, to);
+      if (verdict.delivered) {
+        out.penalty += verdict.extra_delay;
+        out.extra_messages = out.resends + (verdict.duplicate ? 1 : 0);
+        return out;
+      }
+      if (a + 1 < attempts) {
+        out.penalty += cfg.retry_backoff << a;
+        ++out.resends;
+      }
+    }
+    out.delivered = false;
+    fault->report_timeout(from, to);
+    return out;
+  }
+
+  /// Account a *delivered* leg's fault costs. Resends and duplicate copies
+  /// are extra query messages; the retry span carries them so derive_stats
+  /// stays bit-exact (messages += span.messages, retries += span.batch).
+  void pay_leg(const Leg& leg, NodeId to, std::int32_t event,
+               std::int32_t span) {
+    messages += leg.extra_messages;
+    retries += leg.resends;
+    if (trace && (leg.extra_messages > 0 || leg.penalty > 0)) {
+      const std::int32_t id =
+          trace->begin(obs::SpanKind::kRetry, span, event, tick(event));
+      obs::Span& s = trace->at(id);
+      s.node = to;
+      s.messages = static_cast<std::uint32_t>(leg.extra_messages);
+      s.batch = static_cast<std::uint32_t>(leg.resends);
+      s.hops = static_cast<std::uint32_t>(leg.penalty);
+      s.end = s.start + leg.penalty;
+    }
+  }
+
+  /// Account a leg abandoned for good. The original send was already paid
+  /// at the call site together with its route/cache span (or never happened
+  /// — an unroutable key — in which case `resends` is 0); the `resends`
+  /// further copies paid here were all lost too, and `units` sub-queries go
+  /// unanswered. The fault span mirrors it for derive_stats (messages and
+  /// retries += span.messages, failed_clusters += span.batch).
+  void fail_leg(std::size_t resends, sim::Time penalty, std::size_t units,
+                NodeId to, std::int32_t event, std::int32_t span) {
+    messages += resends;
+    retries += resends;
+    failed_clusters += units;
+    complete = false;
+    if (trace) {
+      const std::int32_t id =
+          trace->begin(obs::SpanKind::kFault, span, event, tick(event));
+      obs::Span& s = trace->at(id);
+      s.node = to;
+      s.messages = static_cast<std::uint32_t>(resends);
+      s.batch = static_cast<std::uint32_t>(units);
+      s.hops = static_cast<std::uint32_t>(penalty);
+      s.end = s.start + penalty;
+    }
+  }
 };
 
 namespace {
@@ -164,53 +248,78 @@ void SquidSystem::collect_segment(QueryContext& ctx, NodeId at,
   // the whole segment is known to match.
   const NodeId pred = ring_.predecessor_of(at);
   if (!in_open_closed(pred, at, seg.lo)) {
-    if (ctx.dispatch_budget == 0) return;
+    if (ctx.dispatch_budget == 0) {
+      ctx.complete = false;
+      return;
+    }
     --ctx.dispatch_budget;
     const overlay::RouteResult r = ring_.route(at, seg.lo);
-    if (!r.ok) return;
+    if (!r.ok) {
+      ctx.fail_leg(0, 0, 1, at, event, span);
+      return;
+    }
     ctx.messages += 1;
     ctx.routing.insert(r.path.begin(), r.path.end());
-    at = r.dest;
+    const QueryContext::Leg leg = ctx.attempt_leg(fault_, config_, at, r.dest);
     const sim::Time sent = ctx.trace ? ctx.tick(event) : 0;
-    event = ctx.add_event(event, r.hops());
+    const std::int32_t arrive = ctx.add_event(
+        event, r.hops() + static_cast<std::size_t>(leg.penalty));
     if (ctx.trace) {
       const std::int32_t id =
-          ctx.trace->begin(obs::SpanKind::kRouteHop, span, event, sent);
+          ctx.trace->begin(obs::SpanKind::kRouteHop, span, arrive, sent);
       ctx.trace->set_path(id, r.path.begin(), r.path.end());
       obs::Span& s = ctx.trace->at(id);
-      s.node = at;
+      s.node = r.dest;
       s.hops = static_cast<std::uint32_t>(r.hops());
       s.messages = 1;
-      s.end = ctx.tick(event);
+      s.end = ctx.tick(arrive);
       span = id;
     }
+    if (!leg.delivered) {
+      ctx.fail_leg(leg.resends, leg.penalty, 1, r.dest, event, span);
+      return;
+    }
+    ctx.pay_leg(leg, r.dest, event, span);
+    at = r.dest;
+    event = arrive;
   }
   for (;;) {
     const sfc::Segment local = clip_local(at, seg);
     scan_local(ctx, at, local, covered, event, span);
     if (entirely_local(at, seg)) return;
-    if (ctx.dispatch_budget == 0) return;
+    if (ctx.dispatch_budget == 0) {
+      ctx.complete = false;
+      return;
+    }
     --ctx.dispatch_budget;
     const NodeId next = ring_.successor_of((at + 1) & ring_.id_mask());
+    const QueryContext::Leg leg = ctx.attempt_leg(fault_, config_, at, next);
     ctx.messages += 1;
     ctx.routing.insert(at);
     ctx.routing.insert(next);
     seg.lo = local.hi + 1;
     const sim::Time sent = ctx.trace ? ctx.tick(event) : 0;
-    event = ctx.add_event(event, 1); // one neighbor forward
+    const std::int32_t arrive = ctx.add_event(
+        event, 1 + static_cast<std::size_t>(leg.penalty)); // neighbor forward
     if (ctx.trace) {
       const std::int32_t id =
-          ctx.trace->begin(obs::SpanKind::kRouteHop, span, event, sent);
+          ctx.trace->begin(obs::SpanKind::kRouteHop, span, arrive, sent);
       ctx.trace->add_path_node(id, at);
       ctx.trace->add_path_node(id, next);
       obs::Span& s = ctx.trace->at(id);
       s.node = next;
       s.hops = 1;
       s.messages = 1;
-      s.end = ctx.tick(event);
+      s.end = ctx.tick(arrive);
       span = id;
     }
+    if (!leg.delivered) {
+      ctx.fail_leg(leg.resends, leg.penalty, 1, next, event, span);
+      return;
+    }
+    ctx.pay_leg(leg, next, event, span);
     at = next;
+    event = arrive;
   }
 }
 
@@ -231,7 +340,10 @@ void SquidSystem::dispatch_remote(
   // message. Each entry carries its precomputed segment-lo key.
   std::size_t i = 0;
   while (i < clusters.size()) {
-    if (ctx.dispatch_budget == 0) return;
+    if (ctx.dispatch_budget == 0) {
+      ctx.complete = false;
+      return;
+    }
     --ctx.dispatch_budget;
     const u128 head_lo = clusters[i].first;
 
@@ -297,7 +409,13 @@ void SquidSystem::dispatch_remote(
     std::size_t dispatch_hops = 1; // direct send when the cache resolved it
     if (!resolved) {
       const overlay::RouteResult r = ring_.route(from, head_lo);
-      if (!r.ok) return;
+      if (!r.ok) {
+        // Unroutable under churn: abandon only this head cluster and keep
+        // dispatching the rest (the seed abandoned the whole remainder).
+        ctx.fail_leg(0, 0, 1, from, event, dspan);
+        ++i;
+        continue;
+      }
       ctx.messages += 1; // the head sub-query
       ctx.routing.insert(r.path.begin(), r.path.end());
       dest = r.dest;
@@ -313,6 +431,21 @@ void SquidSystem::dispatch_remote(
         s.end = s.start + r.hops();
       }
     }
+
+    // The head sub-query is one message leg from -> dest; under faults it
+    // may need resends or be lost for good. A lost head drops only its own
+    // cluster: no identifier reply arrives, so no batch forms, and the
+    // would-be siblings are dispatched individually by later iterations.
+    const QueryContext::Leg leg = ctx.attempt_leg(fault_, config_, from, dest);
+    if (!leg.delivered) {
+      // The backoff waits still burn wall-clock at the dispatcher: land them
+      // in the timing DAG so trace-derived and engine critical paths agree.
+      ctx.add_event(event, static_cast<std::size_t>(leg.penalty));
+      ctx.fail_leg(leg.resends, leg.penalty, 1, dest, event, dspan);
+      ++i;
+      continue;
+    }
+    ctx.pay_leg(leg, dest, event, dspan);
 
     std::size_t batch_end = i + 1;
     bool reply_message = false;
@@ -334,8 +467,10 @@ void SquidSystem::dispatch_remote(
     }
     // The head travels with the probe; aggregated siblings wait for the
     // identifier reply and then one direct hop (reply + batch = 2 hops).
+    // Backoff waits and delivery delay push the whole arrival later.
     const std::int32_t batch_event = ctx.add_event(
-        event, dispatch_hops + (batch_end > i + 1 ? 2 : 0));
+        event, dispatch_hops + static_cast<std::size_t>(leg.penalty) +
+                   (batch_end > i + 1 ? 2 : 0));
     if (ctx.trace) {
       if (batch_end > i + 1) {
         const std::int32_t id = ctx.trace->begin(
@@ -488,12 +623,17 @@ std::size_t critical_path_of(const std::vector<TimingEvent>& timing) {
 
 /// Per-query registry publishing (one shot at query end; handles resolved
 /// once). Dead code when the obs layer is compiled out.
-void publish_query_metrics(const QueryStats& stats) {
+void publish_query_metrics(const QueryStats& stats, bool complete) {
   if constexpr (obs::kEnabled) {
     auto& registry = obs::Registry::global();
     static obs::Counter& queries = registry.counter("squid.query.count");
     static obs::Counter& messages = registry.counter("squid.query.messages");
     static obs::Counter& matches = registry.counter("squid.query.matches");
+    static obs::Counter& resends = registry.counter("squid.retry.resends");
+    static obs::Counter& failed =
+        registry.counter("squid.query.failed_clusters");
+    static obs::Counter& incomplete =
+        registry.counter("squid.query.incomplete");
     static obs::HistogramMetric& critical =
         registry.histogram("squid.query.critical_path_hops", 0, 64, 16);
     static obs::HistogramMetric& processing =
@@ -501,10 +641,14 @@ void publish_query_metrics(const QueryStats& stats) {
     queries.add(1);
     messages.add(stats.messages);
     matches.add(stats.matches);
+    if (stats.retries > 0) resends.add(stats.retries);
+    if (stats.failed_clusters > 0) failed.add(stats.failed_clusters);
+    if (!complete) incomplete.add(1);
     critical.observe(static_cast<double>(stats.critical_path_hops));
     processing.observe(static_cast<double>(stats.processing_nodes));
   } else {
     (void)stats;
+    (void)complete;
   }
 }
 
@@ -545,7 +689,10 @@ QueryResult SquidSystem::query(const keyword::Query& query,
     if (r.ok) {
       ctx.messages += 1;
       ctx.routing.insert(r.path.begin(), r.path.end());
-      const std::int32_t event = ctx.add_event(0, r.hops());
+      const QueryContext::Leg leg =
+          ctx.attempt_leg(fault_, config_, origin, r.dest);
+      const std::int32_t event =
+          ctx.add_event(0, r.hops() + static_cast<std::size_t>(leg.penalty));
       std::int32_t span = root;
       if (ctx.trace) {
         const std::int32_t id =
@@ -558,8 +705,15 @@ QueryResult SquidSystem::query(const keyword::Query& query,
         s.end = ctx.tick(event);
         span = id;
       }
-      scan_local(ctx, r.dest, sfc::Segment{index, index}, /*covered=*/true,
-                 event, span);
+      if (leg.delivered) {
+        ctx.pay_leg(leg, r.dest, 0, span);
+        scan_local(ctx, r.dest, sfc::Segment{index, index}, /*covered=*/true,
+                   event, span);
+      } else {
+        ctx.fail_leg(leg.resends, leg.penalty, 1, r.dest, 0, span);
+      }
+    } else {
+      ctx.fail_leg(0, 0, 1, origin, 0, root);
     }
   } else {
     ctx.tasks.push_back(
@@ -573,12 +727,15 @@ QueryResult SquidSystem::query(const keyword::Query& query,
   }
 
   QueryResult result;
+  result.complete = ctx.complete;
   result.elements = std::move(ctx.results);
   result.stats.matches = result.elements.size();
   result.stats.routing_nodes = ctx.routing.size();
   result.stats.processing_nodes = ctx.processing.size();
   result.stats.data_nodes = ctx.data_nodes.size();
   result.stats.messages = ctx.messages;
+  result.stats.retries = ctx.retries;
+  result.stats.failed_clusters = ctx.failed_clusters;
   result.timing = std::move(ctx.timing);
   result.stats.critical_path_hops = critical_path_of(result.timing);
 #if SQUID_OBS_ENABLED
@@ -588,7 +745,7 @@ QueryResult SquidSystem::query(const keyword::Query& query,
     result.trace = std::make_shared<const obs::Trace>(recorder.take());
   }
 #endif
-  publish_query_metrics(result.stats);
+  publish_query_metrics(result.stats, result.complete);
   return result;
 }
 
@@ -660,12 +817,15 @@ QueryResult SquidSystem::query_centralized(const keyword::Query& query,
   }
 
   QueryResult result;
+  result.complete = ctx.complete;
   result.elements = std::move(ctx.results);
   result.stats.matches = result.elements.size();
   result.stats.routing_nodes = ctx.routing.size();
   result.stats.processing_nodes = ctx.processing.size();
   result.stats.data_nodes = ctx.data_nodes.size();
   result.stats.messages = ctx.messages;
+  result.stats.retries = ctx.retries;
+  result.stats.failed_clusters = ctx.failed_clusters;
   result.timing = std::move(ctx.timing);
   result.stats.critical_path_hops = critical_path_of(result.timing);
 #if SQUID_OBS_ENABLED

@@ -36,9 +36,33 @@ void ReplicationManager::place_all() {
 }
 
 void ReplicationManager::fail_node(SquidSystem::NodeId id) {
-  // The peer's copies vanish with it.
-  for (auto& [key, owners] : holders_) owners.erase(id);
+  // The peer's copies vanish with it. With auto-repair on, remember which
+  // keys just lost a copy so the crash handler can re-replicate exactly
+  // those instead of sweeping the whole store.
+  std::vector<u128> dirty;
+  for (auto& [key, owners] : holders_) {
+    if (owners.erase(id) > 0 && auto_repair_ && !owners.empty())
+      dirty.push_back(key);
+  }
   sys_.fail_node(id);
+  if (!auto_repair_ || dirty.empty()) return;
+  // Reactive maintenance (DHash-style): a surviving holder detects the
+  // crash and pushes fresh copies along the key's current owner chain.
+  std::size_t transfers = 0;
+  for (const u128 key : dirty) {
+    auto& owners = holders_[key];
+    for (const auto node : owner_chain(key)) {
+      if (owners.size() >= factor_) break;
+      if (owners.insert(node).second) ++transfers;
+    }
+  }
+  if constexpr (obs::kEnabled) {
+    auto& registry = obs::Registry::global();
+    registry.counter("squid.replication.crash_repairs").add(1);
+    registry.counter("squid.replication.crash_transfers").add(transfers);
+  } else {
+    (void)transfers;
+  }
 }
 
 void ReplicationManager::leave_node(SquidSystem::NodeId id) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "squid/obs/metrics.hpp"
+#include "squid/sim/fault.hpp"
 #include "squid/util/require.hpp"
 
 namespace squid::core {
@@ -77,6 +78,14 @@ SquidSystem::NodeId SquidSystem::join_node(Rng& rng) {
 void SquidSystem::leave_node(NodeId id) { ring_.leave(id); }
 
 void SquidSystem::fail_node(NodeId id) { ring_.fail(id); }
+
+std::size_t SquidSystem::process_timeouts() {
+  if (fault_ == nullptr) return 0;
+  const auto reports = fault_->take_timeout_reports();
+  for (const auto& [observer, dead] : reports)
+    ring_.note_timeout(observer, dead);
+  return reports.size();
+}
 
 void SquidSystem::publish(const DataElement& element) {
   const u128 index = index_of_element(element);

@@ -185,6 +185,14 @@ void print_span(const Trace& trace,
   case SpanKind::kAggregationMerge:
     out << " batch=" << span.batch;
     break;
+  case SpanKind::kRetry:
+    out << " ->" << node_label(span.node) << " resends=" << span.batch
+        << " penalty=" << span.hops;
+    break;
+  case SpanKind::kFault:
+    out << " ->" << node_label(span.node) << " lost=" << span.batch
+        << " resends=" << span.messages;
+    break;
   }
   out << "  [t" << span.start << "-t" << span.end;
   if (roll.spans > 1) {

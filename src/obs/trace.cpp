@@ -18,6 +18,8 @@ const char* span_kind_name(SpanKind kind) noexcept {
   case SpanKind::kCacheHit: return "cache-hit";
   case SpanKind::kCacheMiss: return "cache-miss";
   case SpanKind::kAggregationMerge: return "aggregation-merge";
+  case SpanKind::kRetry: return "retry";
+  case SpanKind::kFault: return "fault";
   }
   return "unknown";
 }
@@ -33,6 +35,11 @@ core::QueryStats derive_stats(const Trace& trace) {
   //    scanned their store;
   //  - data nodes: peers whose scan matched at least one key;
   //  - matches: elements collected by local scans;
+  //  - retries: resends recorded on retry spans (batch) plus the resends
+  //    of abandoned legs (fault-span messages — every copy paid past the
+  //    original send, which its own route/cache span already carries);
+  //  - failed clusters: sub-queries lost on abandoned legs (fault-span
+  //    batch);
   //  - critical path: the latest virtual-clock tick any span reaches
   //    (span times are hop-depths in the timing DAG).
   core::QueryStats stats;
@@ -51,6 +58,11 @@ core::QueryStats derive_stats(const Trace& trace) {
     if (span.kind == SpanKind::kLocalScan) {
       stats.matches += span.matches;
       if (span.keys_matched > 0) data_nodes.insert(span.node);
+    }
+    if (span.kind == SpanKind::kRetry) stats.retries += span.batch;
+    if (span.kind == SpanKind::kFault) {
+      stats.retries += span.messages;
+      stats.failed_clusters += span.batch;
     }
     critical = std::max(critical, span.end);
   }

@@ -21,6 +21,7 @@ struct RingMetrics {
   obs::Counter& stabilize_ops;
   obs::Counter& successor_fallbacks;
   obs::Counter& finger_fixes;
+  obs::Counter& timeout_repairs;
   obs::Counter& compactions;
   obs::Counter& tombstones_dropped;
   obs::Counter& joins;
@@ -35,6 +36,7 @@ struct RingMetrics {
                          r.counter("squid.ring.stabilize_ops"),
                          r.counter("squid.ring.successor_fallbacks"),
                          r.counter("squid.ring.finger_fixes"),
+                         r.counter("squid.ring.timeout_repairs"),
                          r.counter("squid.ring.compactions"),
                          r.counter("squid.ring.tombstones_dropped"),
                          r.counter("squid.ring.joins"),
@@ -217,24 +219,40 @@ NodeId ChordRing::random_free_id(Rng& rng) const {
 // --- Exact wiring (experiment setup) -----------------------------------------
 
 std::size_t ChordRing::wire_links(std::size_t r) {
-  assert(dead_pos_.empty());
+  assert(slot_[r] != kDeadSlot);
   const std::size_t count = ids_.size();
+  // Neighbor walks skip tombstones: after mass departure up to half the
+  // array can be dead (remove_pos defers compaction), and resolving a link
+  // through a dead entry would hand out a vanished peer — or, via its
+  // recycled arena slot, a different node entirely. On a dense array every
+  // walk is a single step, so the compacted fast path costs what it did.
+  const auto next_live = [&](std::size_t p) {
+    do {
+      p = p + 1 == count ? 0 : p + 1;
+    } while (slot_[p] == kDeadSlot);
+    return p;
+  };
   ChordNode& n = arena_[slot_[r]];
-  n.predecessor = ids_[(r + count - 1) % count];
+  std::size_t p = r;
+  do {
+    p = p == 0 ? count - 1 : p - 1;
+  } while (slot_[p] == kDeadSlot);
+  n.predecessor = ids_[p];
   n.has_predecessor = true;
   n.successors.clear();
   n.successors.reserve(successor_list_len_);
-  // The next successor_list_len_ entries clockwise (the node itself closes
-  // the list on tiny rings).
+  // The next successor_list_len_ live entries clockwise (the node itself
+  // closes the list on tiny rings).
+  p = r;
   for (unsigned i = 0; i < successor_list_len_; ++i) {
-    const std::size_t p = (r + 1 + i) % count;
+    p = next_live(p);
     n.successors.push_back(ids_[p]);
     if (p == r) break; // wrapped all the way around
   }
   // resize, not assign: every entry is written by the caller or the fill
   // below, and on the warm repair path this skips re-zeroing the table.
   n.fingers.resize(finger_count());
-  if (count == 1) {
+  if (live_count_ == 1) {
     std::fill(n.fingers.begin(), n.fingers.end(), n.id);
     return finger_count();
   }
@@ -243,7 +261,7 @@ std::size_t ChordRing::wire_links(std::size_t r) {
   // at paper scales that is the vast majority of the table (offsets are
   // geometric, the gap is ~2^bits/N). finger_targets_ is ascending, so one
   // search over it replaces ~log2(2^bits/N) membership searches per node.
-  const NodeId next = ids_[(r + 1) % count];
+  const NodeId next = n.successors.front();
   const u128 gap = (next - n.id) & id_mask();
   const std::size_t k0 = static_cast<std::size_t>(
       std::upper_bound(finger_targets_.begin(), finger_targets_.end(), gap) -
@@ -257,22 +275,33 @@ void ChordRing::wire_rank(std::size_t r) {
   const std::size_t count = ids_.size();
   ChordNode& n = arena_[slot_[r]];
   for (std::size_t k = wire_links(r); k < finger_count(); ++k) {
-    const std::size_t pos = lower_pos(finger_target_of(n.id, k));
-    n.fingers[k] = ids_[pos == count ? 0 : pos];
+    std::size_t pos = lower_pos(finger_target_of(n.id, k));
+    if (pos == count) pos = 0;
+    // A binary search lands on positions, not liveness: step past any
+    // tombstones to the target's first *live* successor.
+    while (slot_[pos] == kDeadSlot) pos = pos + 1 == count ? 0 : pos + 1;
+    n.fingers[k] = ids_[pos];
   }
 }
 
 void ChordRing::repair_all() {
-  compact();
+  if (live_count_ == 0) return;
   const std::size_t count = ids_.size();
+  // First live position: where finger targets past the array end wrap to.
+  std::size_t first_live = 0;
+  while (slot_[first_live] == kDeadSlot) ++first_live;
   // Sweeping all ranks in order makes finger k's target monotone (mod one
   // wrap), so a rolling cursor per finger index answers each long-range
   // finger in amortized O(1) where a membership binary search paid
   // O(log N). Short-range fingers never touch their cursor (wire_links
-  // fills them from the successor gap).
+  // fills them from the successor gap). Tombstoned entries are skipped on
+  // both sides — as sweep subjects and as cursor answers — so repair after
+  // mass departure never resolves a link through a dead slot; dead
+  // positions cost one extra cursor step each, amortized over the sweep.
   std::vector<std::size_t> cursor(finger_count(), 0);
   std::vector<u128> prev_target(finger_count(), 0);
   for (std::size_t r = 0; r < count; ++r) {
+    if (slot_[r] == kDeadSlot) continue;
     ChordNode& n = arena_[slot_[r]];
     for (std::size_t k = wire_links(r); k < finger_count(); ++k) {
       const u128 target = finger_target_of(n.id, k);
@@ -283,8 +312,8 @@ void ChordRing::repair_all() {
       // valid lower bound — no reset needed.)
       if (target < prev_target[k]) c = 0;
       prev_target[k] = target;
-      while (c < count && ids_[c] < target) ++c;
-      n.fingers[k] = ids_[c == count ? 0 : c];
+      while (c < count && (ids_[c] < target || slot_[c] == kDeadSlot)) ++c;
+      n.fingers[k] = ids_[c == count ? first_live : c];
     }
   }
 }
@@ -552,6 +581,26 @@ void ChordRing::stabilize(NodeId id, Rng& rng) {
     if constexpr (obs::kEnabled) RingMetrics::get().finger_fixes.add(1);
   }
   node(id).fingers[0] = *succ;
+}
+
+void ChordRing::note_timeout(NodeId observer, NodeId dead) {
+  if (observer == dead) return;
+  const std::size_t pos = find_pos(observer);
+  if (pos == npos) return; // the observer itself vanished since reporting
+  if constexpr (obs::kEnabled) RingMetrics::get().timeout_repairs.add(1);
+  ChordNode& n = arena_[slot_[pos]];
+  // Successor-list fallback: the suspect is dropped, so routing falls
+  // through to the next live entry immediately instead of on every lookup.
+  std::erase(n.successors, dead);
+  // Finger invalidation: entries pointing at the suspect are repointed at
+  // the first alive successor — the node a timed-out RPC would retry via.
+  // If the whole list died too (catastrophic), fingers fall back to self
+  // and the next stabilize round re-bootstraps.
+  const auto succ = first_alive_successor(n);
+  const NodeId fallback = succ ? *succ : observer;
+  for (NodeId& f : n.fingers)
+    if (f == dead) f = fallback;
+  if (n.has_predecessor && n.predecessor == dead) n.has_predecessor = false;
 }
 
 void ChordRing::stabilize_all(Rng& rng, unsigned rounds) {

@@ -1,5 +1,6 @@
 #include "squid/sim/engine.hpp"
 
+#include "squid/sim/fault.hpp"
 #include "squid/util/require.hpp"
 
 namespace squid::sim {
@@ -7,6 +8,20 @@ namespace squid::sim {
 void Engine::schedule(Time delay, Action action) {
   SQUID_REQUIRE(static_cast<bool>(action), "cannot schedule an empty action");
   queue_.push(Event{now_ + delay, next_seq_++, std::move(action)});
+}
+
+bool Engine::send(Time delay, overlay::NodeId from, overlay::NodeId to,
+                  Action action) {
+  SQUID_REQUIRE(static_cast<bool>(action), "cannot send an empty message");
+  if (fault_ == nullptr) {
+    schedule(delay, std::move(action));
+    return true;
+  }
+  const FaultInjector::Delivery verdict = fault_->decide(from, to);
+  if (!verdict.delivered) return false;
+  if (verdict.duplicate) schedule(delay + verdict.extra_delay, action);
+  schedule(delay + verdict.extra_delay, std::move(action));
+  return true;
 }
 
 void Engine::schedule_periodic(Time period, std::function<bool()> action) {
@@ -24,10 +39,12 @@ std::size_t Engine::run(Time until) {
     Event event = queue_.top();
     queue_.pop();
     now_ = event.at;
+    if (fault_ != nullptr) fault_->set_now(now_);
     event.action();
     ++executed;
   }
   if (now_ < until && until != ~Time{0}) now_ = until;
+  if (fault_ != nullptr) fault_->set_now(now_);
   return executed;
 }
 

@@ -1,0 +1,124 @@
+#include "squid/sim/fault.hpp"
+
+#include "squid/obs/metrics.hpp"
+#include "squid/util/require.hpp"
+
+namespace squid::sim {
+
+namespace {
+
+/// Registry handles for the injector's fault tallies, resolved once.
+struct FaultMetrics {
+  obs::Counter& drops;
+  obs::Counter& delays;
+  obs::Counter& duplicates;
+  obs::Counter& partition_drops;
+  obs::Counter& crashes;
+  obs::Counter& rejoins;
+  obs::Counter& timeout_reports;
+
+  static FaultMetrics& get() {
+    auto& r = obs::Registry::global();
+    static FaultMetrics m{r.counter("squid.fault.drops"),
+                          r.counter("squid.fault.delays"),
+                          r.counter("squid.fault.duplicates"),
+                          r.counter("squid.fault.partition_drops"),
+                          r.counter("squid.fault.crashes"),
+                          r.counter("squid.fault.rejoins"),
+                          r.counter("squid.fault.timeout_reports")};
+    return m;
+  }
+};
+
+} // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), rng_(plan_.seed) {
+  SQUID_REQUIRE(plan_.drop_probability >= 0 && plan_.drop_probability <= 1,
+                "drop probability must be in [0,1]");
+  SQUID_REQUIRE(plan_.delay_probability >= 0 && plan_.delay_probability <= 1,
+                "delay probability must be in [0,1]");
+  SQUID_REQUIRE(plan_.duplicate_probability >= 0 &&
+                    plan_.duplicate_probability <= 1,
+                "duplicate probability must be in [0,1]");
+  for (const auto& p : plan_.partitions)
+    SQUID_REQUIRE(p.start <= p.end, "partition window must not be inverted");
+}
+
+bool FaultInjector::draw(double p) {
+  ++rng_draws_;
+  return rng_.chance(p);
+}
+
+bool FaultInjector::partitioned(overlay::NodeId a,
+                                overlay::NodeId b) const noexcept {
+  for (const auto& p : plan_.partitions) {
+    if (now_ < p.start || now_ >= p.end) continue;
+    if ((a < p.pivot) != (b < p.pivot)) return true;
+  }
+  return false;
+}
+
+FaultInjector::Delivery FaultInjector::decide(overlay::NodeId from,
+                                              overlay::NodeId to) {
+  // Hazard order: partition (deterministic, no draw), then drop, then
+  // delay, then duplicate. Each probability is consulted only when
+  // nonzero, so the draw stream — and therefore the whole replay — is a
+  // pure function of (seed, plan).
+  Delivery d;
+  if (!plan_.partitions.empty() && partitioned(from, to)) {
+    d.delivered = false;
+    ++partition_drops_;
+    if constexpr (obs::kEnabled) FaultMetrics::get().partition_drops.add(1);
+    return d;
+  }
+  if (plan_.drop_probability > 0 && draw(plan_.drop_probability)) {
+    d.delivered = false;
+    ++dropped_;
+    if constexpr (obs::kEnabled) FaultMetrics::get().drops.add(1);
+    return d;
+  }
+  if (plan_.delay_probability > 0 && draw(plan_.delay_probability)) {
+    const Time span = plan_.max_delay > 0 ? plan_.max_delay : 1;
+    ++rng_draws_;
+    d.extra_delay = 1 + rng_.below(span);
+    ++delayed_;
+    if constexpr (obs::kEnabled) FaultMetrics::get().delays.add(1);
+  }
+  if (plan_.duplicate_probability > 0 && draw(plan_.duplicate_probability)) {
+    d.duplicate = true;
+    ++duplicated_;
+    if constexpr (obs::kEnabled) FaultMetrics::get().duplicates.add(1);
+  }
+  return d;
+}
+
+void FaultInjector::schedule_events(
+    Engine& engine, std::function<void(const FaultPlan::NodeEvent&)> apply) {
+  SQUID_REQUIRE(static_cast<bool>(apply),
+                "schedule_events needs an apply callback");
+  for (const auto& event : plan_.events) {
+    SQUID_REQUIRE(event.at >= engine.now(),
+                  "fault plan event lies in the past");
+    engine.schedule(event.at - engine.now(), [event, apply] {
+      if constexpr (obs::kEnabled) {
+        auto& m = FaultMetrics::get();
+        (event.crash ? m.crashes : m.rejoins).add(event.count);
+      }
+      apply(event);
+    });
+  }
+}
+
+void FaultInjector::report_timeout(overlay::NodeId observer,
+                                   overlay::NodeId dead) {
+  reports_.emplace_back(observer, dead);
+  if constexpr (obs::kEnabled) FaultMetrics::get().timeout_reports.add(1);
+}
+
+std::vector<std::pair<overlay::NodeId, overlay::NodeId>>
+FaultInjector::take_timeout_reports() {
+  return std::exchange(reports_, {});
+}
+
+} // namespace squid::sim

@@ -134,6 +134,34 @@ TEST(Replication, JoinSyncsTheNewcomersRanges) {
   EXPECT_EQ(replication.total_copies(), 2 * world.sys->key_count());
 }
 
+TEST(Replication, AutoRepairReReplicatesImmediatelyAfterACrash) {
+  World world = make_world(101, 60, 1500);
+  ReplicationManager replication(*world.sys, 3);
+  replication.set_auto_repair(true);
+  Rng rng(101);
+  // Reactive maintenance closes each crash's replication hole on the spot:
+  // no window ever opens for a second failure to finish a key off.
+  for (int wave = 0; wave < 15; ++wave) {
+    replication.fail_node(world.sys->ring().random_node(rng));
+    EXPECT_EQ(replication.under_replicated(), 0u);
+  }
+  EXPECT_EQ(replication.lost_keys(), 0u);
+  // The periodic sweep finds nothing left to do (only stale-copy GC).
+  EXPECT_EQ(replication.repair(), 0u);
+}
+
+TEST(Replication, AutoRepairOffLeavesTheBacklogForPeriodicRepair) {
+  World world = make_world(102, 60, 1500);
+  ReplicationManager replication(*world.sys, 3);
+  ASSERT_FALSE(replication.auto_repair());
+  Rng rng(102);
+  for (int wave = 0; wave < 5; ++wave)
+    replication.fail_node(world.sys->ring().random_node(rng));
+  EXPECT_GT(replication.under_replicated(), 0u);
+  EXPECT_GT(replication.repair(), 0u);
+  EXPECT_EQ(replication.under_replicated(), 0u);
+}
+
 TEST(Replication, RejectsZeroFactor) {
   World world = make_world(100, 10, 50);
   EXPECT_THROW(ReplicationManager(*world.sys, 0), std::invalid_argument);

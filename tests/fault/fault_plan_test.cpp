@@ -1,0 +1,228 @@
+// FaultPlan / FaultInjector contracts (docs/FAULT_MODEL.md): seeded replay
+// determinism, the empty-plan zero-draw guarantee, partition semantics, and
+// the sim-engine property that message delivery order is a pure function of
+// (seed, FaultPlan) — including drop and duplicate edges.
+
+#include "squid/sim/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "squid/sim/engine.hpp"
+
+namespace squid::sim {
+namespace {
+
+TEST(FaultPlan, EmptyPlanInjectsNothingAndDrawsNothing) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  FaultInjector injector(plan);
+  for (int i = 0; i < 200; ++i) {
+    const auto verdict = injector.decide(7, 13);
+    EXPECT_TRUE(verdict.delivered);
+    EXPECT_EQ(verdict.extra_delay, 0u);
+    EXPECT_FALSE(verdict.duplicate);
+  }
+  EXPECT_EQ(injector.rng_draws(), 0u);
+  EXPECT_EQ(injector.dropped(), 0u);
+  EXPECT_EQ(injector.delayed(), 0u);
+  EXPECT_EQ(injector.duplicated(), 0u);
+}
+
+TEST(FaultPlan, RejectsInvalidProbabilitiesAndWindows) {
+  FaultPlan bad;
+  bad.drop_probability = 1.5;
+  EXPECT_THROW(FaultInjector{bad}, std::invalid_argument);
+  bad = {};
+  bad.duplicate_probability = -0.1;
+  EXPECT_THROW(FaultInjector{bad}, std::invalid_argument);
+  bad = {};
+  bad.partitions.push_back({20, 10, 0});
+  EXPECT_THROW(FaultInjector{bad}, std::invalid_argument);
+}
+
+TEST(FaultPlan, SameSeedReplaysTheSameFaultSequence) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.drop_probability = 0.2;
+  plan.delay_probability = 0.3;
+  plan.max_delay = 6;
+  plan.duplicate_probability = 0.1;
+
+  const auto replay = [&plan] {
+    FaultInjector injector(plan);
+    std::vector<std::uint64_t> verdicts;
+    for (overlay::NodeId i = 0; i < 500; ++i) {
+      const auto v = injector.decide(i, i + 1);
+      verdicts.push_back((v.delivered ? 1u : 0u) | (v.duplicate ? 2u : 0u) |
+                         (v.extra_delay << 2));
+    }
+    return verdicts;
+  };
+  const auto first = replay();
+  EXPECT_EQ(first, replay());
+
+  // A different seed must diverge (2^-500-ish odds otherwise).
+  FaultPlan other = plan;
+  other.seed = 100;
+  FaultInjector injector(other);
+  std::vector<std::uint64_t> verdicts;
+  for (overlay::NodeId i = 0; i < 500; ++i) {
+    const auto v = injector.decide(i, i + 1);
+    verdicts.push_back((v.delivered ? 1u : 0u) | (v.duplicate ? 2u : 0u) |
+                       (v.extra_delay << 2));
+  }
+  EXPECT_NE(first, verdicts);
+}
+
+TEST(FaultPlan, PartitionSeparatesSidesOnlyDuringItsWindow) {
+  FaultPlan plan;
+  plan.partitions.push_back({10, 20, 1000});
+  FaultInjector injector(plan);
+
+  injector.set_now(5); // before the window
+  EXPECT_FALSE(injector.partitioned(1, 2000));
+  injector.set_now(10); // window is [start, end)
+  EXPECT_TRUE(injector.partitioned(1, 2000));
+  EXPECT_TRUE(injector.partitioned(2000, 1));
+  EXPECT_FALSE(injector.partitioned(1, 999));    // same side (< pivot)
+  EXPECT_FALSE(injector.partitioned(1000, 2000)); // same side (>= pivot)
+  injector.set_now(20); // past the window
+  EXPECT_FALSE(injector.partitioned(1, 2000));
+
+  // Cross-partition drops are deterministic: no randomness consumed.
+  injector.set_now(15);
+  const auto verdict = injector.decide(1, 2000);
+  EXPECT_FALSE(verdict.delivered);
+  EXPECT_EQ(injector.partition_drops(), 1u);
+  EXPECT_EQ(injector.rng_draws(), 0u);
+}
+
+TEST(FaultPlan, ScheduleEventsFiresWavesAtPlanTimes) {
+  FaultPlan plan;
+  plan.events.push_back({10, /*crash=*/true, 3});
+  plan.events.push_back({25, /*crash=*/false, 2});
+  FaultInjector injector(plan);
+  Engine engine;
+  std::vector<std::pair<Time, bool>> fired;
+  injector.schedule_events(engine, [&](const FaultPlan::NodeEvent& e) {
+    fired.emplace_back(engine.now(), e.crash);
+  });
+  engine.run();
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], (std::pair<Time, bool>{10, true}));
+  EXPECT_EQ(fired[1], (std::pair<Time, bool>{25, false}));
+}
+
+TEST(FaultPlan, TimeoutReportsQueueUntilDrained) {
+  FaultInjector injector(FaultPlan{});
+  injector.report_timeout(3, 7);
+  injector.report_timeout(4, 7);
+  EXPECT_EQ(injector.pending_timeout_reports(), 2u);
+  const auto reports = injector.take_timeout_reports();
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0], (std::pair<overlay::NodeId, overlay::NodeId>{3, 7}));
+  EXPECT_EQ(reports[1], (std::pair<overlay::NodeId, overlay::NodeId>{4, 7}));
+  EXPECT_EQ(injector.pending_timeout_reports(), 0u);
+}
+
+/// Run a fixed batch of sends through an engine under `plan`; the returned
+/// arrival log (message id, arrival tick) is the observable delivery order.
+std::vector<std::pair<int, Time>> delivery_log(const FaultPlan& plan) {
+  FaultInjector injector(plan);
+  Engine engine;
+  engine.set_fault_injector(&injector);
+  std::vector<std::pair<int, Time>> log;
+  for (int i = 0; i < 300; ++i) {
+    const auto from = static_cast<overlay::NodeId>(i);
+    const auto to = static_cast<overlay::NodeId>(i + 1);
+    engine.send(1 + static_cast<Time>(i % 7), from, to,
+                [&log, &engine, i] { log.emplace_back(i, engine.now()); });
+  }
+  engine.run();
+  return log;
+}
+
+// Satellite: delivery order is a deterministic function of (seed, plan),
+// with drops (absent entries) and duplicates (doubled entries) included.
+TEST(EngineFaultProperty, DeliveryOrderIsAFunctionOfSeedAndPlan) {
+  FaultPlan plan;
+  plan.seed = 2003;
+  plan.drop_probability = 0.15;
+  plan.delay_probability = 0.3;
+  plan.max_delay = 5;
+  plan.duplicate_probability = 0.15;
+
+  const auto first = delivery_log(plan);
+  const auto second = delivery_log(plan);
+  EXPECT_EQ(first, second);
+
+  // The run visibly exercised every edge: some messages vanished, some
+  // arrived twice.
+  EXPECT_LT(first.size(), 300u * 2);
+  std::vector<bool> seen(300, false);
+  std::vector<bool> twice(300, false);
+  for (const auto& [id, at] : first) {
+    twice[static_cast<std::size_t>(id)] =
+        seen[static_cast<std::size_t>(id)] || twice[static_cast<std::size_t>(id)];
+    seen[static_cast<std::size_t>(id)] = true;
+  }
+  EXPECT_TRUE(std::find(seen.begin(), seen.end(), false) != seen.end());
+  EXPECT_TRUE(std::find(twice.begin(), twice.end(), true) != twice.end());
+
+  // A different seed reorders the world.
+  FaultPlan other = plan;
+  other.seed = 2004;
+  EXPECT_NE(first, delivery_log(other));
+}
+
+TEST(EngineFaultProperty, CertainDropNeverArrivesCertainDuplicateArrivesTwice) {
+  FaultPlan drop_all;
+  drop_all.drop_probability = 1.0;
+  FaultInjector dropper(drop_all);
+  Engine engine;
+  engine.set_fault_injector(&dropper);
+  int arrivals = 0;
+  EXPECT_FALSE(engine.send(1, 0, 1, [&] { ++arrivals; }));
+  engine.run();
+  EXPECT_EQ(arrivals, 0);
+  EXPECT_EQ(dropper.dropped(), 1u);
+
+  FaultPlan dup_all;
+  dup_all.duplicate_probability = 1.0;
+  FaultInjector duper(dup_all);
+  Engine engine2;
+  engine2.set_fault_injector(&duper);
+  EXPECT_TRUE(engine2.send(1, 0, 1, [&] { ++arrivals; }));
+  engine2.run();
+  EXPECT_EQ(arrivals, 2);
+  EXPECT_EQ(duper.duplicated(), 1u);
+}
+
+TEST(EngineFaultProperty, RunKeepsInjectorClockAligned) {
+  FaultPlan plan;
+  plan.partitions.push_back({5, 15, 500});
+  FaultInjector injector(plan);
+  Engine engine;
+  engine.set_fault_injector(&injector);
+  int arrived = 0;
+  // At t=6 the partition is live: a cross-pivot send must be dropped using
+  // the engine-advanced clock, not the injector's initial 0.
+  engine.schedule(6, [&] {
+    EXPECT_EQ(injector.now(), 6u);
+    EXPECT_FALSE(engine.send(1, 1, 1000, [&] { ++arrived; }));
+  });
+  engine.schedule(20, [&] {
+    EXPECT_TRUE(engine.send(1, 1, 1000, [&] { ++arrived; }));
+  });
+  engine.run();
+  EXPECT_EQ(arrived, 1);
+  EXPECT_EQ(injector.partition_drops(), 1u);
+}
+
+} // namespace
+} // namespace squid::sim

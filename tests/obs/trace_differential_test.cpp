@@ -32,6 +32,8 @@ void expect_stats_identical(const QueryStats& derived, const QueryStats& legacy,
   EXPECT_EQ(derived.data_nodes, legacy.data_nodes) << context;
   EXPECT_EQ(derived.messages, legacy.messages) << context;
   EXPECT_EQ(derived.critical_path_hops, legacy.critical_path_hops) << context;
+  EXPECT_EQ(derived.retries, legacy.retries) << context;
+  EXPECT_EQ(derived.failed_clusters, legacy.failed_clusters) << context;
 }
 
 void expect_well_formed(const obs::Trace& trace, const std::string& context) {

@@ -179,6 +179,71 @@ TEST(Chord, SurvivesSustainedChurn) {
   }
 }
 
+// Regression (docs/FAULT_MODEL.md): repair_all used to assume a compacted
+// membership array; after a mass departure the array can carry up to ~50%
+// tombstones (remove_pos defers compaction below that density), and repair
+// walked dead slots as if they were live. Fail a large scattered cohort —
+// staying under the auto-compaction threshold — then verify oracle repair
+// wires every surviving table through live entries only.
+TEST(Chord, RepairAllToleratesTombstonedMembership) {
+  Rng rng(21);
+  ChordRing ring(24, /*successors=*/4);
+  ring.build(64, rng);
+  const auto ids = ring.node_ids();
+  // Fail 30 of 64 (every other node, from the second): 30 tombstones on 64
+  // entries stays below the 2*dead > size compaction trigger.
+  std::set<NodeId> dead;
+  for (std::size_t i = 1; i < ids.size() && dead.size() < 30; i += 2) {
+    ring.fail(ids[i]);
+    dead.insert(ids[i]);
+  }
+  ASSERT_EQ(ring.size(), 34u);
+
+  ring.repair_all();
+  EXPECT_TRUE(ring.ring_consistent());
+  for (const NodeId id : ring.node_ids()) {
+    const ChordNode& n = ring.node(id);
+    EXPECT_FALSE(dead.count(n.successors.front()));
+    for (const NodeId s : n.successors) EXPECT_FALSE(dead.count(s));
+    for (const NodeId f : n.fingers) EXPECT_FALSE(dead.count(f));
+    if (n.has_predecessor) EXPECT_FALSE(dead.count(n.predecessor));
+  }
+  for (int trial = 0; trial < 100; ++trial) {
+    const u128 key = rng.below128(static_cast<u128>(1) << 24);
+    const RouteResult r = ring.route(ring.random_node(rng), key);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.dest, ring.successor_of(key));
+  }
+}
+
+// Failure detection (docs/FAULT_MODEL.md): after a timeout the observer
+// purges the dead peer from its own tables and falls back along its
+// successor list — and a false positive against a live peer must stay safe.
+TEST(Chord, NoteTimeoutPurgesObserverStateAndFallsBack) {
+  Rng rng(22);
+  ChordRing ring(20, /*successors=*/4);
+  ring.build(40, rng);
+  const auto ids = ring.node_ids();
+  const NodeId observer = ids[5];
+  const NodeId victim = ring.node(observer).successors.front();
+  ring.fail(victim);
+
+  ring.note_timeout(observer, victim);
+  const ChordNode& n = ring.node(observer);
+  for (const NodeId s : n.successors) EXPECT_NE(s, victim);
+  for (const NodeId f : n.fingers) EXPECT_NE(f, victim);
+  EXPECT_EQ(n.successors.front(), ring.successor_of(victim));
+
+  // False positive: suspecting a live peer only prunes local links, which
+  // stabilization re-learns; the ring converges back to consistency.
+  const NodeId live = ring.node(observer).successors.front();
+  ring.note_timeout(observer, live);
+  for (const NodeId s : ring.node(observer).successors) EXPECT_NE(s, live);
+  ring.stabilize_all(rng, 3);
+  EXPECT_TRUE(ring.ring_consistent());
+  EXPECT_EQ(ring.node(observer).successors.front(), live);
+}
+
 TEST(Chord, RejectsBadConfiguration) {
   EXPECT_THROW(ChordRing(0), std::invalid_argument);
   EXPECT_THROW(ChordRing(129), std::invalid_argument);
