@@ -1,6 +1,13 @@
 // Parallel query throughput: SquidSystem::query is a pure reader (with the
 // owner cache disabled), so independent client queries scale across
 // threads. Measures simulator queries/second at 1..hardware threads.
+//
+// Second panel: concurrent-in-flight queries on ONE sim::Engine clock
+// (query_async, DESIGN.md 4e). Batches of in_flight queries are launched
+// together and their messages interleave on the shared virtual clock, so
+// the virtual completion-time distribution is the honest overlap, not a
+// serialization artifact; wall time measures the single-threaded
+// message-driven runtime against the same workload.
 
 #include <atomic>
 #include <chrono>
@@ -8,6 +15,8 @@
 
 #include "common/fixture.hpp"
 #include "common/query_sets.hpp"
+#include "squid/sim/engine.hpp"
+#include "squid/stats/summary.hpp"
 
 int main(int argc, char** argv) {
   using namespace squid;
@@ -59,5 +68,45 @@ int main(int argc, char** argv) {
   }
   emit("Parallel query throughput (read-only engine, owner cache off)",
        table, flags);
+
+  // --- Concurrent in-flight queries on one engine clock --------------------
+  constexpr int kTotalAsync = 192; // divisible by every in_flight level
+  Table async_table({"in_flight", "queries/s", "virt_min", "virt_mean",
+                     "virt_p95", "virt_max"});
+  for (const std::size_t in_flight : {1u, 4u, 16u, 64u}) {
+    std::uint64_t mix = flags.seed + 0xa51c;
+    Rng rng(splitmix64(mix));
+    Summary virt;
+    std::size_t sink = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (int launched = 0; launched < kTotalAsync;
+         launched += static_cast<int>(in_flight)) {
+      sim::Engine engine;
+      std::vector<core::QueryHandle> handles;
+      handles.reserve(in_flight);
+      for (std::size_t i = 0; i < in_flight; ++i) {
+        const auto& nq = queries[rng.below(queries.size())];
+        handles.push_back(fx.sys->query_async(
+            nq.query, fx.sys->ring().random_node(rng), engine));
+      }
+      engine.run();
+      for (const core::QueryHandle& h : handles) {
+        virt.add(static_cast<double>(h.completed_at() - h.started_at()));
+        sink += h.result().stats.matches;
+      }
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (sink == static_cast<std::size_t>(-1)) return 1; // keep results live
+    async_table.add_row({Table::cell(std::uint64_t{in_flight}),
+                         Table::cell(kTotalAsync / seconds),
+                         Table::cell(virt.min()), Table::cell(virt.mean()),
+                         Table::cell(virt.percentile(95)),
+                         Table::cell(virt.max())});
+  }
+  emit("Concurrent in-flight queries (query_async, one engine clock)",
+       async_table, flags);
+  maybe_dump_metrics(flags);
   return 0;
 }

@@ -1,0 +1,126 @@
+// Typed query-protocol messages (DESIGN.md 4e).
+//
+// The paper's query resolution is a message protocol (3.3-3.4): refinement
+// requests descend the cluster tree, sub-queries are dispatched to cluster
+// owners (aggregated per peer, 3.4.2), owners scan their stores, and replies
+// flow back to the origin. These structs are those messages, made explicit:
+// the runtime (core/runtime.hpp) schedules them on the sim::Engine instead
+// of walking a C++ call stack, and serialize.cpp gives each a round-trip
+// wire encoding (save_message/load_message).
+//
+// Every message carries the two bookkeeping ids the engine threads through
+// resolution: `event`, the QueryResult::timing DAG node its work executes
+// under, and `span`, the parent trace span (-1 with tracing off). They are
+// simulator metadata — a production encoding would replace them with a
+// query id + causality token — but keeping them on the wire makes a
+// serialized run replayable against the same timing DAG.
+
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "squid/core/types.hpp"
+#include "squid/overlay/id_space.hpp"
+#include "squid/sfc/refine.hpp"
+#include "squid/sfc/types.hpp"
+
+namespace squid::core::msg {
+
+using overlay::NodeId;
+
+/// Sub-clusters aggregated into one message for a common owner (paper
+/// 3.4.2, second optimization). Also the payload shape of a root resolve:
+/// the whole refinement tree is "the batch {root}".
+struct AggregateBatch {
+  std::vector<sfc::ClusterNode> clusters;
+
+  friend bool operator==(const AggregateBatch&,
+                         const AggregateBatch&) = default;
+};
+
+/// Ask node `at` to expand its assigned refinement sub-tree(s) against the
+/// query. The origin sends itself one of these with the tree root; every
+/// further descent travels as a ClusterDispatch.
+struct ResolveRequest {
+  std::uint64_t query = 0; ///< runtime id of the owning QueryExec
+  NodeId at = 0;
+  AggregateBatch clusters;
+  std::int32_t event = 0;
+  std::int32_t span = -1;
+
+  friend bool operator==(const ResolveRequest&,
+                         const ResolveRequest&) = default;
+};
+
+/// Ship a head cluster plus its aggregated siblings from the dispatching
+/// peer to the owner learned from routing (or the owner cache). Delivery
+/// resumes refinement at `to` with {head} + batch.
+struct ClusterDispatch {
+  std::uint64_t query = 0;
+  NodeId from = 0;
+  NodeId to = 0;
+  sfc::ClusterNode head;
+  AggregateBatch batch; ///< aggregated siblings; empty when unaggregated
+  std::int32_t event = 0;
+  std::int32_t span = -1;
+
+  friend bool operator==(const ClusterDispatch&,
+                         const ClusterDispatch&) = default;
+};
+
+/// Ask node `at` to sweep its key store over `segment`. `covered` skips the
+/// per-key rectangle filter (the whole segment is known to match).
+struct ScanRequest {
+  std::uint64_t query = 0;
+  NodeId at = 0;
+  sfc::Segment segment;
+  bool covered = false;
+  std::int32_t event = 0;
+  std::int32_t span = -1;
+
+  friend bool operator==(const ScanRequest&, const ScanRequest&) = default;
+};
+
+/// Query completion flowing back to the origin: the aggregate answer (or
+/// the count, for cardinality probes). In the runtime this is the one
+/// message whose delivery finalizes the QueryExec; result data accumulates
+/// at the origin as scans complete, so the payload here is the summary.
+struct Reply {
+  std::uint64_t query = 0;
+  NodeId from = 0;
+  NodeId to = 0;
+  bool complete = true;
+  std::uint64_t count = 0;
+  std::vector<DataElement> elements;
+
+  friend bool operator==(const Reply&, const Reply&) = default;
+};
+
+using Message =
+    std::variant<ResolveRequest, ClusterDispatch, ScanRequest, Reply>;
+
+/// Peer the message is addressed to (where its work executes).
+inline NodeId destination_of(const Message& m) {
+  struct V {
+    NodeId operator()(const ResolveRequest& r) const { return r.at; }
+    NodeId operator()(const ClusterDispatch& d) const { return d.to; }
+    NodeId operator()(const ScanRequest& s) const { return s.at; }
+    NodeId operator()(const Reply& r) const { return r.to; }
+  };
+  return std::visit(V{}, m);
+}
+
+/// Stable wire/type tag ("resolve", "dispatch", "scan", "reply").
+inline const char* type_name(const Message& m) noexcept {
+  struct V {
+    const char* operator()(const ResolveRequest&) const { return "resolve"; }
+    const char* operator()(const ClusterDispatch&) const { return "dispatch"; }
+    const char* operator()(const ScanRequest&) const { return "scan"; }
+    const char* operator()(const Reply&) const { return "reply"; }
+  };
+  return std::visit(V{}, m);
+}
+
+} // namespace squid::core::msg

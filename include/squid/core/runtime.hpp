@@ -1,0 +1,254 @@
+// Message-driven query runtime (DESIGN.md 4e).
+//
+// The seed query engine resolved a query as one synchronous C++ recursion;
+// this layer lifts that recursion onto the sim::Engine as explicit typed
+// messages (core/messages.hpp). Per query, a QueryExec holds the state the
+// old call stack threaded implicitly — accounting sets, the timing DAG, the
+// trace recorder, the fault/retry machinery, and a completion counter — and
+// NodeRuntime is the peers' inbox handler: delivering a message runs its
+// work at the destination node and posts the follow-up messages.
+//
+// Two delivery modes share all of that code:
+//
+//  * kLockstep — every message is scheduled at delay 0 on a private engine.
+//    The engine's FIFO tie-break at equal timestamps then replays exactly
+//    the seed recursion's work order, which is what keeps the synchronous
+//    query() wrapper bit-identical to the seed path (results, QueryStats,
+//    traces, the timing DAG, and — because fault verdicts are drawn in
+//    planning order — the injector's RNG stream). The differential suite
+//    (tests/core/async_differential_test.cpp) locks this.
+//
+//  * kVirtualTime — messages are scheduled at their timing-DAG tick
+//    (started_at + hop-depth of their event), so many queries can be in
+//    flight on ONE shared engine clock and their completion times are the
+//    honest interleaving, not a serialization artifact. query_async uses
+//    this; each handle completes when its Reply delivers.
+//
+// Fault interception is uniform: every protocol leg is judged by
+// Engine::admit (the same point Engine::send is built on), with retries and
+// backoff folded into the leg's timing-DAG hops by QueryExec::attempt_leg.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "squid/core/messages.hpp"
+#include "squid/core/types.hpp"
+#include "squid/obs/metrics.hpp"
+#include "squid/obs/trace.hpp"
+#include "squid/sfc/types.hpp"
+#include "squid/sim/engine.hpp"
+#include "squid/util/require.hpp"
+
+namespace squid::core {
+
+class SquidSystem; // core/system.hpp
+
+/// How NodeRuntime schedules message arrivals (see file comment).
+enum class DeliveryMode : std::uint8_t {
+  kLockstep,   ///< all at delay 0; FIFO replays the seed recursion order
+  kVirtualTime ///< at the message's timing-DAG tick; overlapping queries
+};
+
+/// query() advertises itself as a pure reader, but with cache_cluster_owners
+/// on it writes owner_cache_/cache_stats_. This guard makes overlapping
+/// cached queries fail loudly (SQUID_REQUIRE) instead of racing silently;
+/// it is only armed when the cache is enabled, so the lock-free concurrent
+/// read path stays untouched. An async query holds its guard until its
+/// Reply finalizes it.
+class ScopedCacheWriter {
+public:
+  explicit ScopedCacheWriter(std::atomic<int>& writers) : writers_(writers) {
+    if (writers_.fetch_add(1, std::memory_order_acq_rel) != 0) {
+      writers_.fetch_sub(1, std::memory_order_acq_rel);
+      SQUID_REQUIRE(false,
+                    "concurrent query()/count() with cache_cluster_owners "
+                    "enabled would race on the owner cache; disable the "
+                    "cache for multi-threaded readers");
+    }
+  }
+  ~ScopedCacheWriter() { writers_.fetch_sub(1, std::memory_order_acq_rel); }
+  ScopedCacheWriter(const ScopedCacheWriter&) = delete;
+  ScopedCacheWriter& operator=(const ScopedCacheWriter&) = delete;
+
+private:
+  std::atomic<int>& writers_;
+};
+
+/// Per-query execution state: everything the seed recursion kept on the
+/// call stack, held explicitly so resolution can be suspended between
+/// message deliveries. Owned by a shared_ptr that the engine's scheduled
+/// closures and the caller's QueryHandle both hold.
+struct QueryExec {
+  using NodeId = overlay::NodeId;
+
+  // --- Identity / wiring ---------------------------------------------------
+  std::uint64_t id = 0; ///< process-wide query id (messages carry it)
+  DeliveryMode mode = DeliveryMode::kLockstep;
+  sim::Engine* engine = nullptr;
+  const SquidSystem* sys = nullptr;
+  const SquidConfig* config = nullptr;
+  NodeId origin = 0;
+
+  // --- Resolution state (the old QueryContext) -----------------------------
+  sfc::Rect rect;
+  std::set<NodeId> routing;
+  std::set<NodeId> processing;
+  std::set<NodeId> data_nodes;
+  std::size_t messages = 0;
+  bool count_only = false; ///< count matches without shipping elements
+  std::size_t count = 0;
+  std::vector<DataElement> results;
+  /// Message-dependency DAG; event 0 is the query start at the origin.
+  std::vector<TimingEvent> timing{TimingEvent{}};
+  /// Hop-depth of each timing event (= virtual-clock tick of delivery).
+  /// Always maintained: kVirtualTime scheduling needs ticks even when the
+  /// trace does not.
+  std::vector<sim::Time> depth{0};
+#if SQUID_OBS_ENABLED
+  /// Storage + pointer: non-null only while this query records a trace.
+  std::optional<obs::TraceRecorder> recorder;
+  obs::TraceRecorder* trace = nullptr;
+#else
+  static constexpr obs::TraceRecorder* trace = nullptr;
+#endif
+  std::int32_t root_span = -1;
+  /// Safety valve for inconsistent rings (heavy churn): a real query would
+  /// time out; we stop dispatching and return what was found.
+  std::size_t dispatch_budget = 0;
+
+  // --- Fault accounting (docs/FAULT_MODEL.md) ------------------------------
+  bool complete = true; ///< false once any sub-query is abandoned
+  std::size_t retries = 0;
+  std::size_t failed_clusters = 0;
+
+  /// Outcome of one fault-aware message-leg delivery (attempt_leg).
+  struct Leg {
+    bool delivered = true;
+    std::size_t extra_messages = 0; ///< resends + duplicate copies paid
+    std::size_t resends = 0;
+    sim::Time penalty = 0; ///< backoff waits + delivery delay, in ticks
+  };
+
+  /// Deliver one message leg from -> to through Engine::admit — the uniform
+  /// fault interception point — resending with exponential backoff
+  /// (config->retry_backoff << attempt) up to config->send_retries times.
+  /// No injector attached: immediate clean delivery (the zero-overhead
+  /// path — no draws, no spans, no accounting). Verdicts are drawn here,
+  /// at planning time, so the injector's RNG stream is consumed in exactly
+  /// the seed recursion's order.
+  Leg attempt_leg(NodeId from, NodeId to);
+
+  /// Account a *delivered* leg's fault costs. Resends and duplicate copies
+  /// are extra query messages; the retry span carries them so derive_stats
+  /// stays bit-exact (messages += span.messages, retries += span.batch).
+  void pay_leg(const Leg& leg, NodeId to, std::int32_t event,
+               std::int32_t span);
+
+  /// Account a leg abandoned for good. The original send was already paid
+  /// at the call site together with its route/cache span (or never happened
+  /// — an unroutable key — in which case `resends` is 0); the `resends`
+  /// further copies paid here were all lost too, and `units` sub-queries go
+  /// unanswered. The fault span mirrors it for derive_stats (messages and
+  /// retries += span.messages, failed_clusters += span.batch).
+  void fail_leg(std::size_t resends, sim::Time penalty, std::size_t units,
+                NodeId to, std::int32_t event, std::int32_t span);
+
+  std::int32_t add_event(std::int32_t parent, std::size_t hops) {
+    timing.push_back(TimingEvent{parent, static_cast<std::uint32_t>(hops)});
+    depth.push_back(depth[static_cast<std::size_t>(parent)] + hops);
+    return static_cast<std::int32_t>(timing.size() - 1);
+  }
+  /// Virtual-clock tick of `event` (hop-depth from the query start).
+  sim::Time tick(std::int32_t event) const {
+    return depth[static_cast<std::size_t>(event)];
+  }
+
+  // --- Completion ----------------------------------------------------------
+  std::size_t outstanding = 0; ///< scheduled-but-undelivered messages
+  bool reply_posted = false;
+  bool finished = false;
+  bool publish_metrics = false; ///< query() publishes; count()/baselines not
+  sim::Time started_at = 0;  ///< engine clock at launch
+  sim::Time completed_at = 0; ///< engine clock when the Reply delivered
+  QueryResult result; ///< assembled by finalize (Reply delivery)
+  /// Armed while cache_cluster_owners is on; released at finalize so an
+  /// async query holds it for its whole in-flight window.
+  std::optional<ScopedCacheWriter> cache_guard;
+};
+
+/// The peers' shared inbox code: delivering a message runs its work at the
+/// destination node (against that node's slice of system state) and posts
+/// follow-ups. One instance serves every node — which peer acts is carried
+/// by the message — so this is a runtime, not per-peer mutable state.
+class NodeRuntime {
+public:
+  explicit NodeRuntime(const SquidSystem* sys) noexcept : sys_(sys) {}
+
+  /// Schedule `message` for delivery on exec's engine. kLockstep: delay 0.
+  /// kVirtualTime: at started_at + tick(event of the message). Increments
+  /// exec->outstanding; delivery decrements it and, at zero, posts the
+  /// query's Reply (whose own delivery finalizes).
+  void post(const std::shared_ptr<QueryExec>& exec, msg::Message message) const;
+
+  /// Run one delivered message's work at its destination. Takes the shared
+  /// exec because resolve/dispatch work posts follow-up messages.
+  void deliver(const std::shared_ptr<QueryExec>& exec,
+               const msg::Message& message) const;
+
+  /// Post the finalizing Reply once nothing is outstanding. Called after
+  /// every delivery and once after launch (a query whose start posts no
+  /// message — e.g. an unroutable point query — completes immediately).
+  void maybe_complete(const std::shared_ptr<QueryExec>& exec) const;
+
+private:
+  const SquidSystem* sys_;
+};
+
+/// Future-like handle to an in-flight query_async. Completion is driven by
+/// the caller running the engine (run()/step()); there is no blocking wait.
+class QueryHandle {
+public:
+  QueryHandle() = default;
+
+  bool valid() const noexcept { return exec_ != nullptr; }
+  /// True once the query's Reply has been delivered on the engine.
+  bool ready() const noexcept { return exec_ && exec_->finished; }
+
+  /// The completed result. Requires ready().
+  const QueryResult& result() const {
+    SQUID_REQUIRE(ready(), "query_async result is not ready; run the engine");
+    return exec_->result;
+  }
+  /// Move the completed result out. Requires ready().
+  QueryResult take() {
+    SQUID_REQUIRE(ready(), "query_async result is not ready; run the engine");
+    return std::move(exec_->result);
+  }
+
+  /// Engine clock at launch / at Reply delivery; their difference is the
+  /// query's virtual completion time (== stats.critical_path_hops when
+  /// every timing event delivered a message).
+  sim::Time started_at() const {
+    SQUID_REQUIRE(valid(), "empty QueryHandle");
+    return exec_->started_at;
+  }
+  sim::Time completed_at() const {
+    SQUID_REQUIRE(ready(), "query_async result is not ready; run the engine");
+    return exec_->completed_at;
+  }
+
+private:
+  friend class SquidSystem;
+  explicit QueryHandle(std::shared_ptr<QueryExec> exec)
+      : exec_(std::move(exec)) {}
+
+  std::shared_ptr<QueryExec> exec_;
+};
+
+} // namespace squid::core

@@ -1,15 +1,21 @@
-// Snapshot save/load for SquidSystem.
+// Snapshot and query-message save/load.
 //
 // A snapshot captures the overlay membership and every published element in
 // a line-oriented text format (versioned header, length-prefixed strings,
 // decimal 128-bit ids). Loading requires a freshly built system with the
 // same keyword space and curve — the geometry is validated from the header,
 // and routing state is rebuilt exactly after membership is restored.
+//
+// Query-protocol messages (core/messages.hpp) share the same text
+// conventions: save_message/load_message round-trip every message type, and
+// truncated or malformed input fails loudly (std::invalid_argument), never
+// by returning a half-read message.
 
 #pragma once
 
 #include <iosfwd>
 
+#include "squid/core/messages.hpp"
 #include "squid/core/system.hpp"
 
 namespace squid::core {
@@ -21,5 +27,12 @@ void save_snapshot(const SquidSystem& sys, std::ostream& out);
 /// nodes, no data) with a keyword space and curve matching the snapshot's
 /// geometry. Throws std::invalid_argument on format or geometry mismatch.
 void load_snapshot(SquidSystem& sys, std::istream& in);
+
+/// Write one query-protocol message (versioned header + type tag + fields).
+void save_message(const msg::Message& message, std::ostream& out);
+
+/// Read back a message written by save_message. Throws
+/// std::invalid_argument on bad magic, unknown type tag, or truncation.
+msg::Message load_message(std::istream& in);
 
 } // namespace squid::core

@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "squid/core/runtime.hpp"
 #include "squid/core/types.hpp"
 #include "squid/keyword/space.hpp"
 #include "squid/overlay/chord.hpp"
@@ -140,6 +141,32 @@ public:
   /// and resolution cost as query().
   std::size_t count(const keyword::Query& query, NodeId origin) const;
 
+  /// Launch a query on the caller's engine without draining it: resolution
+  /// proceeds as typed messages (core/messages.hpp) scheduled at their
+  /// timing-DAG ticks, so several queries can be in flight on ONE virtual
+  /// clock and their completion times reflect the honest interleaving. The
+  /// handle becomes ready() once the caller runs the engine past the
+  /// query's Reply. The engine's attached fault injector (if any) judges
+  /// every leg; the system and engine must outlive the handle's run.
+  /// Caveat: with cache_cluster_owners on, a second in-flight query throws
+  /// (the owner cache is single-writer; see ScopedCacheWriter).
+  QueryHandle query_async(const keyword::Query& query, NodeId origin,
+                          sim::Engine& engine) const;
+
+  // --- Reference oracle (tests/core/async_differential_test.cpp) -----------
+  // The seed synchronous resolver, frozen verbatim in
+  // query_engine_reference.cpp. query()/count()/query_centralized() above
+  // run the message-driven runtime and are locked bit-identical to these
+  // (results, QueryStats, traces, timing DAG, fault RNG stream). Test-only:
+  // no registry metrics are published.
+  QueryResult query_reference(const keyword::Query& query,
+                              NodeId origin) const;
+  std::size_t count_reference(const keyword::Query& query,
+                              NodeId origin) const;
+  QueryResult query_centralized_reference(const keyword::Query& query,
+                                          NodeId origin,
+                                          std::size_t max_segments = 4096) const;
+
   /// Naive centralized resolution (the strawman of paper 3.4.1): the origin
   /// materializes the cluster decomposition itself (progressively deepened
   /// until `max_segments`) and sends one message per cluster. Complete, but
@@ -202,7 +229,10 @@ private:
     std::vector<DataElement> elements;
   };
 
-  struct QueryContext; // defined in query_engine.cpp
+  struct RefQueryContext; // defined in query_engine_reference.cpp
+
+  /// Delivers query messages into the private handlers below.
+  friend class NodeRuntime;
 
   u128 index_of_element(const DataElement& element) const;
 
@@ -211,23 +241,60 @@ private:
   /// Count of stored keys in the wrapped ring interval (from, to].
   std::size_t keys_in_range(NodeId from, NodeId to) const;
 
-  // The query-path methods thread two ids alongside the work: `event`, the
-  // timing-DAG event the step executes under, and `span`, the parent trace
-  // span new spans attach to (-1 / ignored when tracing is off).
-  void resolve_at_node(QueryContext& ctx, NodeId at,
-                       std::vector<sfc::ClusterNode> clusters,
-                       std::int32_t event, std::int32_t span) const;
-  void collect_segment(QueryContext& ctx, NodeId at, sfc::Segment segment,
-                       bool covered, std::int32_t event,
-                       std::int32_t span) const;
-  void collect_covered(QueryContext& ctx, NodeId at, sfc::Segment segment,
-                       std::int32_t event, std::int32_t span) const;
-  void scan_local(QueryContext& ctx, NodeId at, sfc::Segment segment,
-                  bool covered, std::int32_t event, std::int32_t span) const;
+  // --- Message-driven query runtime (core/runtime.hpp, DESIGN.md 4e) -------
+  // Handlers run at message delivery. All order-sensitive "planning" work
+  // (routing, fault verdicts, budget, cache consults, timing events, every
+  // non-scan span) happens inside them in the seed recursion's order — the
+  // lockstep bit-identicality lock rests on that. The methods thread two
+  // ids alongside the work: `event`, the timing-DAG event the step executes
+  // under, and `span`, the parent trace span (-1 / ignored when tracing is
+  // off).
+  std::shared_ptr<QueryExec> start_exec(sim::Engine& engine, DeliveryMode mode,
+                                        const keyword::Query& query,
+                                        NodeId origin, bool count_only,
+                                        bool want_trace, bool publish,
+                                        bool arm_guard) const;
+  /// Post the root work: the point-query fast path (paper 3.4.1) or the
+  /// origin's ResolveRequest for the refinement-tree root.
+  void begin_resolution(const std::shared_ptr<QueryExec>& exec,
+                        bool allow_point) const;
+  void handle_resolve(const std::shared_ptr<QueryExec>& exec, NodeId at,
+                      std::vector<sfc::ClusterNode> clusters,
+                      std::int32_t event, std::int32_t span) const;
+  /// Plan the owner-chain walk over `segment` (routing + neighbor forwards,
+  /// eagerly), posting one ScanRequest per owner visited.
+  void plan_chain(const std::shared_ptr<QueryExec>& exec, NodeId at,
+                  sfc::Segment segment, bool covered, std::int32_t event,
+                  std::int32_t span) const;
   /// Clusters arrive paired with their precomputed segment-lo key, sorted
-  /// ascending, so batching never re-derives segments.
-  void dispatch_remote(
-      QueryContext& ctx, NodeId from,
+  /// ascending, so batching never re-derives segments. Posts one
+  /// ClusterDispatch per owner batch.
+  void dispatch_clusters(
+      const std::shared_ptr<QueryExec>& exec, NodeId from,
+      const std::vector<std::pair<u128, sfc::ClusterNode>>& clusters,
+      std::int32_t event, std::int32_t span) const;
+  /// ScanRequest delivery: sweep this peer's slice of the flat store.
+  void perform_scan(QueryExec& exec, NodeId at, sfc::Segment segment,
+                    bool covered, std::int32_t event, std::int32_t span) const;
+  /// Reply delivery: assemble QueryResult, close the trace, publish
+  /// metrics, release the cache guard, stamp completed_at.
+  void finalize_query(QueryExec& exec) const;
+
+  // --- Frozen seed resolver (query_engine_reference.cpp, test oracle) ------
+  void ref_resolve_at_node(RefQueryContext& ctx, NodeId at,
+                           std::vector<sfc::ClusterNode> clusters,
+                           std::int32_t event, std::int32_t span) const;
+  void ref_collect_segment(RefQueryContext& ctx, NodeId at,
+                           sfc::Segment segment, bool covered,
+                           std::int32_t event, std::int32_t span) const;
+  void ref_collect_covered(RefQueryContext& ctx, NodeId at,
+                           sfc::Segment segment, std::int32_t event,
+                           std::int32_t span) const;
+  void ref_scan_local(RefQueryContext& ctx, NodeId at, sfc::Segment segment,
+                      bool covered, std::int32_t event,
+                      std::int32_t span) const;
+  void ref_dispatch_remote(
+      RefQueryContext& ctx, NodeId from,
       const std::vector<std::pair<u128, sfc::ClusterNode>>& clusters,
       std::int32_t event, std::int32_t span) const;
 

@@ -1,10 +1,11 @@
 // Minimal discrete-event simulation kernel.
 //
 // The paper evaluates Squid with a simulator (4): queries run against an
-// in-memory overlay while the harness counts messages and nodes. Most
-// experiments are request/response shaped and execute synchronously, but
-// churn and stabilization are genuinely time-driven; Engine provides the
-// virtual clock and event queue those experiments schedule against.
+// in-memory overlay while the harness counts messages and nodes. Churn and
+// stabilization are genuinely time-driven, and since the message-driven
+// query runtime (DESIGN.md 4e) every query leg is itself an engine event;
+// Engine provides the virtual clock, the event queue, and the single fault
+// interception point (admit) those paths schedule against.
 
 #pragma once
 
@@ -22,8 +23,25 @@ using Time = std::uint64_t;
 
 class FaultInjector; // sim/fault.hpp
 
+/// Verdict on one fault-checked message admission (Engine::admit). Without
+/// an injector every field keeps its default: a clean immediate delivery.
+struct SendOutcome {
+  bool delivered = true;
+  Time extra_delay = 0;  ///< additional ticks before arrival
+  bool duplicate = false; ///< a second copy was paid for (receivers dedup)
+};
+
 class Engine {
 public:
+  /// Sentinel "no event" timestamp (peek_time on an empty queue; also the
+  /// default `until` of run()).
+  static constexpr Time kNever = ~Time{0};
+
+  /// An engine whose clock starts at `start`. The query runtime uses this
+  /// to keep an attached injector's clock unperturbed: a synchronous query
+  /// drains its private engine at the injector's current time.
+  explicit Engine(Time start = 0) noexcept : now_(start) {}
+
   using Action = std::function<void()>;
 
   Time now() const noexcept { return now_; }
@@ -37,26 +55,48 @@ public:
   void schedule_periodic(Time period, std::function<bool()> action);
 
   /// Attach (or detach, with nullptr) a fault injector. While attached,
-  /// send() consults it for every message and run() keeps its virtual
-  /// clock aligned with the engine's. Not owned; must outlive the engine's
-  /// use of it.
+  /// admit()/send() consult it for every message and run()/step() keep its
+  /// virtual clock aligned with the engine's. Not owned; must outlive the
+  /// engine's use of it.
   void set_fault_injector(FaultInjector* injector) noexcept {
     fault_ = injector;
   }
   FaultInjector* fault_injector() const noexcept { return fault_; }
 
+  /// Fault-checked admission of one message leg from -> to: THE uniform
+  /// interception point every simulated message passes through. Consults
+  /// the attached injector for a verdict (drop/delay/duplicate, tallied by
+  /// the injector); without one, every leg is admitted clean and no
+  /// randomness is drawn. The caller schedules the delivery according to
+  /// its own latency model — send() below is the classic packaging, the
+  /// query runtime (core/runtime.hpp) folds the verdict into its
+  /// timing-DAG hops instead.
+  SendOutcome admit(overlay::NodeId from, overlay::NodeId to);
+
   /// Schedule a *message* from one peer to another: `action` models its
-  /// arrival after `delay` ticks of transit. With a fault injector attached
-  /// the message may be dropped (never scheduled; returns false), delayed
-  /// (extra ticks added), or duplicated (scheduled twice at the same
-  /// arrival tick; FIFO tie-break keeps the order deterministic). Without
-  /// an injector this is exactly schedule().
+  /// arrival after `delay` ticks of transit. Built on admit(): the message
+  /// may be dropped (never scheduled; returns false), delayed (extra ticks
+  /// added), or duplicated (scheduled twice at the same arrival tick; FIFO
+  /// tie-break keeps the order deterministic). Without an injector this is
+  /// exactly schedule().
   bool send(Time delay, overlay::NodeId from, overlay::NodeId to,
             Action action);
 
   /// Run events until the queue drains or `until` is passed (events with
   /// timestamps beyond `until` stay queued). Returns events executed.
-  std::size_t run(Time until = ~Time{0});
+  std::size_t run(Time until = kNever);
+
+  /// Execute exactly one event (the earliest; FIFO among equal times),
+  /// advancing the clock to it. Returns false (and does nothing) when the
+  /// queue is empty. The async drain loop steps until its query completes,
+  /// and single-stepping makes event interleavings inspectable in tests.
+  bool step();
+
+  /// Timestamp of the next queued event, kNever when the queue is empty.
+  /// step() executed now would advance the clock to exactly this time.
+  Time peek_time() const noexcept {
+    return queue_.empty() ? kNever : queue_.top().at;
+  }
 
   bool empty() const noexcept { return queue_.empty(); }
   std::size_t pending() const noexcept { return queue_.size(); }

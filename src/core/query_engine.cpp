@@ -1,20 +1,39 @@
-// The distributed query engine (paper 3.4): translate the query to
-// refinement-tree clusters, embed the tree into the overlay, prune branches
-// that resolve locally, and aggregate sub-clusters headed to the same peer.
+// The distributed query engine (paper 3.4), message-driven (DESIGN.md 4e):
+// translate the query to refinement-tree clusters, embed the tree into the
+// overlay, prune branches that resolve locally, and aggregate sub-clusters
+// headed to the same peer. Since PR 5 resolution is not a C++ recursion:
+// each step is a typed message (core/messages.hpp) delivered by the
+// NodeRuntime (core/runtime.hpp) on a sim::Engine, so queries can overlap
+// on one virtual clock (query_async) and every leg passes the uniform
+// fault interception point (Engine::admit).
+//
+// Bit-identicality contract: the synchronous query()/count()/
+// query_centralized() wrappers drive a private engine in lockstep mode and
+// are locked bit-identical to the frozen seed resolver
+// (query_engine_reference.cpp) by tests/core/async_differential_test.cpp —
+// results, QueryStats, derive_stats on traces, the timing DAG, and the
+// fault injector's RNG stream, faults off and on. The invariant that makes
+// this work: handlers do ALL order-sensitive planning (routing, fault
+// verdicts, budget, cache consults, timing events, non-scan spans) at
+// delivery time in the seed recursion's order (engine FIFO == the seed's
+// task deque), and defer only the order-insensitive store sweeps as
+// ScanRequest messages.
 //
 // Observability (DESIGN.md 4c): every accounting site below pairs its
 // QueryStats mutation with a trace span carrying the same quantities, so
 // obs::derive_stats can rebuild the legacy aggregates bit-identically from
 // the trace alone (tests/obs/trace_differential_test.cpp enforces this).
-// With SQUID_OBS_ENABLED=0 the context's trace pointer is a constexpr
-// nullptr and every `if (ctx.trace)` branch folds away.
+// With SQUID_OBS_ENABLED=0 the exec's trace pointer is a constexpr nullptr
+// and every `if (ex.trace)` branch folds away.
 
 #include <algorithm>
 #include <atomic>
 #include <deque>
-#include <optional>
-#include <set>
+#include <memory>
+#include <utility>
+#include <vector>
 
+#include "squid/core/runtime.hpp"
 #include "squid/core/system.hpp"
 #include "squid/obs/metrics.hpp"
 #include "squid/obs/trace.hpp"
@@ -25,135 +44,6 @@
 namespace squid::core {
 
 using overlay::in_open_closed;
-
-struct SquidSystem::QueryContext {
-  sfc::Rect rect;
-  std::set<NodeId> routing;
-  std::set<NodeId> processing;
-  std::set<NodeId> data_nodes;
-  std::size_t messages = 0;
-  bool count_only = false; ///< count matches without shipping elements
-  std::size_t count = 0;
-  std::vector<DataElement> results;
-  /// Message-dependency DAG; event 0 is the query start at the origin.
-  std::vector<TimingEvent> timing{TimingEvent{}};
-#if SQUID_OBS_ENABLED
-  /// Non-null only while this query records a trace.
-  obs::TraceRecorder* trace = nullptr;
-#else
-  static constexpr obs::TraceRecorder* trace = nullptr;
-#endif
-  /// Hop-depth of each timing event (= virtual-clock tick of delivery).
-  /// Maintained parallel to `timing`, but only while tracing.
-  std::vector<sim::Time> depth;
-  /// Pending cross-node work: clusters already assigned to their owner,
-  /// plus the timing event that delivered them and the dispatch span that
-  /// sent them (parent for the receiving node's spans).
-  struct Task {
-    NodeId node;
-    std::vector<sfc::ClusterNode> clusters;
-    std::int32_t event = 0;
-    std::int32_t span = -1;
-  };
-  std::deque<Task> tasks;
-
-  std::int32_t add_event(std::int32_t parent, std::size_t hops) {
-    timing.push_back(TimingEvent{parent, static_cast<std::uint32_t>(hops)});
-    if (trace)
-      depth.push_back(depth[static_cast<std::size_t>(parent)] + hops);
-    return static_cast<std::int32_t>(timing.size() - 1);
-  }
-  /// Virtual-clock tick of `event`. Only valid while tracing.
-  sim::Time tick(std::int32_t event) const {
-    return depth[static_cast<std::size_t>(event)];
-  }
-  /// Safety valve for inconsistent rings (heavy churn): a real query would
-  /// time out; we stop dispatching and return what was found.
-  std::size_t dispatch_budget = 0;
-
-  // --- Fault accounting (docs/FAULT_MODEL.md) -------------------------------
-
-  bool complete = true; ///< false once any sub-query is abandoned
-  std::size_t retries = 0;
-  std::size_t failed_clusters = 0;
-
-  /// Outcome of one fault-aware message-leg delivery (attempt_leg).
-  struct Leg {
-    bool delivered = true;
-    std::size_t extra_messages = 0; ///< resends + duplicate copies paid
-    std::size_t resends = 0;
-    sim::Time penalty = 0; ///< backoff waits + delivery delay, in ticks
-  };
-
-  /// Deliver one message leg from -> to under the injector, resending with
-  /// exponential backoff (cfg.retry_backoff << attempt) up to
-  /// cfg.send_retries times. Null injector: immediate clean delivery (the
-  /// zero-overhead path — no draws, no spans, no accounting).
-  Leg attempt_leg(sim::FaultInjector* fault, const SquidConfig& cfg,
-                  NodeId from, NodeId to) {
-    Leg out;
-    if (fault == nullptr) return out;
-    const unsigned attempts = 1 + cfg.send_retries;
-    for (unsigned a = 0; a < attempts; ++a) {
-      const sim::FaultInjector::Delivery verdict = fault->decide(from, to);
-      if (verdict.delivered) {
-        out.penalty += verdict.extra_delay;
-        out.extra_messages = out.resends + (verdict.duplicate ? 1 : 0);
-        return out;
-      }
-      if (a + 1 < attempts) {
-        out.penalty += cfg.retry_backoff << a;
-        ++out.resends;
-      }
-    }
-    out.delivered = false;
-    fault->report_timeout(from, to);
-    return out;
-  }
-
-  /// Account a *delivered* leg's fault costs. Resends and duplicate copies
-  /// are extra query messages; the retry span carries them so derive_stats
-  /// stays bit-exact (messages += span.messages, retries += span.batch).
-  void pay_leg(const Leg& leg, NodeId to, std::int32_t event,
-               std::int32_t span) {
-    messages += leg.extra_messages;
-    retries += leg.resends;
-    if (trace && (leg.extra_messages > 0 || leg.penalty > 0)) {
-      const std::int32_t id =
-          trace->begin(obs::SpanKind::kRetry, span, event, tick(event));
-      obs::Span& s = trace->at(id);
-      s.node = to;
-      s.messages = static_cast<std::uint32_t>(leg.extra_messages);
-      s.batch = static_cast<std::uint32_t>(leg.resends);
-      s.hops = static_cast<std::uint32_t>(leg.penalty);
-      s.end = s.start + leg.penalty;
-    }
-  }
-
-  /// Account a leg abandoned for good. The original send was already paid
-  /// at the call site together with its route/cache span (or never happened
-  /// — an unroutable key — in which case `resends` is 0); the `resends`
-  /// further copies paid here were all lost too, and `units` sub-queries go
-  /// unanswered. The fault span mirrors it for derive_stats (messages and
-  /// retries += span.messages, failed_clusters += span.batch).
-  void fail_leg(std::size_t resends, sim::Time penalty, std::size_t units,
-                NodeId to, std::int32_t event, std::int32_t span) {
-    messages += resends;
-    retries += resends;
-    failed_clusters += units;
-    complete = false;
-    if (trace) {
-      const std::int32_t id =
-          trace->begin(obs::SpanKind::kFault, span, event, tick(event));
-      obs::Span& s = trace->at(id);
-      s.node = to;
-      s.messages = static_cast<std::uint32_t>(resends);
-      s.batch = static_cast<std::uint32_t>(units);
-      s.hops = static_cast<std::uint32_t>(penalty);
-      s.end = s.start + penalty;
-    }
-  }
-};
 
 namespace {
 
@@ -169,444 +59,12 @@ bool entirely_local(overlay::NodeId at, const sfc::Segment& seg) {
   return at >= seg.hi || at < seg.lo;
 }
 
-/// query() advertises itself as a pure reader, but with cache_cluster_owners
-/// on it writes owner_cache_/cache_stats_. This guard makes overlapping
-/// cached queries fail loudly (SQUID_REQUIRE) instead of racing silently;
-/// it is only armed when the cache is enabled, so the lock-free concurrent
-/// read path stays untouched.
-class ScopedCacheWriter {
-public:
-  explicit ScopedCacheWriter(std::atomic<int>& writers) : writers_(writers) {
-    if (writers_.fetch_add(1, std::memory_order_acq_rel) != 0) {
-      writers_.fetch_sub(1, std::memory_order_acq_rel);
-      SQUID_REQUIRE(false,
-                    "concurrent query()/count() with cache_cluster_owners "
-                    "enabled would race on the owner cache; disable the "
-                    "cache for multi-threaded readers");
-    }
-  }
-  ~ScopedCacheWriter() { writers_.fetch_sub(1, std::memory_order_acq_rel); }
-  ScopedCacheWriter(const ScopedCacheWriter&) = delete;
-  ScopedCacheWriter& operator=(const ScopedCacheWriter&) = delete;
-
-private:
-  std::atomic<int>& writers_;
-};
-
-} // namespace
-
-void SquidSystem::set_tracing(bool on) noexcept {
-  trace_enabled_ = on && SQUID_OBS_ENABLED != 0;
+/// Process-wide id source for query messages (file-local so SquidSystem
+/// stays movable; ids only need to be unique, not dense).
+std::uint64_t next_query_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
-
-void SquidSystem::scan_local(QueryContext& ctx, NodeId at, sfc::Segment seg,
-                             bool covered, std::int32_t event,
-                             std::int32_t span) const {
-  ctx.processing.insert(at);
-  std::uint64_t scanned = 0;
-  std::uint64_t matched = 0;
-  std::uint64_t collected = 0;
-  // One contiguous sweep over the flat store: binary search to the segment
-  // start, then walk the index/payload arrays in lockstep.
-  std::size_t i = static_cast<std::size_t>(
-      std::lower_bound(key_index_.begin(), key_index_.end(), seg.lo) -
-      key_index_.begin());
-  for (; i < key_index_.size() && key_index_[i] <= seg.hi; ++i) {
-    const StoredKey& key = key_data_[i];
-    ++scanned;
-    if (!covered && !ctx.rect.contains(key.point)) continue;
-    ++matched;
-    collected += key.elements.size();
-    if (ctx.count_only) {
-      ctx.count += key.elements.size();
-    } else {
-      ctx.results.insert(ctx.results.end(), key.elements.begin(),
-                         key.elements.end());
-    }
-  }
-  if (matched > 0) ctx.data_nodes.insert(at);
-  if (ctx.trace) {
-    const std::int32_t id = ctx.trace->begin(obs::SpanKind::kLocalScan, span,
-                                             event, ctx.tick(event));
-    obs::Span& s = ctx.trace->at(id);
-    s.node = at;
-    s.range_lo = seg.lo;
-    s.range_hi = seg.hi;
-    s.keys_scanned = scanned;
-    s.keys_matched = matched;
-    s.matches = collected;
-  }
-}
-
-void SquidSystem::collect_segment(QueryContext& ctx, NodeId at,
-                                  sfc::Segment seg, bool covered,
-                                  std::int32_t event,
-                                  std::int32_t span) const {
-  // Scan every owner of `seg` in ring order. The paper notes a cluster "may
-  // be mapped to one or more adjacent nodes"; each forward to the next
-  // owner is one neighbor message. `covered` skips per-key filtering when
-  // the whole segment is known to match.
-  const NodeId pred = ring_.predecessor_of(at);
-  if (!in_open_closed(pred, at, seg.lo)) {
-    if (ctx.dispatch_budget == 0) {
-      ctx.complete = false;
-      return;
-    }
-    --ctx.dispatch_budget;
-    const overlay::RouteResult r = ring_.route(at, seg.lo);
-    if (!r.ok) {
-      ctx.fail_leg(0, 0, 1, at, event, span);
-      return;
-    }
-    ctx.messages += 1;
-    ctx.routing.insert(r.path.begin(), r.path.end());
-    const QueryContext::Leg leg = ctx.attempt_leg(fault_, config_, at, r.dest);
-    const sim::Time sent = ctx.trace ? ctx.tick(event) : 0;
-    const std::int32_t arrive = ctx.add_event(
-        event, r.hops() + static_cast<std::size_t>(leg.penalty));
-    if (ctx.trace) {
-      const std::int32_t id =
-          ctx.trace->begin(obs::SpanKind::kRouteHop, span, arrive, sent);
-      ctx.trace->set_path(id, r.path.begin(), r.path.end());
-      obs::Span& s = ctx.trace->at(id);
-      s.node = r.dest;
-      s.hops = static_cast<std::uint32_t>(r.hops());
-      s.messages = 1;
-      s.end = ctx.tick(arrive);
-      span = id;
-    }
-    if (!leg.delivered) {
-      ctx.fail_leg(leg.resends, leg.penalty, 1, r.dest, event, span);
-      return;
-    }
-    ctx.pay_leg(leg, r.dest, event, span);
-    at = r.dest;
-    event = arrive;
-  }
-  for (;;) {
-    const sfc::Segment local = clip_local(at, seg);
-    scan_local(ctx, at, local, covered, event, span);
-    if (entirely_local(at, seg)) return;
-    if (ctx.dispatch_budget == 0) {
-      ctx.complete = false;
-      return;
-    }
-    --ctx.dispatch_budget;
-    const NodeId next = ring_.successor_of((at + 1) & ring_.id_mask());
-    const QueryContext::Leg leg = ctx.attempt_leg(fault_, config_, at, next);
-    ctx.messages += 1;
-    ctx.routing.insert(at);
-    ctx.routing.insert(next);
-    seg.lo = local.hi + 1;
-    const sim::Time sent = ctx.trace ? ctx.tick(event) : 0;
-    const std::int32_t arrive = ctx.add_event(
-        event, 1 + static_cast<std::size_t>(leg.penalty)); // neighbor forward
-    if (ctx.trace) {
-      const std::int32_t id =
-          ctx.trace->begin(obs::SpanKind::kRouteHop, span, arrive, sent);
-      ctx.trace->add_path_node(id, at);
-      ctx.trace->add_path_node(id, next);
-      obs::Span& s = ctx.trace->at(id);
-      s.node = next;
-      s.hops = 1;
-      s.messages = 1;
-      s.end = ctx.tick(arrive);
-      span = id;
-    }
-    if (!leg.delivered) {
-      ctx.fail_leg(leg.resends, leg.penalty, 1, next, event, span);
-      return;
-    }
-    ctx.pay_leg(leg, next, event, span);
-    at = next;
-    event = arrive;
-  }
-}
-
-void SquidSystem::collect_covered(QueryContext& ctx, NodeId at,
-                                  sfc::Segment seg, std::int32_t event,
-                                  std::int32_t span) const {
-  collect_segment(ctx, at, seg, /*covered=*/true, event, span);
-}
-
-void SquidSystem::dispatch_remote(
-    QueryContext& ctx, NodeId from,
-    const std::vector<std::pair<u128, sfc::ClusterNode>>& clusters,
-    std::int32_t event, std::int32_t span) const {
-  // Paper 3.4.2, second optimization: the clusters are in ascending curve
-  // order; probe with the first, learn the owner's identifier from its
-  // reply, then ship every further cluster owned by the same peer as one
-  // aggregated message. Without aggregation each cluster is its own routed
-  // message. Each entry carries its precomputed segment-lo key.
-  std::size_t i = 0;
-  while (i < clusters.size()) {
-    if (ctx.dispatch_budget == 0) {
-      ctx.complete = false;
-      return;
-    }
-    --ctx.dispatch_budget;
-    const u128 head_lo = clusters[i].first;
-
-    // The dispatch span opens before its outcome is known; route/cache
-    // consult spans nest under it. A failed route leaves it zero-cost.
-    std::int32_t dspan = -1;
-    if (ctx.trace) {
-      dspan = ctx.trace->begin(obs::SpanKind::kClusterDispatch, span, event,
-                               ctx.tick(event));
-      obs::Span& s = ctx.trace->at(dspan);
-      s.level = clusters[i].second.level;
-      s.range_lo = head_lo;
-      s.range_hi = head_lo;
-    }
-
-    NodeId dest = 0;
-    bool resolved = false;
-    bool from_cache = false;
-    if (config_.cache_cluster_owners) {
-      // Consult only the dispatching peer's own memory of past replies.
-      const auto cache_it = owner_cache_.find(from);
-      if (cache_it != owner_cache_.end()) {
-        const auto hit = cache_it->second.find(
-            {clusters[i].second.level, clusters[i].second.prefix});
-        if (hit != cache_it->second.end() && ring_.contains(hit->second) &&
-            in_open_closed(ring_.predecessor_of(hit->second), hit->second,
-                           head_lo)) {
-          dest = hit->second;
-          resolved = true;
-          from_cache = true;
-          ++cache_stats_.hits;
-          ctx.messages += 1; // one direct message, no overlay routing
-          ctx.routing.insert(from);
-          ctx.routing.insert(dest);
-          if (ctx.trace) {
-            const std::int32_t id = ctx.trace->begin(
-                obs::SpanKind::kCacheHit, dspan, event, ctx.tick(event));
-            ctx.trace->add_path_node(id, from);
-            ctx.trace->add_path_node(id, dest);
-            obs::Span& s = ctx.trace->at(id);
-            s.node = dest;
-            s.level = clusters[i].second.level;
-            s.messages = 1;
-            s.end = s.start + 1; // direct send: one hop
-          }
-        } else if (hit != cache_it->second.end()) {
-          ++cache_stats_.stale;
-          cache_it->second.erase(hit);
-        }
-      }
-      if (!resolved) {
-        ++cache_stats_.misses;
-        if (ctx.trace) {
-          const std::int32_t id = ctx.trace->begin(
-              obs::SpanKind::kCacheMiss, dspan, event, ctx.tick(event));
-          obs::Span& s = ctx.trace->at(id);
-          s.node = from;
-          s.level = clusters[i].second.level;
-        }
-      }
-    }
-
-    std::size_t dispatch_hops = 1; // direct send when the cache resolved it
-    if (!resolved) {
-      const overlay::RouteResult r = ring_.route(from, head_lo);
-      if (!r.ok) {
-        // Unroutable under churn: abandon only this head cluster and keep
-        // dispatching the rest (the seed abandoned the whole remainder).
-        ctx.fail_leg(0, 0, 1, from, event, dspan);
-        ++i;
-        continue;
-      }
-      ctx.messages += 1; // the head sub-query
-      ctx.routing.insert(r.path.begin(), r.path.end());
-      dest = r.dest;
-      dispatch_hops = std::max<std::size_t>(r.hops(), 1);
-      if (ctx.trace) {
-        const std::int32_t id = ctx.trace->begin(
-            obs::SpanKind::kRouteHop, dspan, event, ctx.tick(event));
-        ctx.trace->set_path(id, r.path.begin(), r.path.end());
-        obs::Span& s = ctx.trace->at(id);
-        s.node = dest;
-        s.hops = static_cast<std::uint32_t>(r.hops());
-        s.messages = 1;
-        s.end = s.start + r.hops();
-      }
-    }
-
-    // The head sub-query is one message leg from -> dest; under faults it
-    // may need resends or be lost for good. A lost head drops only its own
-    // cluster: no identifier reply arrives, so no batch forms, and the
-    // would-be siblings are dispatched individually by later iterations.
-    const QueryContext::Leg leg = ctx.attempt_leg(fault_, config_, from, dest);
-    if (!leg.delivered) {
-      // The backoff waits still burn wall-clock at the dispatcher: land them
-      // in the timing DAG so trace-derived and engine critical paths agree.
-      ctx.add_event(event, static_cast<std::size_t>(leg.penalty));
-      ctx.fail_leg(leg.resends, leg.penalty, 1, dest, event, dspan);
-      ++i;
-      continue;
-    }
-    ctx.pay_leg(leg, dest, event, dspan);
-
-    std::size_t batch_end = i + 1;
-    bool reply_message = false;
-    if (config_.aggregate_subclusters) {
-      if (!from_cache) {
-        ctx.messages += 1; // the owner's identifier reply
-        reply_message = true;
-      }
-      if (config_.cache_cluster_owners) {
-        owner_cache_[from][{clusters[i].second.level,
-                            clusters[i].second.prefix}] = dest;
-      }
-      const NodeId dest_pred = ring_.predecessor_of(dest);
-      while (batch_end < clusters.size() &&
-             in_open_closed(dest_pred, dest, clusters[batch_end].first)) {
-        ++batch_end;
-      }
-      if (batch_end > i + 1) ctx.messages += 1; // one aggregated batch
-    }
-    // The head travels with the probe; aggregated siblings wait for the
-    // identifier reply and then one direct hop (reply + batch = 2 hops).
-    // Backoff waits and delivery delay push the whole arrival later.
-    const std::int32_t batch_event = ctx.add_event(
-        event, dispatch_hops + static_cast<std::size_t>(leg.penalty) +
-                   (batch_end > i + 1 ? 2 : 0));
-    if (ctx.trace) {
-      if (batch_end > i + 1) {
-        const std::int32_t id = ctx.trace->begin(
-            obs::SpanKind::kAggregationMerge, dspan, event, ctx.tick(event));
-        obs::Span& s = ctx.trace->at(id);
-        s.node = from;
-        s.batch = static_cast<std::uint32_t>(batch_end - i - 1);
-        s.messages = 1; // the aggregated batch
-        s.end = ctx.tick(batch_event);
-      }
-      obs::Span& s = ctx.trace->at(dspan);
-      s.node = dest;
-      s.event = batch_event;
-      s.batch = static_cast<std::uint32_t>(batch_end - i);
-      s.hops = static_cast<std::uint32_t>(dispatch_hops);
-      s.messages = reply_message ? 1 : 0; // the identifier reply, if paid
-      s.range_hi = clusters[batch_end - 1].first;
-      s.end = ctx.tick(batch_event);
-    }
-    std::vector<sfc::ClusterNode> batch;
-    batch.reserve(batch_end - i);
-    for (std::size_t k = i; k < batch_end; ++k)
-      batch.push_back(clusters[k].second);
-    ctx.tasks.push_back({dest, std::move(batch), batch_event, dspan});
-    i = batch_end;
-  }
-}
-
-void SquidSystem::resolve_at_node(QueryContext& ctx, NodeId at,
-                                  std::vector<sfc::ClusterNode> clusters,
-                                  std::int32_t event,
-                                  std::int32_t span) const {
-  ctx.processing.insert(at);
-  if (ctx.trace) {
-    const std::int32_t id = ctx.trace->begin(obs::SpanKind::kRefineDescend,
-                                             span, event, ctx.tick(event));
-    obs::Span& s = ctx.trace->at(id);
-    s.node = at;
-    s.batch = static_cast<std::uint32_t>(clusters.size());
-    span = id;
-  }
-  const NodeId pred = ring_.predecessor_of(at);
-  std::vector<std::pair<u128, sfc::ClusterNode>> remote; // (segment lo, node)
-
-  // Refine everything assigned to this node as deep as local knowledge
-  // allows (paper Figs 6-8): clusters fully inside our key range are matched
-  // against the store without further refinement; covered clusters sweep
-  // their owner chain; boundary-crossing clusters refine one level, their
-  // children either staying local or queueing for dispatch.
-  //
-  // Tree expansion rides the incremental cursor: one O(level*dims) seek per
-  // cluster that actually refines, then O(dims) per child cell — the seed
-  // path re-ran a full root-depth inverse SFC mapping (with two heap
-  // allocations) for every cell it touched. The query rectangle was
-  // validated once at the query() entry, so per-node work is unchecked, and
-  // children carry the relation computed at enqueue time.
-  sfc::RefineCursor cursor(*curve_);
-  const unsigned dims = curve_->dims();
-  const u128 fanout = cursor.fanout();
-  using sfc::CellRelation;
-  struct WorkItem {
-    sfc::ClusterNode node;
-    CellRelation relation;
-    bool classified = false;
-  };
-  std::deque<WorkItem> work;
-  for (const auto& cluster : clusters) work.push_back({cluster, {}, false});
-  while (!work.empty()) {
-    const WorkItem item = work.front();
-    work.pop_front();
-    const sfc::ClusterNode cluster = item.node;
-    CellRelation relation = item.relation;
-    if (!item.classified) {
-      cursor.seek(cluster.prefix, cluster.level);
-      relation = cursor.relation_to(ctx.rect);
-    }
-    if (relation == CellRelation::disjoint) {
-      if (ctx.trace) {
-        const sfc::Segment pruned = refiner_.segment_of(cluster);
-        const std::int32_t id = ctx.trace->begin(obs::SpanKind::kPrune, span,
-                                                 event, ctx.tick(event));
-        obs::Span& s = ctx.trace->at(id);
-        s.node = at;
-        s.level = cluster.level;
-        s.range_lo = pruned.lo;
-        s.range_hi = pruned.hi;
-      }
-      continue;
-    }
-    const sfc::Segment seg = refiner_.segment_of(cluster);
-    if (relation == CellRelation::covered) {
-      collect_covered(ctx, at, seg, event, span);
-      continue;
-    }
-    const bool owns_lo = in_open_closed(pred, at, seg.lo);
-    if (owns_lo && entirely_local(at, seg)) {
-      // Fig 8's pruning: the owner's identifier is past the cluster's last
-      // index, so every possible match is stored here.
-      scan_local(ctx, at, seg, /*covered=*/false, event, span);
-      continue;
-    }
-    if (item.classified) cursor.seek(cluster.prefix, cluster.level);
-    for (u128 w = 0; w < fanout; ++w) {
-      const auto rel = cursor.classify_child(w, ctx.rect);
-      const sfc::ClusterNode child{
-          (dims >= 128 ? 0 : cluster.prefix << dims) | w, cluster.level + 1};
-      if (rel == CellRelation::disjoint) {
-        if (ctx.trace) {
-          const sfc::Segment pruned = refiner_.segment_of(child);
-          const std::int32_t id = ctx.trace->begin(
-              obs::SpanKind::kPrune, span, event, ctx.tick(event));
-          obs::Span& s = ctx.trace->at(id);
-          s.node = at;
-          s.level = child.level;
-          s.range_lo = pruned.lo;
-          s.range_hi = pruned.hi;
-        }
-        continue;
-      }
-      const u128 child_lo = refiner_.segment_of(child).lo;
-      if (in_open_closed(pred, at, child_lo)) {
-        work.push_back({child, rel, true});
-      } else {
-        remote.emplace_back(child_lo, child);
-      }
-    }
-  }
-
-  // Sort by the precomputed segment keys; the seed's comparator re-derived
-  // segment_of for every comparison.
-  std::sort(remote.begin(), remote.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  dispatch_remote(ctx, at, remote, event, span);
-}
-
-namespace {
 
 /// Longest root-to-leaf hop total of a timing DAG (events reference earlier
 /// parents only, so one forward pass suffices).
@@ -654,188 +112,650 @@ void publish_query_metrics(const QueryStats& stats, bool complete) {
 
 } // namespace
 
-QueryResult SquidSystem::query(const keyword::Query& query,
-                               NodeId origin) const {
-  SQUID_REQUIRE(ring_.contains(origin), "query origin is not a live node");
-  std::optional<ScopedCacheWriter> cache_guard;
-  if (config_.cache_cluster_owners) cache_guard.emplace(*cache_writers_);
-  QueryContext ctx;
-  ctx.rect = space_.to_rect(query);
-  refiner_.validate_query(ctx.rect); // once per query; per-node paths trust it
-  ctx.dispatch_budget = 64 * (ring_.size() + 8); // churn safety valve
-  ctx.routing.insert(origin);
+void SquidSystem::set_tracing(bool on) noexcept {
+  trace_enabled_ = on && SQUID_OBS_ENABLED != 0;
+}
 
-  std::int32_t root = -1;
+// --- Message handlers (run at delivery; see NodeRuntime::deliver) -----------
+
+void SquidSystem::perform_scan(QueryExec& ex, NodeId at, sfc::Segment seg,
+                               bool covered, std::int32_t event,
+                               std::int32_t span) const {
+  ex.processing.insert(at);
+  std::uint64_t scanned = 0;
+  std::uint64_t matched = 0;
+  std::uint64_t collected = 0;
+  // One contiguous sweep over the flat store: binary search to the segment
+  // start, then walk the index/payload arrays in lockstep.
+  std::size_t i = static_cast<std::size_t>(
+      std::lower_bound(key_index_.begin(), key_index_.end(), seg.lo) -
+      key_index_.begin());
+  for (; i < key_index_.size() && key_index_[i] <= seg.hi; ++i) {
+    const StoredKey& key = key_data_[i];
+    ++scanned;
+    if (!covered && !ex.rect.contains(key.point)) continue;
+    ++matched;
+    collected += key.elements.size();
+    if (ex.count_only) {
+      ex.count += key.elements.size();
+    } else {
+      ex.results.insert(ex.results.end(), key.elements.begin(),
+                        key.elements.end());
+    }
+  }
+  if (matched > 0) ex.data_nodes.insert(at);
+  if (ex.trace) {
+    const std::int32_t id = ex.trace->begin(obs::SpanKind::kLocalScan, span,
+                                            event, ex.tick(event));
+    obs::Span& s = ex.trace->at(id);
+    s.node = at;
+    s.range_lo = seg.lo;
+    s.range_hi = seg.hi;
+    s.keys_scanned = scanned;
+    s.keys_matched = matched;
+    s.matches = collected;
+  }
+}
+
+void SquidSystem::plan_chain(const std::shared_ptr<QueryExec>& exec,
+                             NodeId at, sfc::Segment seg, bool covered,
+                             std::int32_t event, std::int32_t span) const {
+  // Scan every owner of `seg` in ring order. The paper notes a cluster "may
+  // be mapped to one or more adjacent nodes"; each forward to the next
+  // owner is one neighbor message. The walk is *planned* here, eagerly
+  // (fault verdicts and timing events in seed order); the per-owner store
+  // sweeps are posted as ScanRequests and run at their delivery ticks.
+  QueryExec& ex = *exec;
+  const NodeRuntime runtime(this);
+  const NodeId pred = ring_.predecessor_of(at);
+  if (!in_open_closed(pred, at, seg.lo)) {
+    if (ex.dispatch_budget == 0) {
+      ex.complete = false;
+      return;
+    }
+    --ex.dispatch_budget;
+    const overlay::RouteResult r = ring_.route(at, seg.lo);
+    if (!r.ok) {
+      ex.fail_leg(0, 0, 1, at, event, span);
+      return;
+    }
+    ex.messages += 1;
+    ex.routing.insert(r.path.begin(), r.path.end());
+    const QueryExec::Leg leg = ex.attempt_leg(at, r.dest);
+    const sim::Time sent = ex.tick(event);
+    const std::int32_t arrive = ex.add_event(
+        event, r.hops() + static_cast<std::size_t>(leg.penalty));
+    if (ex.trace) {
+      const std::int32_t id =
+          ex.trace->begin(obs::SpanKind::kRouteHop, span, arrive, sent);
+      ex.trace->set_path(id, r.path.begin(), r.path.end());
+      obs::Span& s = ex.trace->at(id);
+      s.node = r.dest;
+      s.hops = static_cast<std::uint32_t>(r.hops());
+      s.messages = 1;
+      s.end = ex.tick(arrive);
+      span = id;
+    }
+    if (!leg.delivered) {
+      ex.fail_leg(leg.resends, leg.penalty, 1, r.dest, event, span);
+      return;
+    }
+    ex.pay_leg(leg, r.dest, event, span);
+    at = r.dest;
+    event = arrive;
+  }
+  for (;;) {
+    const sfc::Segment local = clip_local(at, seg);
+    runtime.post(exec,
+                 msg::ScanRequest{ex.id, at, local, covered, event, span});
+    if (entirely_local(at, seg)) return;
+    if (ex.dispatch_budget == 0) {
+      ex.complete = false;
+      return;
+    }
+    --ex.dispatch_budget;
+    const NodeId next = ring_.successor_of((at + 1) & ring_.id_mask());
+    const QueryExec::Leg leg = ex.attempt_leg(at, next);
+    ex.messages += 1;
+    ex.routing.insert(at);
+    ex.routing.insert(next);
+    seg.lo = local.hi + 1;
+    const sim::Time sent = ex.tick(event);
+    const std::int32_t arrive = ex.add_event(
+        event, 1 + static_cast<std::size_t>(leg.penalty)); // neighbor forward
+    if (ex.trace) {
+      const std::int32_t id =
+          ex.trace->begin(obs::SpanKind::kRouteHop, span, arrive, sent);
+      ex.trace->add_path_node(id, at);
+      ex.trace->add_path_node(id, next);
+      obs::Span& s = ex.trace->at(id);
+      s.node = next;
+      s.hops = 1;
+      s.messages = 1;
+      s.end = ex.tick(arrive);
+      span = id;
+    }
+    if (!leg.delivered) {
+      ex.fail_leg(leg.resends, leg.penalty, 1, next, event, span);
+      return;
+    }
+    ex.pay_leg(leg, next, event, span);
+    at = next;
+    event = arrive;
+  }
+}
+
+void SquidSystem::dispatch_clusters(
+    const std::shared_ptr<QueryExec>& exec, NodeId from,
+    const std::vector<std::pair<u128, sfc::ClusterNode>>& clusters,
+    std::int32_t event, std::int32_t span) const {
+  // Paper 3.4.2, second optimization: the clusters are in ascending curve
+  // order; probe with the first, learn the owner's identifier from its
+  // reply, then ship every further cluster owned by the same peer as one
+  // aggregated message. Without aggregation each cluster is its own routed
+  // message. Each entry carries its precomputed segment-lo key.
+  QueryExec& ex = *exec;
+  const NodeRuntime runtime(this);
+  std::size_t i = 0;
+  while (i < clusters.size()) {
+    if (ex.dispatch_budget == 0) {
+      ex.complete = false;
+      return;
+    }
+    --ex.dispatch_budget;
+    const u128 head_lo = clusters[i].first;
+
+    // The dispatch span opens before its outcome is known; route/cache
+    // consult spans nest under it. A failed route leaves it zero-cost.
+    std::int32_t dspan = -1;
+    if (ex.trace) {
+      dspan = ex.trace->begin(obs::SpanKind::kClusterDispatch, span, event,
+                              ex.tick(event));
+      obs::Span& s = ex.trace->at(dspan);
+      s.level = clusters[i].second.level;
+      s.range_lo = head_lo;
+      s.range_hi = head_lo;
+    }
+
+    NodeId dest = 0;
+    bool resolved = false;
+    bool from_cache = false;
+    if (config_.cache_cluster_owners) {
+      // Consult only the dispatching peer's own memory of past replies.
+      const auto cache_it = owner_cache_.find(from);
+      if (cache_it != owner_cache_.end()) {
+        const auto hit = cache_it->second.find(
+            {clusters[i].second.level, clusters[i].second.prefix});
+        if (hit != cache_it->second.end() && ring_.contains(hit->second) &&
+            in_open_closed(ring_.predecessor_of(hit->second), hit->second,
+                           head_lo)) {
+          dest = hit->second;
+          resolved = true;
+          from_cache = true;
+          ++cache_stats_.hits;
+          ex.messages += 1; // one direct message, no overlay routing
+          ex.routing.insert(from);
+          ex.routing.insert(dest);
+          if (ex.trace) {
+            const std::int32_t id = ex.trace->begin(
+                obs::SpanKind::kCacheHit, dspan, event, ex.tick(event));
+            ex.trace->add_path_node(id, from);
+            ex.trace->add_path_node(id, dest);
+            obs::Span& s = ex.trace->at(id);
+            s.node = dest;
+            s.level = clusters[i].second.level;
+            s.messages = 1;
+            s.end = s.start + 1; // direct send: one hop
+          }
+        } else if (hit != cache_it->second.end()) {
+          ++cache_stats_.stale;
+          cache_it->second.erase(hit);
+        }
+      }
+      if (!resolved) {
+        ++cache_stats_.misses;
+        if (ex.trace) {
+          const std::int32_t id = ex.trace->begin(
+              obs::SpanKind::kCacheMiss, dspan, event, ex.tick(event));
+          obs::Span& s = ex.trace->at(id);
+          s.node = from;
+          s.level = clusters[i].second.level;
+        }
+      }
+    }
+
+    std::size_t dispatch_hops = 1; // direct send when the cache resolved it
+    if (!resolved) {
+      const overlay::RouteResult r = ring_.route(from, head_lo);
+      if (!r.ok) {
+        // Unroutable under churn: abandon only this head cluster and keep
+        // dispatching the rest (the seed abandoned the whole remainder).
+        ex.fail_leg(0, 0, 1, from, event, dspan);
+        ++i;
+        continue;
+      }
+      ex.messages += 1; // the head sub-query
+      ex.routing.insert(r.path.begin(), r.path.end());
+      dest = r.dest;
+      dispatch_hops = std::max<std::size_t>(r.hops(), 1);
+      if (ex.trace) {
+        const std::int32_t id = ex.trace->begin(obs::SpanKind::kRouteHop,
+                                                dspan, event, ex.tick(event));
+        ex.trace->set_path(id, r.path.begin(), r.path.end());
+        obs::Span& s = ex.trace->at(id);
+        s.node = dest;
+        s.hops = static_cast<std::uint32_t>(r.hops());
+        s.messages = 1;
+        s.end = s.start + r.hops();
+      }
+    }
+
+    // The head sub-query is one message leg from -> dest; under faults it
+    // may need resends or be lost for good. A lost head drops only its own
+    // cluster: no identifier reply arrives, so no batch forms, and the
+    // would-be siblings are dispatched individually by later iterations.
+    const QueryExec::Leg leg = ex.attempt_leg(from, dest);
+    if (!leg.delivered) {
+      // The backoff waits still burn wall-clock at the dispatcher: land them
+      // in the timing DAG so trace-derived and engine critical paths agree.
+      ex.add_event(event, static_cast<std::size_t>(leg.penalty));
+      ex.fail_leg(leg.resends, leg.penalty, 1, dest, event, dspan);
+      ++i;
+      continue;
+    }
+    ex.pay_leg(leg, dest, event, dspan);
+
+    std::size_t batch_end = i + 1;
+    bool reply_message = false;
+    if (config_.aggregate_subclusters) {
+      if (!from_cache) {
+        ex.messages += 1; // the owner's identifier reply
+        reply_message = true;
+      }
+      if (config_.cache_cluster_owners) {
+        owner_cache_[from][{clusters[i].second.level,
+                            clusters[i].second.prefix}] = dest;
+      }
+      const NodeId dest_pred = ring_.predecessor_of(dest);
+      while (batch_end < clusters.size() &&
+             in_open_closed(dest_pred, dest, clusters[batch_end].first)) {
+        ++batch_end;
+      }
+      if (batch_end > i + 1) ex.messages += 1; // one aggregated batch
+    }
+    // The head travels with the probe; aggregated siblings wait for the
+    // identifier reply and then one direct hop (reply + batch = 2 hops).
+    // Backoff waits and delivery delay push the whole arrival later.
+    const std::int32_t batch_event = ex.add_event(
+        event, dispatch_hops + static_cast<std::size_t>(leg.penalty) +
+                   (batch_end > i + 1 ? 2 : 0));
+    if (ex.trace) {
+      if (batch_end > i + 1) {
+        const std::int32_t id = ex.trace->begin(
+            obs::SpanKind::kAggregationMerge, dspan, event, ex.tick(event));
+        obs::Span& s = ex.trace->at(id);
+        s.node = from;
+        s.batch = static_cast<std::uint32_t>(batch_end - i - 1);
+        s.messages = 1; // the aggregated batch
+        s.end = ex.tick(batch_event);
+      }
+      obs::Span& s = ex.trace->at(dspan);
+      s.node = dest;
+      s.event = batch_event;
+      s.batch = static_cast<std::uint32_t>(batch_end - i);
+      s.hops = static_cast<std::uint32_t>(dispatch_hops);
+      s.messages = reply_message ? 1 : 0; // the identifier reply, if paid
+      s.range_hi = clusters[batch_end - 1].first;
+      s.end = ex.tick(batch_event);
+    }
+    msg::ClusterDispatch dispatch;
+    dispatch.query = ex.id;
+    dispatch.from = from;
+    dispatch.to = dest;
+    dispatch.head = clusters[i].second;
+    dispatch.batch.clusters.reserve(batch_end - i - 1);
+    for (std::size_t k = i + 1; k < batch_end; ++k)
+      dispatch.batch.clusters.push_back(clusters[k].second);
+    dispatch.event = batch_event;
+    dispatch.span = dspan;
+    runtime.post(exec, std::move(dispatch));
+    i = batch_end;
+  }
+}
+
+void SquidSystem::handle_resolve(const std::shared_ptr<QueryExec>& exec,
+                                 NodeId at,
+                                 std::vector<sfc::ClusterNode> clusters,
+                                 std::int32_t event, std::int32_t span) const {
+  QueryExec& ex = *exec;
+  const NodeRuntime runtime(this);
+  ex.processing.insert(at);
+  if (ex.trace) {
+    const std::int32_t id = ex.trace->begin(obs::SpanKind::kRefineDescend,
+                                            span, event, ex.tick(event));
+    obs::Span& s = ex.trace->at(id);
+    s.node = at;
+    s.batch = static_cast<std::uint32_t>(clusters.size());
+    span = id;
+  }
+  const NodeId pred = ring_.predecessor_of(at);
+  std::vector<std::pair<u128, sfc::ClusterNode>> remote; // (segment lo, node)
+
+  // Refine everything assigned to this node as deep as local knowledge
+  // allows (paper Figs 6-8): clusters fully inside our key range are matched
+  // against the store without further refinement; covered clusters sweep
+  // their owner chain; boundary-crossing clusters refine one level, their
+  // children either staying local or queueing for dispatch.
+  //
+  // Tree expansion rides the incremental cursor: one O(level*dims) seek per
+  // cluster that actually refines, then O(dims) per child cell. The query
+  // rectangle was validated once at the query entry point, so per-node work
+  // is unchecked, and children carry the relation computed at enqueue time.
+  sfc::RefineCursor cursor(*curve_);
+  const unsigned dims = curve_->dims();
+  const u128 fanout = cursor.fanout();
+  using sfc::CellRelation;
+  struct WorkItem {
+    sfc::ClusterNode node;
+    CellRelation relation;
+    bool classified = false;
+  };
+  std::deque<WorkItem> work;
+  for (const auto& cluster : clusters) work.push_back({cluster, {}, false});
+  while (!work.empty()) {
+    const WorkItem item = work.front();
+    work.pop_front();
+    const sfc::ClusterNode cluster = item.node;
+    CellRelation relation = item.relation;
+    if (!item.classified) {
+      cursor.seek(cluster.prefix, cluster.level);
+      relation = cursor.relation_to(ex.rect);
+    }
+    if (relation == CellRelation::disjoint) {
+      if (ex.trace) {
+        const sfc::Segment pruned = refiner_.segment_of(cluster);
+        const std::int32_t id = ex.trace->begin(obs::SpanKind::kPrune, span,
+                                                event, ex.tick(event));
+        obs::Span& s = ex.trace->at(id);
+        s.node = at;
+        s.level = cluster.level;
+        s.range_lo = pruned.lo;
+        s.range_hi = pruned.hi;
+      }
+      continue;
+    }
+    const sfc::Segment seg = refiner_.segment_of(cluster);
+    if (relation == CellRelation::covered) {
+      plan_chain(exec, at, seg, /*covered=*/true, event, span);
+      continue;
+    }
+    const bool owns_lo = in_open_closed(pred, at, seg.lo);
+    if (owns_lo && entirely_local(at, seg)) {
+      // Fig 8's pruning: the owner's identifier is past the cluster's last
+      // index, so every possible match is stored here.
+      runtime.post(exec, msg::ScanRequest{ex.id, at, seg, /*covered=*/false,
+                                          event, span});
+      continue;
+    }
+    if (item.classified) cursor.seek(cluster.prefix, cluster.level);
+    for (u128 w = 0; w < fanout; ++w) {
+      const auto rel = cursor.classify_child(w, ex.rect);
+      const sfc::ClusterNode child{
+          (dims >= 128 ? 0 : cluster.prefix << dims) | w, cluster.level + 1};
+      if (rel == CellRelation::disjoint) {
+        if (ex.trace) {
+          const sfc::Segment pruned = refiner_.segment_of(child);
+          const std::int32_t id = ex.trace->begin(obs::SpanKind::kPrune, span,
+                                                  event, ex.tick(event));
+          obs::Span& s = ex.trace->at(id);
+          s.node = at;
+          s.level = child.level;
+          s.range_lo = pruned.lo;
+          s.range_hi = pruned.hi;
+        }
+        continue;
+      }
+      const u128 child_lo = refiner_.segment_of(child).lo;
+      if (in_open_closed(pred, at, child_lo)) {
+        work.push_back({child, rel, true});
+      } else {
+        remote.emplace_back(child_lo, child);
+      }
+    }
+  }
+
+  // Sort by the precomputed segment keys (curve order).
+  std::sort(remote.begin(), remote.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  dispatch_clusters(exec, at, remote, event, span);
+}
+
+void SquidSystem::finalize_query(QueryExec& ex) const {
+  QueryResult& result = ex.result;
+  result.complete = ex.complete;
+  result.elements = std::move(ex.results);
+  result.stats.matches = result.elements.size();
+  result.stats.routing_nodes = ex.routing.size();
+  result.stats.processing_nodes = ex.processing.size();
+  result.stats.data_nodes = ex.data_nodes.size();
+  result.stats.messages = ex.messages;
+  result.stats.retries = ex.retries;
+  result.stats.failed_clusters = ex.failed_clusters;
+  result.timing = std::move(ex.timing);
+  result.stats.critical_path_hops = critical_path_of(result.timing);
 #if SQUID_OBS_ENABLED
-  obs::TraceRecorder recorder;
-  if (trace_enabled_) {
-    ctx.trace = &recorder;
-    ctx.depth.push_back(0); // event 0: the query start
-    root = recorder.begin(obs::SpanKind::kQuery, -1, 0, 0);
-    recorder.at(root).node = origin;
-    recorder.add_path_node(root, origin);
+  if (ex.trace) {
+    ex.trace->at(ex.root_span).end =
+        static_cast<sim::Time>(result.stats.critical_path_hops);
+    result.trace = std::make_shared<const obs::Trace>(ex.trace->take());
+    ex.trace = nullptr;
   }
 #endif
+  if (ex.publish_metrics) publish_query_metrics(result.stats, result.complete);
+  ex.cache_guard.reset();
+  ex.completed_at = ex.engine->now();
+  ex.finished = true;
+}
 
+// --- Launch / drive ---------------------------------------------------------
+
+std::shared_ptr<QueryExec> SquidSystem::start_exec(
+    sim::Engine& engine, DeliveryMode mode, const keyword::Query& query,
+    NodeId origin, bool count_only, bool want_trace, bool publish,
+    bool arm_guard) const {
+  SQUID_REQUIRE(ring_.contains(origin), "query origin is not a live node");
+  auto exec = std::make_shared<QueryExec>();
+  QueryExec& ex = *exec;
+  ex.id = next_query_id();
+  ex.mode = mode;
+  ex.engine = &engine;
+  ex.sys = this;
+  ex.config = &config_;
+  ex.origin = origin;
+  if (arm_guard && config_.cache_cluster_owners)
+    ex.cache_guard.emplace(*cache_writers_);
+  ex.rect = space_.to_rect(query);
+  refiner_.validate_query(ex.rect); // once per query; per-node paths trust it
+  ex.dispatch_budget = 64 * (ring_.size() + 8); // churn safety valve
+  ex.count_only = count_only;
+  ex.publish_metrics = publish;
+  ex.routing.insert(origin);
+  ex.started_at = engine.now();
+#if SQUID_OBS_ENABLED
+  if (want_trace) {
+    ex.recorder.emplace();
+    ex.trace = &*ex.recorder;
+    ex.root_span = ex.trace->begin(obs::SpanKind::kQuery, -1, 0, 0);
+    ex.trace->at(ex.root_span).node = origin;
+    ex.trace->add_path_node(ex.root_span, origin);
+  }
+#else
+  (void)want_trace;
+#endif
+  return exec;
+}
+
+void SquidSystem::begin_resolution(const std::shared_ptr<QueryExec>& exec,
+                                   bool allow_point) const {
+  QueryExec& ex = *exec;
+  const NodeRuntime runtime(this);
   bool is_point = true;
-  for (const auto& iv : ctx.rect.dims) is_point &= (iv.lo == iv.hi);
-  if (is_point) {
+  for (const auto& iv : ex.rect.dims) is_point &= (iv.lo == iv.hi);
+  if (allow_point && is_point) {
     // Paper 3.4.1: a query of whole keywords maps to at most one index and
     // resolves with the plain data-lookup protocol.
     sfc::Point point;
-    for (const auto& iv : ctx.rect.dims) point.push_back(iv.lo);
+    for (const auto& iv : ex.rect.dims) point.push_back(iv.lo);
     const u128 index = curve_->index_of(point);
-    const overlay::RouteResult r = ring_.route(origin, index);
+    const overlay::RouteResult r = ring_.route(ex.origin, index);
     if (r.ok) {
-      ctx.messages += 1;
-      ctx.routing.insert(r.path.begin(), r.path.end());
-      const QueryContext::Leg leg =
-          ctx.attempt_leg(fault_, config_, origin, r.dest);
+      ex.messages += 1;
+      ex.routing.insert(r.path.begin(), r.path.end());
+      const QueryExec::Leg leg = ex.attempt_leg(ex.origin, r.dest);
       const std::int32_t event =
-          ctx.add_event(0, r.hops() + static_cast<std::size_t>(leg.penalty));
-      std::int32_t span = root;
-      if (ctx.trace) {
+          ex.add_event(0, r.hops() + static_cast<std::size_t>(leg.penalty));
+      std::int32_t span = ex.root_span;
+      if (ex.trace) {
         const std::int32_t id =
-            ctx.trace->begin(obs::SpanKind::kRouteHop, root, event, 0);
-        ctx.trace->set_path(id, r.path.begin(), r.path.end());
-        obs::Span& s = ctx.trace->at(id);
+            ex.trace->begin(obs::SpanKind::kRouteHop, ex.root_span, event, 0);
+        ex.trace->set_path(id, r.path.begin(), r.path.end());
+        obs::Span& s = ex.trace->at(id);
         s.node = r.dest;
         s.hops = static_cast<std::uint32_t>(r.hops());
         s.messages = 1;
-        s.end = ctx.tick(event);
+        s.end = ex.tick(event);
         span = id;
       }
       if (leg.delivered) {
-        ctx.pay_leg(leg, r.dest, 0, span);
-        scan_local(ctx, r.dest, sfc::Segment{index, index}, /*covered=*/true,
-                   event, span);
+        ex.pay_leg(leg, r.dest, 0, span);
+        runtime.post(exec,
+                     msg::ScanRequest{ex.id, r.dest, sfc::Segment{index, index},
+                                      /*covered=*/true, event, span});
       } else {
-        ctx.fail_leg(leg.resends, leg.penalty, 1, r.dest, 0, span);
+        ex.fail_leg(leg.resends, leg.penalty, 1, r.dest, 0, span);
       }
     } else {
-      ctx.fail_leg(0, 0, 1, origin, 0, root);
+      ex.fail_leg(0, 0, 1, ex.origin, 0, ex.root_span);
     }
   } else {
-    ctx.tasks.push_back(
-        {origin, std::vector<sfc::ClusterNode>{{0, 0}}, 0, root});
-    while (!ctx.tasks.empty()) {
-      auto task = std::move(ctx.tasks.front());
-      ctx.tasks.pop_front();
-      resolve_at_node(ctx, task.node, std::move(task.clusters), task.event,
-                      task.span);
-    }
+    // The origin assigns itself the refinement-tree root.
+    runtime.post(exec, msg::ResolveRequest{
+                           ex.id, ex.origin,
+                           msg::AggregateBatch{{sfc::ClusterNode{0, 0}}}, 0,
+                           ex.root_span});
   }
+  // A launch that posted nothing (unroutable point query) completes now.
+  runtime.maybe_complete(exec);
+}
 
-  QueryResult result;
-  result.complete = ctx.complete;
-  result.elements = std::move(ctx.results);
-  result.stats.matches = result.elements.size();
-  result.stats.routing_nodes = ctx.routing.size();
-  result.stats.processing_nodes = ctx.processing.size();
-  result.stats.data_nodes = ctx.data_nodes.size();
-  result.stats.messages = ctx.messages;
-  result.stats.retries = ctx.retries;
-  result.stats.failed_clusters = ctx.failed_clusters;
-  result.timing = std::move(ctx.timing);
-  result.stats.critical_path_hops = critical_path_of(result.timing);
-#if SQUID_OBS_ENABLED
-  if (ctx.trace) {
-    recorder.at(root).end =
-        static_cast<sim::Time>(result.stats.critical_path_hops);
-    result.trace = std::make_shared<const obs::Trace>(recorder.take());
+namespace {
+
+/// Drain a lockstep query on its private engine. The engine FIFO replays
+/// the seed recursion's order; the loop ends at Reply delivery.
+void drive_to_completion(sim::Engine& engine,
+                         const std::shared_ptr<QueryExec>& exec) {
+  while (!exec->finished && engine.step()) {
   }
-#endif
-  publish_query_metrics(result.stats, result.complete);
-  return result;
+  SQUID_REQUIRE(exec->finished,
+                "query runtime stalled: engine drained before the Reply");
+}
+
+} // namespace
+
+QueryResult SquidSystem::query(const keyword::Query& query,
+                               NodeId origin) const {
+  // A private engine per synchronous query, started at the injector's
+  // clock so lockstep stepping (all events at one timestamp) never moves
+  // it — partition windows behave exactly as in the seed path.
+  sim::Engine engine(fault_ ? fault_->now() : 0);
+  engine.set_fault_injector(fault_);
+  auto exec = start_exec(engine, DeliveryMode::kLockstep, query, origin,
+                         /*count_only=*/false, /*want_trace=*/trace_enabled_,
+                         /*publish=*/true, /*arm_guard=*/true);
+  begin_resolution(exec, /*allow_point=*/true);
+  drive_to_completion(engine, exec);
+  return std::move(exec->result);
 }
 
 QueryResult SquidSystem::query(const std::string& text, Rng& rng) const {
   return query(space_.parse(text), ring_.random_node(rng));
 }
 
+QueryHandle SquidSystem::query_async(const keyword::Query& query,
+                                     NodeId origin,
+                                     sim::Engine& engine) const {
+  auto exec = start_exec(engine, DeliveryMode::kVirtualTime, query, origin,
+                         /*count_only=*/false, /*want_trace=*/trace_enabled_,
+                         /*publish=*/true, /*arm_guard=*/true);
+  begin_resolution(exec, /*allow_point=*/true);
+  return QueryHandle(exec);
+}
+
 std::size_t SquidSystem::count(const keyword::Query& query,
                                NodeId origin) const {
   // Same resolution as query(), but data nodes reply with counts instead of
   // shipping elements — the cheap existence/cardinality probe. No
-  // QueryResult, so nothing to hang a trace off: tracing stays off here.
-  SQUID_REQUIRE(ring_.contains(origin), "query origin is not a live node");
-  std::optional<ScopedCacheWriter> cache_guard;
-  if (config_.cache_cluster_owners) cache_guard.emplace(*cache_writers_);
-  QueryContext ctx;
-  ctx.rect = space_.to_rect(query);
-  refiner_.validate_query(ctx.rect);
-  ctx.dispatch_budget = 64 * (ring_.size() + 8);
-  ctx.count_only = true;
-  ctx.routing.insert(origin);
-  ctx.tasks.push_back({origin, std::vector<sfc::ClusterNode>{{0, 0}}, 0, -1});
-  while (!ctx.tasks.empty()) {
-    auto task = std::move(ctx.tasks.front());
-    ctx.tasks.pop_front();
-    resolve_at_node(ctx, task.node, std::move(task.clusters), task.event,
-                    task.span);
-  }
-  return ctx.count;
+  // QueryResult consumer, so tracing and metrics stay off; like the seed,
+  // no point-query fast path.
+  sim::Engine engine(fault_ ? fault_->now() : 0);
+  engine.set_fault_injector(fault_);
+  auto exec = start_exec(engine, DeliveryMode::kLockstep, query, origin,
+                         /*count_only=*/true, /*want_trace=*/false,
+                         /*publish=*/false, /*arm_guard=*/true);
+  begin_resolution(exec, /*allow_point=*/false);
+  drive_to_completion(engine, exec);
+  return exec->count;
 }
 
 QueryResult SquidSystem::query_centralized(const keyword::Query& query,
                                            NodeId origin,
                                            std::size_t max_segments) const {
   SQUID_REQUIRE(ring_.contains(origin), "query origin is not a live node");
-  QueryContext ctx;
-  ctx.rect = space_.to_rect(query);
-  refiner_.validate_query(ctx.rect);
-  ctx.dispatch_budget = 64 * (ring_.size() + 8) + 4 * max_segments;
-  ctx.routing.insert(origin);
-  ctx.processing.insert(origin);
+  sim::Engine engine(fault_ ? fault_->now() : 0);
+  engine.set_fault_injector(fault_);
+  auto exec = std::make_shared<QueryExec>();
+  QueryExec& ex = *exec;
+  ex.id = next_query_id();
+  ex.mode = DeliveryMode::kLockstep;
+  ex.engine = &engine;
+  ex.sys = this;
+  ex.config = &config_;
+  ex.origin = origin;
+  ex.rect = space_.to_rect(query);
+  refiner_.validate_query(ex.rect);
+  ex.dispatch_budget = 64 * (ring_.size() + 8) + 4 * max_segments;
+  ex.routing.insert(origin);
+  ex.processing.insert(origin);
+  ex.started_at = engine.now();
 
   // The origin expands the refinement tree by itself (paper 3.4.1's
   // unscalable straw man) and sends one message per cluster. Segments are
   // an over-approximation when the cap bites, so owners filter locally.
   const std::vector<sfc::Segment> segments =
-      refiner_.decompose_capped(ctx.rect, max_segments);
+      refiner_.decompose_capped(ex.rect, max_segments);
 
-  std::int32_t root = -1;
   std::int32_t span = -1;
 #if SQUID_OBS_ENABLED
-  obs::TraceRecorder recorder;
   if (trace_enabled_) {
-    ctx.trace = &recorder;
-    ctx.depth.push_back(0);
-    root = recorder.begin(obs::SpanKind::kQuery, -1, 0, 0);
-    recorder.at(root).node = origin;
-    recorder.add_path_node(root, origin);
+    ex.recorder.emplace();
+    ex.trace = &*ex.recorder;
+    ex.root_span = ex.trace->begin(obs::SpanKind::kQuery, -1, 0, 0);
+    ex.trace->at(ex.root_span).node = origin;
+    ex.trace->add_path_node(ex.root_span, origin);
     // The origin is the lone processing node; model its decomposition as
     // one refine-descend span so derive_stats sees it.
-    span = recorder.begin(obs::SpanKind::kRefineDescend, root, 0, 0);
-    recorder.at(span).node = origin;
-    recorder.at(span).batch = static_cast<std::uint32_t>(segments.size());
+    span = ex.trace->begin(obs::SpanKind::kRefineDescend, ex.root_span, 0, 0);
+    ex.trace->at(span).node = origin;
+    ex.trace->at(span).batch = static_cast<std::uint32_t>(segments.size());
   }
 #endif
 
   for (const sfc::Segment& seg : segments) {
-    collect_segment(ctx, origin, seg, /*covered=*/false, /*event=*/0, span);
+    plan_chain(exec, origin, seg, /*covered=*/false, /*event=*/0, span);
   }
-
-  QueryResult result;
-  result.complete = ctx.complete;
-  result.elements = std::move(ctx.results);
-  result.stats.matches = result.elements.size();
-  result.stats.routing_nodes = ctx.routing.size();
-  result.stats.processing_nodes = ctx.processing.size();
-  result.stats.data_nodes = ctx.data_nodes.size();
-  result.stats.messages = ctx.messages;
-  result.stats.retries = ctx.retries;
-  result.stats.failed_clusters = ctx.failed_clusters;
-  result.timing = std::move(ctx.timing);
-  result.stats.critical_path_hops = critical_path_of(result.timing);
-#if SQUID_OBS_ENABLED
-  if (ctx.trace) {
-    recorder.at(root).end =
-        static_cast<sim::Time>(result.stats.critical_path_hops);
-    result.trace = std::make_shared<const obs::Trace>(recorder.take());
-  }
-#endif
-  return result;
+  NodeRuntime(this).maybe_complete(exec);
+  drive_to_completion(engine, exec);
+  return std::move(exec->result);
 }
 
 } // namespace squid::core

@@ -1,0 +1,165 @@
+// NodeRuntime + QueryExec leg machinery (DESIGN.md 4e).
+//
+// The handlers a delivery runs live in query_engine.cpp as SquidSystem
+// methods (they read ring/store/refiner state); this file owns the generic
+// runtime: scheduling arrivals, dispatching on message type, counting
+// outstanding work, and the fault-aware leg accounting shared by every
+// planning site.
+
+#include "squid/core/runtime.hpp"
+
+#include "squid/core/system.hpp"
+#include "squid/sim/fault.hpp"
+
+namespace squid::core {
+
+QueryExec::Leg QueryExec::attempt_leg(NodeId from, NodeId to) {
+  Leg out;
+  sim::FaultInjector* fault = engine->fault_injector();
+  if (fault == nullptr) return out;
+  const unsigned attempts = 1 + config->send_retries;
+  for (unsigned a = 0; a < attempts; ++a) {
+    const sim::SendOutcome verdict = engine->admit(from, to);
+    if (verdict.delivered) {
+      out.penalty += verdict.extra_delay;
+      out.extra_messages = out.resends + (verdict.duplicate ? 1 : 0);
+      return out;
+    }
+    if (a + 1 < attempts) {
+      out.penalty += config->retry_backoff << a;
+      ++out.resends;
+    }
+  }
+  out.delivered = false;
+  fault->report_timeout(from, to);
+  return out;
+}
+
+void QueryExec::pay_leg(const Leg& leg, NodeId to, std::int32_t event,
+                        std::int32_t span) {
+  messages += leg.extra_messages;
+  retries += leg.resends;
+  if (trace && (leg.extra_messages > 0 || leg.penalty > 0)) {
+    const std::int32_t id =
+        trace->begin(obs::SpanKind::kRetry, span, event, tick(event));
+    obs::Span& s = trace->at(id);
+    s.node = to;
+    s.messages = static_cast<std::uint32_t>(leg.extra_messages);
+    s.batch = static_cast<std::uint32_t>(leg.resends);
+    s.hops = static_cast<std::uint32_t>(leg.penalty);
+    s.end = s.start + leg.penalty;
+  }
+}
+
+void QueryExec::fail_leg(std::size_t resends, sim::Time penalty,
+                         std::size_t units, NodeId to, std::int32_t event,
+                         std::int32_t span) {
+  messages += resends;
+  retries += resends;
+  failed_clusters += units;
+  complete = false;
+  if (trace) {
+    const std::int32_t id =
+        trace->begin(obs::SpanKind::kFault, span, event, tick(event));
+    obs::Span& s = trace->at(id);
+    s.node = to;
+    s.messages = static_cast<std::uint32_t>(resends);
+    s.batch = static_cast<std::uint32_t>(units);
+    s.hops = static_cast<std::uint32_t>(penalty);
+    s.end = s.start + penalty;
+  }
+}
+
+namespace {
+
+/// Timing-DAG event a message delivers under; -1 for a Reply (replies are
+/// completion markers, delivered immediately — the seed never charged the
+/// origin's result assembly as a hop).
+std::int32_t event_of(const msg::Message& message) {
+  struct V {
+    std::int32_t operator()(const msg::ResolveRequest& r) const {
+      return r.event;
+    }
+    std::int32_t operator()(const msg::ClusterDispatch& d) const {
+      return d.event;
+    }
+    std::int32_t operator()(const msg::ScanRequest& s) const {
+      return s.event;
+    }
+    std::int32_t operator()(const msg::Reply&) const { return -1; }
+  };
+  return std::visit(V{}, message);
+}
+
+} // namespace
+
+void NodeRuntime::post(const std::shared_ptr<QueryExec>& exec,
+                       msg::Message message) const {
+  QueryExec& ex = *exec;
+  sim::Engine& engine = *ex.engine;
+  sim::Time delay = 0;
+  if (ex.mode == DeliveryMode::kVirtualTime) {
+    const std::int32_t event = event_of(message);
+    if (event >= 0) {
+      // Deliver at the message's timing-DAG tick on the shared clock. The
+      // poster runs at its own event's tick, so the target is never in the
+      // past; the max() guards the zero-hop case.
+      const sim::Time target = ex.started_at + ex.tick(event);
+      delay = target > engine.now() ? target - engine.now() : 0;
+    }
+  }
+  ++ex.outstanding;
+  const NodeRuntime runtime = *this;
+  engine.schedule(delay, [runtime, exec, m = std::move(message)]() {
+    runtime.deliver(exec, m);
+    --exec->outstanding;
+    runtime.maybe_complete(exec);
+  });
+}
+
+void NodeRuntime::deliver(const std::shared_ptr<QueryExec>& exec,
+                          const msg::Message& message) const {
+  struct V {
+    const NodeRuntime& rt;
+    const std::shared_ptr<QueryExec>& exec;
+    void operator()(const msg::ResolveRequest& r) const {
+      rt.sys_->handle_resolve(exec, r.at, r.clusters.clusters, r.event,
+                              r.span);
+    }
+    void operator()(const msg::ClusterDispatch& d) const {
+      std::vector<sfc::ClusterNode> clusters;
+      clusters.reserve(1 + d.batch.clusters.size());
+      clusters.push_back(d.head);
+      clusters.insert(clusters.end(), d.batch.clusters.begin(),
+                      d.batch.clusters.end());
+      rt.sys_->handle_resolve(exec, d.to, std::move(clusters), d.event,
+                              d.span);
+    }
+    void operator()(const msg::ScanRequest& s) const {
+      rt.sys_->perform_scan(*exec, s.at, s.segment, s.covered, s.event,
+                            s.span);
+    }
+    void operator()(const msg::Reply&) const {
+      rt.sys_->finalize_query(*exec);
+    }
+  };
+  std::visit(V{*this, exec}, message);
+}
+
+void NodeRuntime::maybe_complete(const std::shared_ptr<QueryExec>& exec) const {
+  QueryExec& ex = *exec;
+  if (ex.outstanding != 0 || ex.reply_posted) return;
+  ex.reply_posted = true;
+  msg::Reply reply;
+  reply.query = ex.id;
+  reply.from = ex.origin;
+  reply.to = ex.origin;
+  reply.complete = ex.complete;
+  reply.count = ex.count_only ? ex.count : ex.results.size();
+  // Result data accumulated at the origin as scans delivered; the in-memory
+  // Reply is the completion marker and carries only the summary. (On the
+  // wire — serialize.cpp — a Reply ships elements too.)
+  post(exec, std::move(reply));
+}
+
+} // namespace squid::core

@@ -1,7 +1,10 @@
 #include "squid/core/serialize.hpp"
 
+#include <cstdint>
 #include <istream>
 #include <ostream>
+#include <tuple>
+#include <utility>
 
 #include "squid/util/require.hpp"
 
@@ -26,7 +29,188 @@ std::string read_string(std::istream& in) {
   return s;
 }
 
+// --- Query-message encoding (core/messages.hpp) ----------------------------
+// Same text conventions as snapshots: whitespace-separated fields, decimal
+// u128 ids, length-prefixed strings. Every read is checked so truncated
+// input throws instead of yielding a half-built message.
+
+constexpr const char* kMsgMagic = "SQUID-MSG-1";
+
+u128 read_id(std::istream& in) {
+  std::string text;
+  in >> text;
+  SQUID_REQUIRE(in && !text.empty(), "message: truncated id");
+  return parse_u128(text);
+}
+
+void write_cluster(std::ostream& out, const sfc::ClusterNode& cluster) {
+  out << to_string(cluster.prefix) << ' ' << cluster.level;
+}
+
+sfc::ClusterNode read_cluster(std::istream& in) {
+  const u128 prefix = read_id(in);
+  unsigned level = 0;
+  in >> level;
+  SQUID_REQUIRE(in, "message: truncated cluster");
+  return {prefix, level};
+}
+
+void write_batch(std::ostream& out, const msg::AggregateBatch& batch) {
+  out << batch.clusters.size();
+  for (const auto& cluster : batch.clusters) {
+    out << ' ';
+    write_cluster(out, cluster);
+  }
+}
+
+msg::AggregateBatch read_batch(std::istream& in) {
+  std::size_t count = 0;
+  in >> count;
+  SQUID_REQUIRE(in, "message: truncated batch");
+  msg::AggregateBatch batch;
+  batch.clusters.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    batch.clusters.push_back(read_cluster(in));
+  return batch;
+}
+
+void write_element(std::ostream& out, const DataElement& element) {
+  write_string(out, element.name);
+  out << ' ' << element.keys.size();
+  for (const auto& token : element.keys) {
+    if (const auto* word = std::get_if<std::string>(&token)) {
+      out << " s";
+      write_string(out, *word);
+    } else {
+      out << " n" << std::get<double>(token);
+    }
+  }
+}
+
+DataElement read_element(std::istream& in) {
+  DataElement element;
+  element.name = read_string(in);
+  std::size_t token_count = 0;
+  in >> token_count;
+  SQUID_REQUIRE(in, "message: truncated element");
+  for (std::size_t t = 0; t < token_count; ++t) {
+    char kind = 0;
+    in >> kind;
+    SQUID_REQUIRE(in, "message: truncated token");
+    if (kind == 's') {
+      element.keys.emplace_back(read_string(in));
+    } else if (kind == 'n') {
+      double value = 0;
+      in >> value;
+      SQUID_REQUIRE(in, "message: malformed numeric token");
+      element.keys.emplace_back(value);
+    } else {
+      SQUID_REQUIRE(false, "message: unknown token kind");
+    }
+  }
+  return element;
+}
+
+/// Read `event span` — the trailing bookkeeping pair every request carries.
+std::pair<std::int32_t, std::int32_t> read_ids(std::istream& in) {
+  std::int32_t event = 0, span = 0;
+  in >> event >> span;
+  SQUID_REQUIRE(in, "message: truncated event/span ids");
+  return {event, span};
+}
+
 } // namespace
+
+void save_message(const msg::Message& message, std::ostream& out) {
+  out << kMsgMagic << ' ' << msg::type_name(message) << '\n';
+  struct Writer {
+    std::ostream& out;
+    void operator()(const msg::ResolveRequest& r) const {
+      out << r.query << ' ' << to_string(r.at) << ' ';
+      write_batch(out, r.clusters);
+      out << ' ' << r.event << ' ' << r.span << '\n';
+    }
+    void operator()(const msg::ClusterDispatch& d) const {
+      out << d.query << ' ' << to_string(d.from) << ' ' << to_string(d.to)
+          << ' ';
+      write_cluster(out, d.head);
+      out << ' ';
+      write_batch(out, d.batch);
+      out << ' ' << d.event << ' ' << d.span << '\n';
+    }
+    void operator()(const msg::ScanRequest& s) const {
+      out << s.query << ' ' << to_string(s.at) << ' '
+          << to_string(s.segment.lo) << ' ' << to_string(s.segment.hi) << ' '
+          << (s.covered ? 1 : 0) << ' ' << s.event << ' ' << s.span << '\n';
+    }
+    void operator()(const msg::Reply& r) const {
+      out << r.query << ' ' << to_string(r.from) << ' ' << to_string(r.to)
+          << ' ' << (r.complete ? 1 : 0) << ' ' << r.count << ' '
+          << r.elements.size() << '\n';
+      for (const auto& element : r.elements) {
+        write_element(out, element);
+        out << '\n';
+      }
+    }
+  };
+  std::visit(Writer{out}, message);
+}
+
+msg::Message load_message(std::istream& in) {
+  std::string magic, type;
+  in >> magic >> type;
+  SQUID_REQUIRE(in && magic == kMsgMagic, "message: bad magic");
+  std::uint64_t query = 0;
+  in >> query;
+  SQUID_REQUIRE(in, "message: truncated query id");
+  if (type == "resolve") {
+    msg::ResolveRequest r;
+    r.query = query;
+    r.at = read_id(in);
+    r.clusters = read_batch(in);
+    std::tie(r.event, r.span) = read_ids(in);
+    return r;
+  }
+  if (type == "dispatch") {
+    msg::ClusterDispatch d;
+    d.query = query;
+    d.from = read_id(in);
+    d.to = read_id(in);
+    d.head = read_cluster(in);
+    d.batch = read_batch(in);
+    std::tie(d.event, d.span) = read_ids(in);
+    return d;
+  }
+  if (type == "scan") {
+    msg::ScanRequest s;
+    s.query = query;
+    s.at = read_id(in);
+    s.segment.lo = read_id(in);
+    s.segment.hi = read_id(in);
+    int covered = 0;
+    in >> covered;
+    std::tie(s.event, s.span) = read_ids(in);
+    s.covered = covered != 0;
+    return s;
+  }
+  if (type == "reply") {
+    msg::Reply r;
+    r.query = query;
+    r.from = read_id(in);
+    r.to = read_id(in);
+    int complete = 0;
+    std::size_t element_count = 0;
+    in >> complete >> r.count >> element_count;
+    SQUID_REQUIRE(in, "message: truncated reply header");
+    r.complete = complete != 0;
+    r.elements.reserve(element_count);
+    for (std::size_t i = 0; i < element_count; ++i)
+      r.elements.push_back(read_element(in));
+    return r;
+  }
+  SQUID_REQUIRE(false, "message: unknown type tag");
+  return {};
+}
 
 void save_snapshot(const SquidSystem& sys, std::ostream& out) {
   out << kMagic << '\n';

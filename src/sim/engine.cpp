@@ -10,14 +10,17 @@ void Engine::schedule(Time delay, Action action) {
   queue_.push(Event{now_ + delay, next_seq_++, std::move(action)});
 }
 
+SendOutcome Engine::admit(overlay::NodeId from, overlay::NodeId to) {
+  if (fault_ == nullptr) return {}; // clean delivery, zero randomness drawn
+  const FaultInjector::Delivery verdict = fault_->decide(from, to);
+  return SendOutcome{verdict.delivered, verdict.extra_delay,
+                     verdict.duplicate};
+}
+
 bool Engine::send(Time delay, overlay::NodeId from, overlay::NodeId to,
                   Action action) {
   SQUID_REQUIRE(static_cast<bool>(action), "cannot send an empty message");
-  if (fault_ == nullptr) {
-    schedule(delay, std::move(action));
-    return true;
-  }
-  const FaultInjector::Delivery verdict = fault_->decide(from, to);
+  const SendOutcome verdict = admit(from, to);
   if (!verdict.delivered) return false;
   if (verdict.duplicate) schedule(delay + verdict.extra_delay, action);
   schedule(delay + verdict.extra_delay, std::move(action));
@@ -32,18 +35,24 @@ void Engine::schedule_periodic(Time period, std::function<bool()> action) {
   });
 }
 
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  // Copy out before pop so the action may schedule further events.
+  Event event = queue_.top();
+  queue_.pop();
+  now_ = event.at;
+  if (fault_ != nullptr) fault_->set_now(now_);
+  event.action();
+  return true;
+}
+
 std::size_t Engine::run(Time until) {
   std::size_t executed = 0;
   while (!queue_.empty() && queue_.top().at <= until) {
-    // Copy out before pop so the action may schedule further events.
-    Event event = queue_.top();
-    queue_.pop();
-    now_ = event.at;
-    if (fault_ != nullptr) fault_->set_now(now_);
-    event.action();
+    step();
     ++executed;
   }
-  if (now_ < until && until != ~Time{0}) now_ = until;
+  if (now_ < until && until != kNever) now_ = until;
   if (fault_ != nullptr) fault_->set_now(now_);
   return executed;
 }

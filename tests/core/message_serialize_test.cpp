@@ -1,0 +1,166 @@
+// Wire round-trips for the query runtime's typed messages (DESIGN.md 4e):
+// every msg::Message alternative must survive save_message -> load_message
+// bit-exactly, and every truncated or corrupted frame must fail loudly
+// (std::invalid_argument) instead of yielding a half-parsed message.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "squid/core/messages.hpp"
+#include "squid/core/serialize.hpp"
+#include "squid/util/u128.hpp"
+
+namespace squid::core {
+namespace {
+
+std::string encode(const msg::Message& message) {
+  std::ostringstream out;
+  save_message(message, out);
+  return out.str();
+}
+
+msg::Message decode(const std::string& text) {
+  std::istringstream in(text);
+  return load_message(in);
+}
+
+template <typename T> T round_trip(const T& message) {
+  const msg::Message back = decode(encode(msg::Message{message}));
+  EXPECT_TRUE(std::holds_alternative<T>(back));
+  return std::get<T>(back);
+}
+
+constexpr u128 kHuge = ~u128{0}; // exercise the full 128-bit range
+
+msg::ResolveRequest sample_resolve() {
+  msg::ResolveRequest r;
+  r.query = 0xfeedface01234567ull;
+  r.at = kHuge - 5;
+  r.clusters.clusters = {{0, 0}, {kHuge >> 1, 63}, {42, 7}};
+  r.event = 12;
+  r.span = -1;
+  return r;
+}
+
+msg::ClusterDispatch sample_dispatch() {
+  msg::ClusterDispatch d;
+  d.query = 1;
+  d.from = 17;
+  d.to = kHuge;
+  d.head = {kHuge - 1, 128};
+  d.batch.clusters = {{3, 2}, {9, 4}};
+  d.event = 3;
+  d.span = 44;
+  return d;
+}
+
+msg::ScanRequest sample_scan() {
+  msg::ScanRequest s;
+  s.query = 0;
+  s.at = 99;
+  s.segment = {kHuge / 3, kHuge / 2};
+  s.covered = true;
+  s.event = 0;
+  s.span = -1;
+  return s;
+}
+
+msg::Reply sample_reply() {
+  msg::Reply r;
+  r.query = 7;
+  r.from = 5;
+  r.to = 6;
+  r.complete = false;
+  r.count = 1234;
+  r.elements = {DataElement{"alpha", {"ab", "cd"}},
+                DataElement{"with space", {"", "x y z"}}};
+  return r;
+}
+
+TEST(MessageSerialize, ResolveRequestRoundTrips) {
+  const msg::ResolveRequest r = sample_resolve();
+  EXPECT_EQ(round_trip(r), r);
+}
+
+TEST(MessageSerialize, ClusterDispatchRoundTrips) {
+  const msg::ClusterDispatch d = sample_dispatch();
+  EXPECT_EQ(round_trip(d), d);
+}
+
+TEST(MessageSerialize, ScanRequestRoundTrips) {
+  const msg::ScanRequest s = sample_scan();
+  EXPECT_EQ(round_trip(s), s);
+}
+
+TEST(MessageSerialize, ReplyRoundTrips) {
+  const msg::Reply r = sample_reply();
+  EXPECT_EQ(round_trip(r), r);
+}
+
+TEST(MessageSerialize, EmptyAggregatesAndElementListsRoundTrip) {
+  msg::ResolveRequest r;
+  r.query = 2;
+  r.at = 0;
+  EXPECT_TRUE(r.clusters.clusters.empty());
+  EXPECT_EQ(round_trip(r), r);
+
+  msg::Reply reply;
+  reply.query = 2;
+  EXPECT_TRUE(reply.elements.empty());
+  EXPECT_EQ(round_trip(reply), reply);
+}
+
+TEST(MessageSerialize, DestinationAndTypeNameMatchTheAlternative) {
+  EXPECT_EQ(msg::destination_of(msg::Message{sample_resolve()}),
+            sample_resolve().at);
+  EXPECT_EQ(msg::destination_of(msg::Message{sample_dispatch()}),
+            sample_dispatch().to);
+  EXPECT_EQ(msg::destination_of(msg::Message{sample_scan()}),
+            sample_scan().at);
+  EXPECT_EQ(msg::destination_of(msg::Message{sample_reply()}),
+            sample_reply().to);
+  EXPECT_EQ(std::string(msg::type_name(msg::Message{sample_scan()})), "scan");
+  EXPECT_EQ(std::string(msg::type_name(msg::Message{sample_reply()})),
+            "reply");
+}
+
+TEST(MessageSerialize, EveryTruncationFailsLoudly) {
+  const std::vector<msg::Message> all = {
+      msg::Message{sample_resolve()}, msg::Message{sample_dispatch()},
+      msg::Message{sample_scan()}, msg::Message{sample_reply()}};
+  for (const msg::Message& message : all) {
+    const std::string full = encode(message);
+    // Drop whitespace-delimited tokens from the tail one at a time; every
+    // proper prefix that ends at a token boundary must throw rather than
+    // decode to *any* message.
+    for (std::size_t cut = 0; cut < full.size(); cut = full.find(' ', cut + 1)) {
+      const std::string prefix = full.substr(0, cut);
+      EXPECT_THROW(decode(prefix), std::invalid_argument)
+          << msg::type_name(message) << " truncated to " << cut << " bytes";
+      if (full.find(' ', cut + 1) == std::string::npos) break;
+    }
+  }
+}
+
+TEST(MessageSerialize, BadMagicAndUnknownTagAreRejected) {
+  EXPECT_THROW(decode(""), std::invalid_argument);
+  EXPECT_THROW(decode("SQUID-SNAPSHOT-1 resolve 1"), std::invalid_argument);
+  EXPECT_THROW(decode("SQUID-MSG-1 gossip 1 2 3"), std::invalid_argument);
+
+  std::string full = encode(msg::Message{sample_scan()});
+  full.replace(full.find("scan"), 4, "scam");
+  EXPECT_THROW(decode(full), std::invalid_argument);
+}
+
+TEST(MessageSerialize, GarbageFieldsAreRejected) {
+  // A non-numeric id where a u128 is expected.
+  EXPECT_THROW(decode("SQUID-MSG-1 scan 1 banana 0 0 0 0 -1"),
+               std::invalid_argument);
+}
+
+} // namespace
+} // namespace squid::core

@@ -1,0 +1,155 @@
+// Single-step scheduling surface added for the message-driven query
+// runtime (DESIGN.md 4e): Engine::step() runs exactly one event,
+// peek_time() exposes the next arrival without running it, and
+// admit()/send() are the uniform fault-interception points.
+
+#include "squid/sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "squid/sim/fault.hpp"
+
+namespace squid::sim {
+namespace {
+
+TEST(EngineStep, RunsExactlyOneEventAndAdvancesTheClock) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule(10, [&] { order.push_back(1); });
+  engine.schedule(20, [&] { order.push_back(2); });
+
+  EXPECT_TRUE(engine.step());
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(engine.now(), 10u);
+  EXPECT_EQ(engine.pending(), 1u);
+
+  EXPECT_TRUE(engine.step());
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(engine.now(), 20u);
+  EXPECT_TRUE(engine.empty());
+}
+
+TEST(EngineStep, EmptyQueueStepIsANoOp) {
+  Engine engine;
+  EXPECT_FALSE(engine.step());
+  EXPECT_EQ(engine.now(), 0u);
+  engine.schedule(5, [] {});
+  EXPECT_TRUE(engine.step());
+  EXPECT_FALSE(engine.step());
+  EXPECT_EQ(engine.now(), 5u);
+}
+
+TEST(EngineStep, EqualTimestampsStepInFifoOrder) {
+  // The FIFO tie-break is what lets the lockstep query runtime replay the
+  // seed recursion's task order; step() must honor it exactly like run().
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) engine.schedule(3, [&, i] { order.push_back(i); });
+  while (engine.step()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(engine.now(), 3u);
+}
+
+TEST(EngineStep, StepHandlesEventsScheduledByEvents) {
+  Engine engine;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 4) engine.schedule(0, recurse);
+  };
+  engine.schedule(0, recurse);
+  std::size_t steps = 0;
+  while (engine.step()) ++steps;
+  EXPECT_EQ(depth, 4);
+  EXPECT_EQ(steps, 4u);
+}
+
+TEST(EnginePeek, ReportsNextArrivalWithoutRunningIt) {
+  Engine engine;
+  EXPECT_EQ(engine.peek_time(), Engine::kNever);
+  engine.schedule(42, [] {});
+  engine.schedule(7, [] {});
+  EXPECT_EQ(engine.peek_time(), 7u);
+  EXPECT_EQ(engine.now(), 0u); // peeking does not advance the clock
+  engine.step();
+  EXPECT_EQ(engine.peek_time(), 42u);
+  engine.step();
+  EXPECT_EQ(engine.peek_time(), Engine::kNever);
+}
+
+TEST(EngineStep, StartClockIsRespected) {
+  // The lockstep query path constructs its private engine at the injector's
+  // current time so partition windows keyed on absolute time still apply.
+  Engine engine(100);
+  EXPECT_EQ(engine.now(), 100u);
+  sim::Time seen = 0;
+  engine.schedule(5, [&] { seen = engine.now(); });
+  engine.step();
+  EXPECT_EQ(seen, 105u);
+}
+
+TEST(EngineStep, StepAdvancesAnAttachedInjectorClock) {
+  FaultPlan plan;
+  plan.partitions.push_back({50, 100, 1 << 10});
+  FaultInjector injector(std::move(plan));
+  Engine engine;
+  engine.set_fault_injector(&injector);
+
+  engine.schedule(60, [] {});
+  EXPECT_EQ(injector.now(), 0u);
+  engine.step();
+  EXPECT_EQ(injector.now(), 60u);
+  // Inside the partition window, cross-pivot sends are severed.
+  EXPECT_TRUE(injector.partitioned(1, (1 << 10) + 1));
+}
+
+TEST(EngineAdmit, NullInjectorAlwaysDeliversCleanly) {
+  Engine engine;
+  const SendOutcome verdict = engine.admit(1, 2);
+  EXPECT_TRUE(verdict.delivered);
+  EXPECT_EQ(verdict.extra_delay, 0u);
+  EXPECT_FALSE(verdict.duplicate);
+}
+
+TEST(EngineAdmit, ForwardsTheInjectorVerdict) {
+  FaultPlan plan;
+  plan.drop_probability = 1.0; // every admit() is a drop
+  FaultInjector injector(std::move(plan));
+  Engine engine;
+  engine.set_fault_injector(&injector);
+  EXPECT_EQ(engine.fault_injector(), &injector);
+
+  const SendOutcome verdict = engine.admit(1, 2);
+  EXPECT_FALSE(verdict.delivered);
+  EXPECT_EQ(injector.dropped(), 1u);
+}
+
+TEST(EngineSend, DropsAreNotScheduledAndDuplicatesAreScheduledTwice) {
+  {
+    FaultPlan plan;
+    plan.drop_probability = 1.0;
+    FaultInjector injector(std::move(plan));
+    Engine engine;
+    engine.set_fault_injector(&injector);
+    int ran = 0;
+    EXPECT_FALSE(engine.send(1, 1, 2, [&] { ++ran; }));
+    engine.run();
+    EXPECT_EQ(ran, 0);
+  }
+  {
+    FaultPlan plan;
+    plan.duplicate_probability = 1.0;
+    FaultInjector injector(std::move(plan));
+    Engine engine;
+    engine.set_fault_injector(&injector);
+    int ran = 0;
+    EXPECT_TRUE(engine.send(1, 1, 2, [&] { ++ran; }));
+    engine.run();
+    EXPECT_EQ(ran, 2); // receivers are modeled as deduplicating copies
+  }
+}
+
+} // namespace
+} // namespace squid::sim
