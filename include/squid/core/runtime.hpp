@@ -47,12 +47,18 @@
 
 namespace squid::core {
 
-class SquidSystem; // core/system.hpp
+class SquidSystem;         // core/system.hpp
+struct ParallelQueryState; // core/parallel.hpp
 
 /// How NodeRuntime schedules message arrivals (see file comment).
 enum class DeliveryMode : std::uint8_t {
-  kLockstep,   ///< all at delay 0; FIFO replays the seed recursion order
-  kVirtualTime ///< at the message's timing-DAG tick; overlapping queries
+  kLockstep,    ///< all at delay 0; FIFO replays the seed recursion order
+  kVirtualTime, ///< at the message's timing-DAG tick; overlapping queries
+  /// Sharded multi-core execution (core/parallel.hpp): planning messages
+  /// stay on the query's home-shard engine at delay 0 (the lockstep replay,
+  /// one shard worker per thread), while ScanRequests hand off to the shard
+  /// owning the scanned node and write private buffers merged at finalize.
+  kParallel
 };
 
 /// query() advertises itself as a pure reader, but with cache_cluster_owners
@@ -178,8 +184,15 @@ struct QueryExec {
   sim::Time completed_at = 0; ///< engine clock when the Reply delivered
   QueryResult result; ///< assembled by finalize (Reply delivery)
   /// Armed while cache_cluster_owners is on; released at finalize so an
-  /// async query holds it for its whole in-flight window.
+  /// async query holds it for its whole in-flight window. (kParallel
+  /// releases it at planning end instead: the cache is only touched while
+  /// planning, and the next query's planning may start before this query's
+  /// scans drain.)
   std::optional<ScopedCacheWriter> cache_guard;
+  /// kParallel only: the executor-owned per-query state (scan buffers,
+  /// completion atomics, the forked fault injector). Non-owning; null in
+  /// the sequential modes.
+  ParallelQueryState* par = nullptr;
 };
 
 /// The peers' shared inbox code: delivering a message runs its work at the

@@ -32,6 +32,11 @@ class FaultInjector; // sim/fault.hpp
 
 namespace squid::core {
 
+struct ScanBuffer;        // core/parallel.hpp
+struct ParallelQuerySpec; // core/parallel.hpp
+struct ParallelOptions;   // core/parallel.hpp
+struct ParallelRun;       // core/parallel.hpp
+
 class SquidSystem {
 public:
   using NodeId = overlay::NodeId;
@@ -153,6 +158,20 @@ public:
   QueryHandle query_async(const keyword::Query& query, NodeId origin,
                           sim::Engine& engine) const;
 
+  /// Resolve a batch of queries on a sharded multi-core runtime
+  /// (core/parallel.hpp, DESIGN.md 4f): node space partitioned across
+  /// `opts.shards` worker threads, each with a private engine; planning
+  /// replays the lockstep order on each query's home shard while store
+  /// scans hand off to the shard owning the scanned node. Every per-query
+  /// result — element order, QueryStats, trace span multiset, completion
+  /// flag — is bit-equal to query() on this system, regardless of thread
+  /// interleaving (tests/core/parallel_differential_test.cpp). With
+  /// opts.faults set, query k runs under an injector forked from the plan
+  /// by submit index; the per-query tallies come back in ParallelRun so
+  /// harnesses can replay the same forks sequentially and compare.
+  ParallelRun query_parallel(const std::vector<ParallelQuerySpec>& specs,
+                             const ParallelOptions& opts) const;
+
   // --- Reference oracle (tests/core/async_differential_test.cpp) -----------
   // The seed synchronous resolver, frozen verbatim in
   // query_engine_reference.cpp. query()/count()/query_centralized() above
@@ -233,6 +252,9 @@ private:
 
   /// Delivers query messages into the private handlers below.
   friend class NodeRuntime;
+  /// Runs kParallel queries through start_exec/begin_resolution/
+  /// perform_scan_parallel/finalize_query (core/parallel.cpp).
+  friend class ParallelExecutor;
 
   u128 index_of_element(const DataElement& element) const;
 
@@ -276,6 +298,21 @@ private:
   /// ScanRequest delivery: sweep this peer's slice of the flat store.
   void perform_scan(QueryExec& exec, NodeId at, sfc::Segment segment,
                     bool covered, std::int32_t event, std::int32_t span) const;
+  /// The store sweep itself, shared by perform_scan and the parallel path:
+  /// walk stored keys in [segment.lo, segment.hi], filter by `rect` unless
+  /// `covered`, and accumulate into the caller's sinks.
+  void scan_segment(const sfc::Rect& rect, sfc::Segment segment, bool covered,
+                    bool count_only, std::vector<DataElement>& elements,
+                    std::size_t& count, std::uint64_t& keys_scanned,
+                    std::uint64_t& keys_matched, std::uint64_t& matches) const;
+  /// kParallel twin of perform_scan: identical sweep, but every result and
+  /// span field lands in the scan's private ScanBuffer (no QueryExec
+  /// mutation — executor shards run this concurrently with home-shard
+  /// planning). The home shard merges buffers at finalize.
+  void perform_scan_parallel(const QueryExec& exec, NodeId at,
+                             sfc::Segment segment, bool covered,
+                             std::int32_t event, std::int32_t span,
+                             ScanBuffer& out) const;
   /// Reply delivery: assemble QueryResult, close the trace, publish
   /// metrics, release the cache guard, stamp completed_at.
   void finalize_query(QueryExec& exec) const;

@@ -10,8 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "squid/overlay/id_space.hpp"
@@ -95,11 +95,12 @@ public:
   /// Timestamp of the next queued event, kNever when the queue is empty.
   /// step() executed now would advance the clock to exactly this time.
   Time peek_time() const noexcept {
-    return queue_.empty() ? kNever : queue_.top().at;
+    if (!ready_.empty()) return ready_.front().at; // == now()
+    return heap_.empty() ? kNever : heap_.front().at;
   }
 
-  bool empty() const noexcept { return queue_.empty(); }
-  std::size_t pending() const noexcept { return queue_.size(); }
+  bool empty() const noexcept { return ready_.empty() && heap_.empty(); }
+  std::size_t pending() const noexcept { return ready_.size() + heap_.size(); }
 
 private:
   struct Event {
@@ -113,9 +114,20 @@ private:
     }
   };
 
+  // Two lanes, one logical (at, seq)-ordered queue. Delay-0 events — the
+  // entirety of a lockstep query and most of the async runtime's traffic —
+  // land in ready_, a plain FIFO whose entries all carry at == now_ (pushed
+  // at the current time; the clock only advances once ready_ is empty, save
+  // for heap events at the same timestamp with earlier seqs, which do not
+  // move it). Everything else goes through heap_, a vector min-heap whose
+  // pops MOVE the event out. The old single priority_queue deep-copied
+  // every Action (with its captured message payload) on execution and paid
+  // O(log pending) comparisons for delay-0 traffic, which is where the
+  // many-in-flight query_async throughput went.
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::deque<Event> ready_;
+  std::vector<Event> heap_;
   FaultInjector* fault_ = nullptr;
 };
 

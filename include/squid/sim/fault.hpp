@@ -85,6 +85,15 @@ struct FaultPlan {
   }
 };
 
+/// Derive stream `k` of a base plan: the same hazards, driven by an
+/// independent generator seeded from (base.seed, k). The sharded parallel
+/// runtime (core/parallel.hpp) gives each query its own forked injector so
+/// fault verdicts stay a pure per-query function of (plan, submit index) no
+/// matter how shard threads interleave — and a sequential harness forking
+/// identically replays the exact same streams, which is what the parallel
+/// differential suite compares against.
+FaultPlan fork_plan(const FaultPlan& base, std::uint64_t k);
+
 class FaultInjector {
 public:
   explicit FaultInjector(FaultPlan plan);

@@ -33,6 +33,7 @@
 #include <utility>
 #include <vector>
 
+#include "squid/core/parallel.hpp"
 #include "squid/core/runtime.hpp"
 #include "squid/core/system.hpp"
 #include "squid/obs/metrics.hpp"
@@ -118,13 +119,12 @@ void SquidSystem::set_tracing(bool on) noexcept {
 
 // --- Message handlers (run at delivery; see NodeRuntime::deliver) -----------
 
-void SquidSystem::perform_scan(QueryExec& ex, NodeId at, sfc::Segment seg,
-                               bool covered, std::int32_t event,
-                               std::int32_t span) const {
-  ex.processing.insert(at);
-  std::uint64_t scanned = 0;
-  std::uint64_t matched = 0;
-  std::uint64_t collected = 0;
+void SquidSystem::scan_segment(const sfc::Rect& rect, sfc::Segment seg,
+                               bool covered, bool count_only,
+                               std::vector<DataElement>& elements,
+                               std::size_t& count, std::uint64_t& keys_scanned,
+                               std::uint64_t& keys_matched,
+                               std::uint64_t& matches) const {
   // One contiguous sweep over the flat store: binary search to the segment
   // start, then walk the index/payload arrays in lockstep.
   std::size_t i = static_cast<std::size_t>(
@@ -132,17 +132,28 @@ void SquidSystem::perform_scan(QueryExec& ex, NodeId at, sfc::Segment seg,
       key_index_.begin());
   for (; i < key_index_.size() && key_index_[i] <= seg.hi; ++i) {
     const StoredKey& key = key_data_[i];
-    ++scanned;
-    if (!covered && !ex.rect.contains(key.point)) continue;
-    ++matched;
-    collected += key.elements.size();
-    if (ex.count_only) {
-      ex.count += key.elements.size();
+    ++keys_scanned;
+    if (!covered && !rect.contains(key.point)) continue;
+    ++keys_matched;
+    matches += key.elements.size();
+    if (count_only) {
+      count += key.elements.size();
     } else {
-      ex.results.insert(ex.results.end(), key.elements.begin(),
-                        key.elements.end());
+      elements.insert(elements.end(), key.elements.begin(),
+                      key.elements.end());
     }
   }
+}
+
+void SquidSystem::perform_scan(QueryExec& ex, NodeId at, sfc::Segment seg,
+                               bool covered, std::int32_t event,
+                               std::int32_t span) const {
+  ex.processing.insert(at);
+  std::uint64_t scanned = 0;
+  std::uint64_t matched = 0;
+  std::uint64_t collected = 0;
+  scan_segment(ex.rect, seg, covered, ex.count_only, ex.results, ex.count,
+               scanned, matched, collected);
   if (matched > 0) ex.data_nodes.insert(at);
   if (ex.trace) {
     const std::int32_t id = ex.trace->begin(obs::SpanKind::kLocalScan, span,
@@ -155,6 +166,19 @@ void SquidSystem::perform_scan(QueryExec& ex, NodeId at, sfc::Segment seg,
     s.keys_matched = matched;
     s.matches = collected;
   }
+}
+
+void SquidSystem::perform_scan_parallel(const QueryExec& ex, NodeId at,
+                                        sfc::Segment seg, bool covered,
+                                        std::int32_t event, std::int32_t span,
+                                        ScanBuffer& out) const {
+  out.at = at;
+  out.segment = seg;
+  out.event = event;
+  out.span = span;
+  scan_segment(ex.rect, seg, covered, ex.count_only, out.elements, out.count,
+               out.keys_scanned, out.keys_matched, out.matches);
+  out.touched_data = out.keys_matched > 0;
 }
 
 void SquidSystem::plan_chain(const std::shared_ptr<QueryExec>& exec,

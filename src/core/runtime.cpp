@@ -8,6 +8,7 @@
 
 #include "squid/core/runtime.hpp"
 
+#include "squid/core/parallel.hpp"
 #include "squid/core/system.hpp"
 #include "squid/sim/fault.hpp"
 
@@ -97,6 +98,15 @@ void NodeRuntime::post(const std::shared_ptr<QueryExec>& exec,
                        msg::Message message) const {
   QueryExec& ex = *exec;
   sim::Engine& engine = *ex.engine;
+  if (ex.mode == DeliveryMode::kParallel) {
+    // Scans are order-insensitive store sweeps: hand them off to the shard
+    // owning the scanned node. Everything else is planning and stays on the
+    // home-shard engine at delay 0, replaying the lockstep order below.
+    if (auto* scan = std::get_if<msg::ScanRequest>(&message)) {
+      parallel_post_scan(ex, std::move(*scan));
+      return;
+    }
+  }
   sim::Time delay = 0;
   if (ex.mode == DeliveryMode::kVirtualTime) {
     const std::int32_t event = event_of(message);
@@ -148,6 +158,13 @@ void NodeRuntime::deliver(const std::shared_ptr<QueryExec>& exec,
 
 void NodeRuntime::maybe_complete(const std::shared_ptr<QueryExec>& exec) const {
   QueryExec& ex = *exec;
+  if (ex.mode == DeliveryMode::kParallel) {
+    // outstanding counts only planning messages here (scans are handed
+    // off); zero means planning is done. The executor takes over: it joins
+    // planning with the scan countdown and finalizes on the home shard.
+    if (ex.outstanding == 0) parallel_planning_finished(exec);
+    return;
+  }
   if (ex.outstanding != 0 || ex.reply_posted) return;
   ex.reply_posted = true;
   msg::Reply reply;

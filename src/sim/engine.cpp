@@ -1,5 +1,7 @@
 #include "squid/sim/engine.hpp"
 
+#include <algorithm>
+
 #include "squid/sim/fault.hpp"
 #include "squid/util/require.hpp"
 
@@ -7,7 +9,12 @@ namespace squid::sim {
 
 void Engine::schedule(Time delay, Action action) {
   SQUID_REQUIRE(static_cast<bool>(action), "cannot schedule an empty action");
-  queue_.push(Event{now_ + delay, next_seq_++, std::move(action)});
+  if (delay == 0) {
+    ready_.push_back(Event{now_, next_seq_++, std::move(action)});
+    return;
+  }
+  heap_.push_back(Event{now_ + delay, next_seq_++, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 SendOutcome Engine::admit(overlay::NodeId from, overlay::NodeId to) {
@@ -36,10 +43,27 @@ void Engine::schedule_periodic(Time period, std::function<bool()> action) {
 }
 
 bool Engine::step() {
-  if (queue_.empty()) return false;
-  // Copy out before pop so the action may schedule further events.
-  Event event = queue_.top();
-  queue_.pop();
+  const bool has_ready = !ready_.empty();
+  const bool has_heap = !heap_.empty();
+  if (!has_ready && !has_heap) return false;
+  // ready_ entries all sit at now_; a heap event goes first only when it
+  // shares that timestamp with an earlier seq (scheduled with a positive
+  // delay before the ready_ entry was posted — the FIFO tie-break).
+  bool from_heap = has_heap;
+  if (has_ready && has_heap) {
+    const Event& h = heap_.front();
+    const Event& r = ready_.front();
+    from_heap = h.at < r.at || (h.at == r.at && h.seq < r.seq);
+  }
+  Event event;
+  if (from_heap) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    event = std::move(heap_.back());
+    heap_.pop_back();
+  } else {
+    event = std::move(ready_.front());
+    ready_.pop_front();
+  }
   now_ = event.at;
   if (fault_ != nullptr) fault_->set_now(now_);
   event.action();
@@ -48,10 +72,7 @@ bool Engine::step() {
 
 std::size_t Engine::run(Time until) {
   std::size_t executed = 0;
-  while (!queue_.empty() && queue_.top().at <= until) {
-    step();
-    ++executed;
-  }
+  while (peek_time() <= until && step()) ++executed;
   if (now_ < until && until != kNever) now_ = until;
   if (fault_ != nullptr) fault_->set_now(now_);
   return executed;

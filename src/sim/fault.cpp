@@ -32,6 +32,15 @@ struct FaultMetrics {
 
 } // namespace
 
+FaultPlan fork_plan(const FaultPlan& base, std::uint64_t k) {
+  FaultPlan fork = base;
+  // splitmix64 over (seed, stream) decorrelates the forks; a plain xor
+  // would leave stream 0 on the unmixed base seed.
+  std::uint64_t mix = base.seed ^ (0x9e3779b97f4a7c15ull * (k + 1));
+  fork.seed = splitmix64(mix);
+  return fork;
+}
+
 FaultInjector::FaultInjector(FaultPlan plan)
     : plan_(std::move(plan)), rng_(plan_.seed) {
   SQUID_REQUIRE(plan_.drop_probability >= 0 && plan_.drop_probability <= 1,

@@ -1,0 +1,142 @@
+// Properties of the node -> shard map and of resharding (DESIGN.md 4f).
+//
+//   1. shard_of_node is a pure function of (node id, shard count): no
+//      membership state feeds it, so a node's shard never moves across
+//      joins, crashes, or rejoins — only its OWN id and S matter. Any two
+//      parties (a stager picking a mailbox, a test predicting placement)
+//      compute the same answer.
+//   2. Resharding a pending message stream from S=1 to S=4 preserves every
+//      inbox's relative order: the HandoffStager partitions a FIFO stream
+//      into per-shard FIFO streams — per-destination order is exactly the
+//      source order restricted to that destination, the invariant the
+//      finalize merge relies on.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "squid/core/parallel.hpp"
+#include "squid/core/system.hpp"
+#include "squid/util/rng.hpp"
+
+namespace squid::core {
+namespace {
+
+using overlay::NodeId;
+
+TEST(ShardMapTest, PureFunctionOfIdAndShardCount) {
+  Rng rng(0x5a4d);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const NodeId id = rng.next128();
+    for (unsigned shards : {1u, 2u, 3u, 4u, 8u}) {
+      const unsigned first = shard_of_node(id, shards);
+      EXPECT_LT(first, shards);
+      EXPECT_EQ(first, shard_of_node(id, shards)); // same inputs, same shard
+    }
+    EXPECT_EQ(shard_of_node(id, 1), 0u);
+  }
+}
+
+TEST(ShardMapTest, SpreadsRingNodesAcrossShards) {
+  // Not a balance guarantee — just that the splitmix fold actually uses the
+  // id (a map collapsing everything onto one shard would serialize the
+  // executor silently).
+  const char letters[] = "abcde";
+  const keyword::KeywordSpace space(
+      {keyword::StringCodec(letters, 3), keyword::StringCodec(letters, 3)});
+  SquidSystem sys(space);
+  Rng rng(0x77a2);
+  sys.build_network(64, rng);
+  std::map<unsigned, std::size_t> population;
+  for (const auto& [node, load] : sys.node_loads())
+    ++population[shard_of_node(node, 4)];
+  EXPECT_GE(population.size(), 3u) << "64 nodes landed on too few shards";
+}
+
+TEST(ShardMapTest, StableAcrossJoinsCrashesAndRejoins) {
+  const char letters[] = "abc";
+  const keyword::KeywordSpace space(
+      {keyword::StringCodec(letters, 2), keyword::StringCodec(letters, 2)});
+  SquidSystem sys(space);
+  Rng rng(0xc4a2);
+  sys.build_network(40, rng);
+
+  std::map<NodeId, unsigned> before;
+  for (const auto& [node, load] : sys.node_loads())
+    before[node] = shard_of_node(node, 4);
+
+  // Churn the membership hard: joins, crashes, and a rejoin at a crashed
+  // node's exact identifier.
+  std::vector<NodeId> victims;
+  for (int i = 0; i < 6; ++i) victims.push_back(sys.ring().random_node(rng));
+  for (NodeId v : victims) sys.fail_node(v);
+  for (int i = 0; i < 8; ++i) sys.join_node(rng);
+  sys.add_node_at(victims.front()); // rejoin under the same id
+  sys.repair_routing();
+
+  for (const auto& [node, load] : sys.node_loads()) {
+    const auto it = before.find(node);
+    if (it != before.end())
+      EXPECT_EQ(shard_of_node(node, 4), it->second) << "survivor moved shards";
+  }
+  // The rejoined node maps exactly where it did before the crash.
+  EXPECT_EQ(shard_of_node(victims.front(), 4), before.at(victims.front()));
+}
+
+/// Drain everything pending in `inbox` (no blocking).
+std::vector<ShardJob> drain_all(ShardMailbox& inbox) {
+  std::vector<ShardJob> out;
+  inbox.try_drain(out);
+  return out;
+}
+
+TEST(ShardMapTest, ReshardingPreservesPerInboxPendingOrder) {
+  // A synthetic pending stream: 300 jobs to pseudo-random destinations,
+  // sequence numbers carried in ScanRequest::event.
+  Rng rng(0xfeed5);
+  std::vector<ShardJob> stream;
+  for (int i = 0; i < 300; ++i) {
+    ShardJob job;
+    job.kind = ShardJob::Kind::kScan;
+    job.scan.at = rng.next128();
+    job.scan.event = i;
+    stream.push_back(job);
+  }
+
+  // S=1: the whole stream lands in the single inbox, in source order.
+  std::vector<ShardMailbox> one(1);
+  {
+    HandoffStager stager(one, /*self=*/0, /*batch_limit=*/7);
+    for (const ShardJob& job : stream) stager.stage(job.scan.at, job);
+    stager.flush();
+  }
+  const std::vector<ShardJob> single = drain_all(one[0]);
+  ASSERT_EQ(single.size(), stream.size());
+  for (std::size_t i = 0; i < single.size(); ++i)
+    EXPECT_EQ(single[i].scan.event, static_cast<std::int32_t>(i));
+
+  // Reshard the SAME pending stream to S=4: each inbox must hold exactly
+  // the source-order subsequence of the destinations it owns.
+  std::vector<ShardMailbox> four(4);
+  {
+    HandoffStager stager(four, /*self=*/0, /*batch_limit=*/7);
+    for (const ShardJob& job : single) stager.stage(job.scan.at, job);
+    stager.flush();
+  }
+  std::size_t total = 0;
+  for (unsigned s = 0; s < 4; ++s) {
+    const std::vector<ShardJob> inbox = drain_all(four[s]);
+    total += inbox.size();
+    std::int32_t last = -1;
+    for (const ShardJob& job : inbox) {
+      EXPECT_EQ(shard_of_node(job.scan.at, 4), s) << "job on the wrong shard";
+      EXPECT_GT(job.scan.event, last) << "relative order not preserved";
+      last = job.scan.event;
+    }
+  }
+  EXPECT_EQ(total, stream.size()); // nothing lost, nothing duplicated
+}
+
+} // namespace
+} // namespace squid::core
