@@ -18,9 +18,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <variant>
 #include <vector>
 
+#include "squid/core/aggregate.hpp"
 #include "squid/core/types.hpp"
 #include "squid/overlay/id_space.hpp"
 #include "squid/sfc/refine.hpp"
@@ -72,11 +74,18 @@ struct ClusterDispatch {
 
 /// Ask node `at` to sweep its key store over `segment`. `covered` skips the
 /// per-key rectangle filter (the whole segment is known to match).
+///
+/// For aggregate queries `agg.kind != kNone` and the scan site folds its
+/// matching elements into an AggregatePartial instead of shipping them;
+/// `slot` is the query-wide index of this scan (assigned in post order, so
+/// every delivery mode files the partial into the same record).
 struct ScanRequest {
   std::uint64_t query = 0;
   NodeId at = 0;
   sfc::Segment segment;
   bool covered = false;
+  AggregateSpec agg;
+  std::uint32_t slot = 0;
   std::int32_t event = 0;
   std::int32_t span = -1;
 
@@ -94,8 +103,19 @@ struct Reply {
   bool complete = true;
   std::uint64_t count = 0;
   std::vector<DataElement> elements;
+  /// Aggregation pushdown (DESIGN.md 4g): the merged partial this subtree
+  /// contributes. Null for element-shipping replies. Shared-pointer payload
+  /// keeps the Message variant small; replies compare by pointee.
+  std::shared_ptr<const AggregatePartial> aggregate;
 
-  friend bool operator==(const Reply&, const Reply&) = default;
+  friend bool operator==(const Reply& a, const Reply& b) {
+    const bool agg_equal =
+        a.aggregate == b.aggregate ||
+        (a.aggregate && b.aggregate && *a.aggregate == *b.aggregate);
+    return agg_equal && a.query == b.query && a.from == b.from &&
+           a.to == b.to && a.complete == b.complete && a.count == b.count &&
+           a.elements == b.elements;
+  }
 };
 
 using Message =

@@ -86,6 +86,13 @@ struct ScanBuffer {
   sfc::Segment segment{0, 0};
   std::int32_t event = 0;
   std::int32_t span = -1;
+  /// Aggregate pushdown: the scan folds into this record instead of filling
+  /// `elements`; finalize moves it into QueryExec::agg_scans in post order.
+  AggScanRecord agg;
+  /// Element/count queries: measured reply wire cost of this scan's answer
+  /// (see QueryStats::bytes_shipped); accumulated at finalize.
+  std::uint64_t reply_bytes = 0;
+  std::uint64_t reply_frames = 0;
 };
 
 class ParallelExecutor;
@@ -172,6 +179,9 @@ private:
 struct ParallelQuerySpec {
   keyword::Query query;
   overlay::NodeId origin = 0;
+  /// When set, the query runs as an aggregation pushdown (DESIGN.md 4g):
+  /// scan shards fold partials, finalize merges them up the dispatch tree.
+  std::optional<AggregateSpec> aggregate;
 };
 
 struct ParallelOptions {

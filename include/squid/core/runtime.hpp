@@ -32,9 +32,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "squid/core/messages.hpp"
@@ -49,6 +51,18 @@ namespace squid::core {
 
 class SquidSystem;         // core/system.hpp
 struct ParallelQueryState; // core/parallel.hpp
+
+/// One scan site's contribution to an aggregate query (DESIGN.md 4g):
+/// the partial it folded locally plus the bytes a ship-all-elements Reply
+/// from that scan would have occupied (for the bytes_saved counter;
+/// measured only with obs compiled in). Records live in QueryExec::agg_scans
+/// at the slot assigned when the ScanRequest was posted, so every delivery
+/// mode files identical records in identical order.
+struct AggScanRecord {
+  overlay::NodeId at = 0;
+  AggregatePartial partial;
+  std::uint64_t ship_bytes = 0;
+};
 
 /// How NodeRuntime schedules message arrivals (see file comment).
 enum class DeliveryMode : std::uint8_t {
@@ -110,6 +124,33 @@ struct QueryExec {
   bool count_only = false; ///< count matches without shipping elements
   std::size_t count = 0;
   std::vector<DataElement> results;
+
+  // --- Aggregation pushdown (DESIGN.md 4g) ---------------------------------
+  /// Set for aggregate queries; scans then fold instead of shipping.
+  std::optional<AggregateSpec> agg;
+  /// Per-scan partials, indexed by the slot stamped on each ScanRequest at
+  /// post time (deque: slots must stay stable while later posts happen).
+  std::deque<AggScanRecord> agg_scans;
+  /// The reply tree: (child, parent) edges in planning discovery order —
+  /// the first peer to post work to a node is its parent. Partials merge
+  /// bottom-up along these edges at finalize (reverse discovery order
+  /// visits children before their parents).
+  std::vector<std::pair<NodeId, NodeId>> reply_edges;
+  std::set<NodeId> reply_seen;
+  /// Record `to`'s discovery via a delivered leg from `from`. Only the
+  /// first discovery counts; no-op for element queries (no tree needed —
+  /// their replies go straight to the origin).
+  void note_reply_parent(NodeId to, NodeId from) {
+    if (!agg || to == from) return;
+    if (reply_seen.insert(to).second) reply_edges.emplace_back(to, from);
+  }
+
+  /// Reply-path wire accounting (QueryStats::bytes_shipped/reply_messages).
+  /// Element/count queries accumulate per scan; aggregate queries per
+  /// dispatch-tree edge at finalize. Sums of planning-determined terms, so
+  /// identical across delivery modes and shard counts.
+  std::uint64_t bytes_shipped = 0;
+  std::uint64_t reply_messages = 0;
   /// Message-dependency DAG; event 0 is the query start at the origin.
   std::vector<TimingEvent> timing{TimingEvent{}};
   /// Hop-depth of each timing event (= virtual-clock tick of delivery).

@@ -13,6 +13,7 @@
 
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 
 #include "squid/core/messages.hpp"
@@ -29,10 +30,34 @@ void save_snapshot(const SquidSystem& sys, std::ostream& out);
 void load_snapshot(SquidSystem& sys, std::istream& in);
 
 /// Write one query-protocol message (versioned header + type tag + fields).
-void save_message(const msg::Message& message, std::ostream& out);
+/// Returns the number of bytes written; when `out` cannot report stream
+/// positions the size is measured over a counting stream instead, so the
+/// return value is always the true frame size.
+std::size_t save_message(const msg::Message& message, std::ostream& out);
 
 /// Read back a message written by save_message. Throws
 /// std::invalid_argument on bad magic, unknown type tag, or truncation.
-msg::Message load_message(std::istream& in);
+/// When `bytes_read` is non-null it receives the number of bytes the frame
+/// occupied (0 if `in` cannot report stream positions).
+msg::Message load_message(std::istream& in, std::size_t* bytes_read = nullptr);
+
+/// Serialized size of `message` in bytes: the real writer run over a
+/// counting stream, never an estimate.
+std::size_t wire_size(const msg::Message& message);
+
+/// Wire size of one element as a Reply payload line (element encoding plus
+/// its terminating newline).
+std::size_t element_wire_size(const DataElement& element);
+
+/// Wire size of a Reply frame built for accounting: canonical query id 0
+/// (so byte counts never depend on live query-id digit lengths), complete,
+/// carrying `count`, `elements` payload lines totalling `payload_bytes`,
+/// and optionally an aggregate partial. The header is measured through the
+/// real writer; `payload_bytes` is added verbatim (callers accumulate it
+/// via element_wire_size during the scan, avoiding a copy of the elements).
+std::size_t reply_wire_size(overlay::NodeId from, overlay::NodeId to,
+                            std::uint64_t count, std::size_t elements,
+                            std::size_t payload_bytes,
+                            const AggregatePartial* aggregate = nullptr);
 
 } // namespace squid::core

@@ -146,6 +146,46 @@ public:
   /// and resolution cost as query().
   std::size_t count(const keyword::Query& query, NodeId origin) const;
 
+  // --- Aggregation pushdown (core/aggregate.hpp, DESIGN.md 4g) --------------
+
+  /// Resolve `query` but compute `spec` inside the overlay: scan sites fold
+  /// their matching elements into partials, partials merge up the
+  /// cluster-dispatch tree, and the origin finalizes. Planning (routing,
+  /// refinement, fault draws, timing DAG) is identical to query(); only the
+  /// reply path changes, which is where the message/byte savings come from
+  /// (QueryStats::bytes_shipped/reply_messages account both paths through
+  /// the real serializer). The answer rides QueryResult::aggregate and is
+  /// bit-identical across delivery modes, shard counts, and merge orders —
+  /// and bit-equal to folding `spec` at the origin over query()'s elements.
+  /// Throws std::invalid_argument for invalid specs (see validate_aggregate).
+  QueryResult query_aggregate(const keyword::Query& query,
+                              const AggregateSpec& spec, NodeId origin) const;
+
+  /// query_async twin of query_aggregate: same overlay pushdown, scheduled
+  /// on the caller's shared virtual clock.
+  QueryHandle query_aggregate_async(const keyword::Query& query,
+                                    const AggregateSpec& spec, NodeId origin,
+                                    sim::Engine& engine) const;
+
+  /// Spec sanity, shared by every aggregate entry point: a real kind,
+  /// dim < space().dims(), numeric dimension for the value-based kinds
+  /// (kSum/kMin/kMax/kTopK), k >= 1 for kTopK. Throws std::invalid_argument.
+  void validate_aggregate(const AggregateSpec& spec) const;
+
+  /// Convenience wrappers over query_aggregate.
+  std::uint64_t query_count(const keyword::Query& query, NodeId origin) const;
+  double query_sum(const keyword::Query& query, std::uint32_t dim,
+                   NodeId origin) const;
+  /// (min, max) over the dimension; nullopt when nothing matched.
+  std::pair<std::optional<double>, std::optional<double>> query_min_max(
+      const keyword::Query& query, std::uint32_t dim, NodeId origin) const;
+  std::vector<GroupCount> query_group_by(const keyword::Query& query,
+                                         std::uint32_t dim,
+                                         NodeId origin) const;
+  std::vector<TopEntry> query_top_k(const keyword::Query& query,
+                                    std::uint32_t dim, std::uint32_t k,
+                                    NodeId origin, bool largest = true) const;
+
   /// Launch a query on the caller's engine without draining it: resolution
   /// proceeds as typed messages (core/messages.hpp) scheduled at their
   /// timing-DAG ticks, so several queries can be in flight on ONE virtual
@@ -275,7 +315,9 @@ private:
                                         const keyword::Query& query,
                                         NodeId origin, bool count_only,
                                         bool want_trace, bool publish,
-                                        bool arm_guard) const;
+                                        bool arm_guard,
+                                        const AggregateSpec* aggregate =
+                                            nullptr) const;
   /// Post the root work: the point-query fast path (paper 3.4.1) or the
   /// origin's ResolveRequest for the refinement-tree root.
   void begin_resolution(const std::shared_ptr<QueryExec>& exec,
@@ -295,27 +337,34 @@ private:
       const std::shared_ptr<QueryExec>& exec, NodeId from,
       const std::vector<std::pair<u128, sfc::ClusterNode>>& clusters,
       std::int32_t event, std::int32_t span) const;
-  /// ScanRequest delivery: sweep this peer's slice of the flat store.
-  void perform_scan(QueryExec& exec, NodeId at, sfc::Segment segment,
-                    bool covered, std::int32_t event, std::int32_t span) const;
+  /// ScanRequest delivery: sweep this peer's slice of the flat store. For
+  /// aggregate requests (scan.agg.kind != kNone) the matches fold into the
+  /// scan's AggScanRecord slot instead of exec.results.
+  void perform_scan(QueryExec& exec, const msg::ScanRequest& scan) const;
   /// The store sweep itself, shared by perform_scan and the parallel path:
   /// walk stored keys in [segment.lo, segment.hi], filter by `rect` unless
-  /// `covered`, and accumulate into the caller's sinks.
+  /// `covered`, and accumulate into the caller's sinks. With `agg` non-null
+  /// matching elements fold into the record (elements/count untouched).
   void scan_segment(const sfc::Rect& rect, sfc::Segment segment, bool covered,
                     bool count_only, std::vector<DataElement>& elements,
                     std::size_t& count, std::uint64_t& keys_scanned,
-                    std::uint64_t& keys_matched, std::uint64_t& matches) const;
+                    std::uint64_t& keys_matched, std::uint64_t& matches,
+                    AggScanRecord* agg = nullptr) const;
   /// kParallel twin of perform_scan: identical sweep, but every result and
   /// span field lands in the scan's private ScanBuffer (no QueryExec
   /// mutation — executor shards run this concurrently with home-shard
   /// planning). The home shard merges buffers at finalize.
-  void perform_scan_parallel(const QueryExec& exec, NodeId at,
-                             sfc::Segment segment, bool covered,
-                             std::int32_t event, std::int32_t span,
+  void perform_scan_parallel(const QueryExec& exec,
+                             const msg::ScanRequest& scan,
                              ScanBuffer& out) const;
   /// Reply delivery: assemble QueryResult, close the trace, publish
   /// metrics, release the cache guard, stamp completed_at.
   void finalize_query(QueryExec& exec) const;
+  /// Aggregate finalize half: fold per-scan partials per node, merge them
+  /// bottom-up along exec.reply_edges (one partial-carrying Reply frame per
+  /// edge, accounted through the real serializer), surface the origin's
+  /// merged partial as QueryResult::aggregate.
+  void finalize_aggregate(QueryExec& exec) const;
 
   // --- Frozen seed resolver (query_engine_reference.cpp, test oracle) ------
   void ref_resolve_at_node(RefQueryContext& ctx, NodeId at,

@@ -16,6 +16,8 @@ struct Trace;
 
 namespace squid::core {
 
+struct AggregatePartial;
+
 /// A published piece of information: a name/URI plus one descriptive token
 /// per keyword-space dimension (paper: "a data element can be a document, a
 /// file, an XML file describing a resource, ...").
@@ -48,6 +50,15 @@ struct QueryStats {
   /// unroutable under churn) — each one a potential hole in the result.
   std::size_t retries = 0;
   std::size_t failed_clusters = 0;
+  /// Reply-path wire accounting (DESIGN.md 4g): bytes and frames the result
+  /// replies occupy on the wire, measured through the real serializer with a
+  /// canonical query id of 0 so the numbers are comparable across runs.
+  /// Element queries count one reply per scan site (split into
+  /// SquidConfig::reply_frame_bytes frames); aggregate queries count one
+  /// partial-carrying reply per dispatch-tree edge. Identical across
+  /// delivery modes and shard counts; not part of the frozen-seed lock.
+  std::uint64_t bytes_shipped = 0;
+  std::uint64_t reply_messages = 0;
 };
 
 /// One message event in a query's dependency DAG: it could only be sent
@@ -74,6 +85,10 @@ struct QueryResult {
   /// (SquidSystem::set_tracing / SquidConfig::trace_queries); null
   /// otherwise. `stats` is derivable from it (obs::derive_stats).
   std::shared_ptr<const obs::Trace> trace;
+  /// For aggregate queries (SquidSystem::query_aggregate and friends): the
+  /// fully-merged partial — the answer computed in the overlay. Null for
+  /// element-returning queries. `elements` is always empty when set.
+  std::shared_ptr<const AggregatePartial> aggregate;
 };
 
 struct SquidConfig {
@@ -106,6 +121,9 @@ struct SquidConfig {
   /// Base retry backoff in virtual ticks; attempt k waits
   /// retry_backoff << k before resending (exponential).
   sim::Time retry_backoff = 2;
+  /// Reply-path MTU for wire accounting: a reply of B bytes counts as
+  /// ceil(B / reply_frame_bytes) frames in QueryStats::reply_messages.
+  std::size_t reply_frame_bytes = 1024;
 };
 
 /// Hit/miss counters for the cluster-owner cache.

@@ -1,0 +1,61 @@
+// Exact, order-independent summation of doubles.
+//
+// Floating-point addition is not associative, so a sum folded along a
+// dispatch tree would depend on the tree shape and merge order — fatal for
+// the bit-identical cross-mode contract (DESIGN.md 4g). ExactSum sidesteps
+// the problem entirely: it accumulates into a fixed-point two's-complement
+// big integer wide enough to hold ANY finite double exactly (a
+// Kulisch-style superaccumulator). Adding values and merging accumulators
+// are both plain big-integer addition, which is exactly associative and
+// commutative, so every grouping of the same multiset of addends yields the
+// same limbs and therefore the same correctly-rounded double.
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace squid {
+
+class ExactSum {
+public:
+  /// Bit weight of limb bit 0 is 2^-kFracBits. 1152 fractional bits cover
+  /// the smallest subnormal contribution (2^-1074, mantissa LSB at 2^-1126);
+  /// 36 limbs = 2304 bits additionally cover the largest double (top bit
+  /// 2^1023) plus 2^64 addend headroom and the sign bit.
+  static constexpr int kFracBits = 1152;
+  static constexpr std::size_t kLimbs = 36;
+
+  /// Add one finite double. Requires std::isfinite(v); fails loudly on
+  /// NaN/inf because an experiment that feeds them is misconfigured.
+  void add(double v);
+
+  /// Big-integer addition of another accumulator: exactly associative and
+  /// commutative, so merge order never matters.
+  void merge(const ExactSum& other) noexcept;
+
+  /// The accumulated sum, correctly rounded to nearest-even. Overflow past
+  /// the double range returns +/-infinity.
+  double value() const noexcept;
+
+  bool is_zero() const noexcept;
+
+  /// Raw two's-complement limbs, least significant first (serialization and
+  /// bit-equality checks).
+  const std::array<std::uint64_t, kLimbs>& limbs() const noexcept {
+    return limbs_;
+  }
+  void set_limb(std::size_t index, std::uint64_t value) noexcept {
+    limbs_[index] = value;
+  }
+
+  friend bool operator==(const ExactSum&, const ExactSum&) = default;
+
+private:
+  void accumulate(std::uint64_t mantissa, int bit_offset, bool negative) noexcept;
+
+  std::array<std::uint64_t, kLimbs> limbs_{};
+};
+
+} // namespace squid

@@ -1,0 +1,158 @@
+#include "squid/core/aggregate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "squid/util/require.hpp"
+
+namespace squid::core {
+namespace {
+
+/// Numeric payload attribute for the value-based kinds. Spec validation at
+/// query entry guarantees the dimension is numeric, so a string token here
+/// means a corrupt element and fails loudly.
+double numeric_key(const DataElement& element, std::uint32_t dim) {
+  SQUID_REQUIRE(dim < element.keys.size(),
+                "aggregate dimension out of range for element");
+  const keyword::Token& token = element.keys[dim];
+  SQUID_REQUIRE(std::holds_alternative<double>(token),
+                "aggregate over a non-numeric payload attribute");
+  return std::get<double>(token);
+}
+
+/// Group key: the token's textual rendering (exact for strings; numeric
+/// tokens group by their rendered form, which is deterministic everywhere
+/// the same token appears).
+std::string group_key(const DataElement& element, std::uint32_t dim) {
+  SQUID_REQUIRE(dim < element.keys.size(),
+                "aggregate dimension out of range for element");
+  return keyword::to_string(element.keys[dim]);
+}
+
+void add_group(std::vector<GroupCount>& groups, const std::string& key,
+               std::uint64_t count) {
+  const auto it = std::lower_bound(
+      groups.begin(), groups.end(), key,
+      [](const GroupCount& g, const std::string& k) { return g.key < k; });
+  if (it != groups.end() && it->key == key) {
+    it->count += count;
+  } else {
+    groups.insert(it, GroupCount{key, count});
+  }
+}
+
+void insert_top(const AggregateSpec& spec, std::vector<TopEntry>& top,
+                TopEntry entry) {
+  const auto it = std::upper_bound(
+      top.begin(), top.end(), entry,
+      [&spec](const TopEntry& a, const TopEntry& b) {
+        return top_entry_before(spec, a, b);
+      });
+  if (top.size() >= spec.k && it == top.end()) return; // worse than the cut
+  top.insert(it, std::move(entry));
+  if (top.size() > spec.k) top.pop_back();
+}
+
+} // namespace
+
+const char* aggregate_kind_name(AggregateKind kind) noexcept {
+  switch (kind) {
+    case AggregateKind::kNone: return "none";
+    case AggregateKind::kCount: return "count";
+    case AggregateKind::kSum: return "sum";
+    case AggregateKind::kMin: return "min";
+    case AggregateKind::kMax: return "max";
+    case AggregateKind::kGroupBy: return "group_by";
+    case AggregateKind::kTopK: return "top_k";
+  }
+  return "unknown";
+}
+
+bool top_entry_before(const AggregateSpec& spec, const TopEntry& a,
+                      const TopEntry& b) noexcept {
+  if (a.value != b.value) return spec.largest ? a.value > b.value
+                                              : a.value < b.value;
+  return a.name < b.name;
+}
+
+AggregatePartial make_partial(const AggregateSpec& spec) {
+  AggregatePartial partial;
+  partial.spec = spec;
+  return partial;
+}
+
+void AggregatePartial::fold(const DataElement& element) {
+  ++count;
+  switch (spec.kind) {
+    case AggregateKind::kNone:
+    case AggregateKind::kCount:
+      break;
+    case AggregateKind::kSum:
+      sum.add(numeric_key(element, spec.dim));
+      break;
+    case AggregateKind::kMin:
+    case AggregateKind::kMax: {
+      const double v = numeric_key(element, spec.dim);
+      if (!has_extremes) {
+        has_extremes = true;
+        min = max = v;
+      } else {
+        if (v < min) min = v;
+        if (v > max) max = v;
+      }
+      break;
+    }
+    case AggregateKind::kGroupBy:
+      add_group(groups, group_key(element, spec.dim), 1);
+      break;
+    case AggregateKind::kTopK:
+      insert_top(spec, top,
+                 TopEntry{numeric_key(element, spec.dim), element.name});
+      break;
+  }
+}
+
+void AggregatePartial::merge(const AggregatePartial& other) {
+  SQUID_REQUIRE(spec == other.spec, "merging partials of different specs");
+  count += other.count;
+  switch (spec.kind) {
+    case AggregateKind::kNone:
+    case AggregateKind::kCount:
+      break;
+    case AggregateKind::kSum:
+      sum.merge(other.sum);
+      break;
+    case AggregateKind::kMin:
+    case AggregateKind::kMax:
+      if (other.has_extremes) {
+        if (!has_extremes) {
+          has_extremes = true;
+          min = other.min;
+          max = other.max;
+        } else {
+          if (other.min < min) min = other.min;
+          if (other.max > max) max = other.max;
+        }
+      }
+      break;
+    case AggregateKind::kGroupBy:
+      for (const GroupCount& g : other.groups) add_group(groups, g.key, g.count);
+      break;
+    case AggregateKind::kTopK: {
+      // top-k of a union equals top-k of the union of top-k's, so merging
+      // two sorted bounded lists and re-truncating is exact.
+      std::vector<TopEntry> merged;
+      merged.reserve(top.size() + other.top.size());
+      std::merge(top.begin(), top.end(), other.top.begin(), other.top.end(),
+                 std::back_inserter(merged),
+                 [this](const TopEntry& a, const TopEntry& b) {
+                   return top_entry_before(spec, a, b);
+                 });
+      if (merged.size() > spec.k) merged.resize(spec.k);
+      top = std::move(merged);
+      break;
+    }
+  }
+}
+
+} // namespace squid::core

@@ -155,9 +155,11 @@ ParallelRun ParallelExecutor::run(const std::vector<ParallelQuerySpec>& specs) {
   if (specs.empty()) return out;
   // Validate on the caller's thread: a bad origin should throw here, not
   // terminate() out of a worker.
-  for (const ParallelQuerySpec& spec : specs)
+  for (const ParallelQuerySpec& spec : specs) {
     SQUID_REQUIRE(sys_->ring().contains(spec.origin),
                   "query_parallel origin is not a live node");
+    if (spec.aggregate.has_value()) sys_->validate_aggregate(*spec.aggregate);
+  }
 
   specs_ = &specs;
   const unsigned shards = opts_.shards;
@@ -247,9 +249,7 @@ void ParallelExecutor::execute(Shard& sh, ShardJob& job) {
     break;
   case ShardJob::Kind::kScan: {
     ParallelQueryState& q = *job.query;
-    sys_->perform_scan_parallel(*q.exec, job.scan.at, job.scan.segment,
-                                job.scan.covered, job.scan.event, job.scan.span,
-                                *job.buffer);
+    sys_->perform_scan_parallel(*q.exec, job.scan, *job.buffer);
     ++sh.delivered;
     // acq_rel: the release half publishes this buffer's writes down the
     // counter chain; the acquire half picks up every earlier scan's, so
@@ -268,10 +268,11 @@ void ParallelExecutor::execute(Shard& sh, ShardJob& job) {
 
 void ParallelExecutor::launch(Shard& sh, ParallelQueryState& q) {
   const ParallelQuerySpec& spec = (*specs_)[q.index];
-  q.exec = sys_->start_exec(sh.engine, DeliveryMode::kParallel, spec.query,
-                            spec.origin, /*count_only=*/false,
-                            /*want_trace=*/sys_->tracing(), /*publish=*/true,
-                            /*arm_guard=*/true);
+  q.exec = sys_->start_exec(
+      sh.engine, DeliveryMode::kParallel, spec.query, spec.origin,
+      /*count_only=*/false, /*want_trace=*/sys_->tracing(), /*publish=*/true,
+      /*arm_guard=*/true,
+      spec.aggregate.has_value() ? &*spec.aggregate : nullptr);
   q.exec->par = &q;
   // The forked injector rides the home engine only for this query's
   // planning drain; Engine::admit stays the single choke point per shard.
@@ -290,12 +291,20 @@ void ParallelExecutor::finalize(ParallelQueryState& q) {
   for (ScanBuffer& b : q.scans) {
     ex.processing.insert(b.at);
     if (b.touched_data) ex.data_nodes.insert(b.at);
-    if (ex.count_only) {
+    if (ex.agg.has_value()) {
+      // Deque order == scan post order == the lockstep slot order, so the
+      // records land exactly where the sequential modes put them.
+      ex.agg_scans.push_back(std::move(b.agg));
+    } else if (ex.count_only) {
       ex.count += b.count;
+      ex.bytes_shipped += b.reply_bytes;
+      ex.reply_messages += b.reply_frames;
     } else {
       ex.results.insert(ex.results.end(),
                         std::make_move_iterator(b.elements.begin()),
                         std::make_move_iterator(b.elements.end()));
+      ex.bytes_shipped += b.reply_bytes;
+      ex.reply_messages += b.reply_frames;
     }
     if (ex.trace) {
       const std::int32_t id = ex.trace->begin(obs::SpanKind::kLocalScan,
@@ -335,6 +344,7 @@ void parallel_post_scan(QueryExec& ex, msg::ScanRequest scan) {
   ParallelQueryState* q = ex.par;
   SQUID_REQUIRE(q != nullptr, "kParallel exec without executor state");
   const overlay::NodeId dest = scan.at;
+  scan.slot = static_cast<std::uint32_t>(q->scans.size());
   q->scans.emplace_back(); // stable slot (deque): filled by the executing
   ScanBuffer* buffer = &q->scans.back(); // shard, merged at finalize
   q->scans_outstanding.fetch_add(1, std::memory_order_relaxed);

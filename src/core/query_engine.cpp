@@ -29,12 +29,15 @@
 #include <algorithm>
 #include <atomic>
 #include <deque>
+#include <map>
 #include <memory>
 #include <utility>
 #include <vector>
 
+#include "squid/core/aggregate.hpp"
 #include "squid/core/parallel.hpp"
 #include "squid/core/runtime.hpp"
+#include "squid/core/serialize.hpp"
 #include "squid/core/system.hpp"
 #include "squid/obs/metrics.hpp"
 #include "squid/obs/trace.hpp"
@@ -93,6 +96,7 @@ void publish_query_metrics(const QueryStats& stats, bool complete) {
         registry.counter("squid.query.failed_clusters");
     static obs::Counter& incomplete =
         registry.counter("squid.query.incomplete");
+    static obs::Counter& bytes = registry.counter("squid.query.bytes");
     static obs::HistogramMetric& critical =
         registry.histogram("squid.query.critical_path_hops", 0, 64, 16);
     static obs::HistogramMetric& processing =
@@ -100,6 +104,7 @@ void publish_query_metrics(const QueryStats& stats, bool complete) {
     queries.add(1);
     messages.add(stats.messages);
     matches.add(stats.matches);
+    bytes.add(stats.bytes_shipped);
     if (stats.retries > 0) resends.add(stats.retries);
     if (stats.failed_clusters > 0) failed.add(stats.failed_clusters);
     if (!complete) incomplete.add(1);
@@ -109,6 +114,35 @@ void publish_query_metrics(const QueryStats& stats, bool complete) {
     (void)stats;
     (void)complete;
   }
+}
+
+/// Aggregation-pushdown counters (DESIGN.md 4g), published once per
+/// aggregate query at finalize. Dead code when obs is compiled out.
+void publish_aggregation_metrics(std::uint64_t partials_merged,
+                                 std::uint64_t elements_folded,
+                                 std::uint64_t bytes_saved) {
+  if constexpr (obs::kEnabled) {
+    auto& registry = obs::Registry::global();
+    static obs::Counter& merged =
+        registry.counter("squid.query.aggregation.partials_merged");
+    static obs::Counter& folded =
+        registry.counter("squid.query.aggregation.elements_folded");
+    static obs::Counter& saved =
+        registry.counter("squid.query.aggregation.bytes_saved");
+    merged.add(partials_merged);
+    folded.add(elements_folded);
+    saved.add(bytes_saved);
+  } else {
+    (void)partials_merged;
+    (void)elements_folded;
+    (void)bytes_saved;
+  }
+}
+
+/// Reply frames a `bytes`-sized reply occupies at the accounting MTU.
+std::size_t frames_of(std::size_t bytes, std::size_t mtu) {
+  if (mtu == 0) return 1;
+  return std::max<std::size_t>(1, (bytes + mtu - 1) / mtu);
 }
 
 } // namespace
@@ -124,9 +158,12 @@ void SquidSystem::scan_segment(const sfc::Rect& rect, sfc::Segment seg,
                                std::vector<DataElement>& elements,
                                std::size_t& count, std::uint64_t& keys_scanned,
                                std::uint64_t& keys_matched,
-                               std::uint64_t& matches) const {
+                               std::uint64_t& matches,
+                               AggScanRecord* agg) const {
   // One contiguous sweep over the flat store: binary search to the segment
-  // start, then walk the index/payload arrays in lockstep.
+  // start, then walk the index/payload arrays in lockstep. With an aggregate
+  // sink the matching elements fold into the local partial instead of being
+  // collected — that pushdown is the whole point of DESIGN.md 4g.
   std::size_t i = static_cast<std::size_t>(
       std::lower_bound(key_index_.begin(), key_index_.end(), seg.lo) -
       key_index_.begin());
@@ -136,7 +173,14 @@ void SquidSystem::scan_segment(const sfc::Rect& rect, sfc::Segment seg,
     if (!covered && !rect.contains(key.point)) continue;
     ++keys_matched;
     matches += key.elements.size();
-    if (count_only) {
+    if (agg != nullptr) {
+      for (const DataElement& e : key.elements) {
+        agg->partial.fold(e);
+        // What shipping this element instead would have cost; feeds the
+        // bytes_saved counter, so skip the serializer when obs is off.
+        if constexpr (obs::kEnabled) agg->ship_bytes += element_wire_size(e);
+      }
+    } else if (count_only) {
       count += key.elements.size();
     } else {
       elements.insert(elements.end(), key.elements.begin(),
@@ -145,19 +189,44 @@ void SquidSystem::scan_segment(const sfc::Rect& rect, sfc::Segment seg,
   }
 }
 
-void SquidSystem::perform_scan(QueryExec& ex, NodeId at, sfc::Segment seg,
-                               bool covered, std::int32_t event,
-                               std::int32_t span) const {
+void SquidSystem::perform_scan(QueryExec& ex,
+                               const msg::ScanRequest& scan) const {
+  const NodeId at = scan.at;
+  const sfc::Segment seg = scan.segment;
   ex.processing.insert(at);
   std::uint64_t scanned = 0;
   std::uint64_t matched = 0;
   std::uint64_t collected = 0;
-  scan_segment(ex.rect, seg, covered, ex.count_only, ex.results, ex.count,
-               scanned, matched, collected);
+  if (scan.agg.kind != AggregateKind::kNone) {
+    // Pushdown: fold into this scan's pre-assigned record. The slot was
+    // allocated at post time (identical order across delivery modes), so the
+    // deque is already sized.
+    AggScanRecord& rec = ex.agg_scans[scan.slot];
+    rec.at = at;
+    rec.partial.spec = scan.agg;
+    scan_segment(ex.rect, seg, scan.covered, ex.count_only, ex.results,
+                 ex.count, scanned, matched, collected, &rec);
+  } else {
+    const std::size_t first = ex.results.size();
+    scan_segment(ex.rect, seg, scan.covered, ex.count_only, ex.results,
+                 ex.count, scanned, matched, collected, nullptr);
+    // Reply-path accounting: this scan site answers the origin directly with
+    // one reply (split into MTU frames), measured through the real
+    // serializer. Sums of per-scan terms, so mode-independent.
+    std::size_t payload = 0;
+    const std::size_t shipped = ex.results.size() - first;
+    for (std::size_t k = first; k < ex.results.size(); ++k)
+      payload += element_wire_size(ex.results[k]);
+    const std::size_t bytes = reply_wire_size(
+        at, ex.origin, ex.count_only ? collected : shipped, shipped, payload);
+    ex.bytes_shipped += bytes;
+    ex.reply_messages += frames_of(bytes, config_.reply_frame_bytes);
+  }
   if (matched > 0) ex.data_nodes.insert(at);
   if (ex.trace) {
-    const std::int32_t id = ex.trace->begin(obs::SpanKind::kLocalScan, span,
-                                            event, ex.tick(event));
+    const std::int32_t id = ex.trace->begin(obs::SpanKind::kLocalScan,
+                                            scan.span, scan.event,
+                                            ex.tick(scan.event));
     obs::Span& s = ex.trace->at(id);
     s.node = at;
     s.range_lo = seg.lo;
@@ -168,16 +237,31 @@ void SquidSystem::perform_scan(QueryExec& ex, NodeId at, sfc::Segment seg,
   }
 }
 
-void SquidSystem::perform_scan_parallel(const QueryExec& ex, NodeId at,
-                                        sfc::Segment seg, bool covered,
-                                        std::int32_t event, std::int32_t span,
+void SquidSystem::perform_scan_parallel(const QueryExec& ex,
+                                        const msg::ScanRequest& scan,
                                         ScanBuffer& out) const {
-  out.at = at;
-  out.segment = seg;
-  out.event = event;
-  out.span = span;
-  scan_segment(ex.rect, seg, covered, ex.count_only, out.elements, out.count,
-               out.keys_scanned, out.keys_matched, out.matches);
+  out.at = scan.at;
+  out.segment = scan.segment;
+  out.event = scan.event;
+  out.span = scan.span;
+  if (scan.agg.kind != AggregateKind::kNone) {
+    out.agg.at = scan.at;
+    out.agg.partial.spec = scan.agg;
+    scan_segment(ex.rect, scan.segment, scan.covered, ex.count_only,
+                 out.elements, out.count, out.keys_scanned, out.keys_matched,
+                 out.matches, &out.agg);
+  } else {
+    scan_segment(ex.rect, scan.segment, scan.covered, ex.count_only,
+                 out.elements, out.count, out.keys_scanned, out.keys_matched,
+                 out.matches, nullptr);
+    std::size_t payload = 0;
+    for (const DataElement& e : out.elements) payload += element_wire_size(e);
+    const std::size_t bytes = reply_wire_size(
+        scan.at, ex.origin, ex.count_only ? out.matches : out.elements.size(),
+        out.elements.size(), payload);
+    out.reply_bytes = bytes;
+    out.reply_frames = frames_of(bytes, config_.reply_frame_bytes);
+  }
   out.touched_data = out.keys_matched > 0;
 }
 
@@ -225,13 +309,14 @@ void SquidSystem::plan_chain(const std::shared_ptr<QueryExec>& exec,
       return;
     }
     ex.pay_leg(leg, r.dest, event, span);
+    ex.note_reply_parent(r.dest, at);
     at = r.dest;
     event = arrive;
   }
   for (;;) {
     const sfc::Segment local = clip_local(at, seg);
-    runtime.post(exec,
-                 msg::ScanRequest{ex.id, at, local, covered, event, span});
+    runtime.post(exec, msg::ScanRequest{ex.id, at, local, covered, {}, 0,
+                                        event, span});
     if (entirely_local(at, seg)) return;
     if (ex.dispatch_budget == 0) {
       ex.complete = false;
@@ -264,6 +349,7 @@ void SquidSystem::plan_chain(const std::shared_ptr<QueryExec>& exec,
       return;
     }
     ex.pay_leg(leg, next, event, span);
+    ex.note_reply_parent(next, at);
     at = next;
     event = arrive;
   }
@@ -388,6 +474,7 @@ void SquidSystem::dispatch_clusters(
       continue;
     }
     ex.pay_leg(leg, dest, event, dspan);
+    ex.note_reply_parent(dest, from);
 
     std::size_t batch_end = i + 1;
     bool reply_message = false;
@@ -518,7 +605,7 @@ void SquidSystem::handle_resolve(const std::shared_ptr<QueryExec>& exec,
       // Fig 8's pruning: the owner's identifier is past the cluster's last
       // index, so every possible match is stored here.
       runtime.post(exec, msg::ScanRequest{ex.id, at, seg, /*covered=*/false,
-                                          event, span});
+                                          {}, 0, event, span});
       continue;
     }
     if (item.classified) cursor.seek(cluster.prefix, cluster.level);
@@ -554,17 +641,75 @@ void SquidSystem::handle_resolve(const std::shared_ptr<QueryExec>& exec,
   dispatch_clusters(exec, at, remote, event, span);
 }
 
+void SquidSystem::finalize_aggregate(QueryExec& ex) const {
+  // Origin-side closure of the pushdown tree: fold each node's scan partials,
+  // then merge child partials into their dispatch parents bottom-up. Every
+  // merge operator is associative and commutative (ExactSum for kSum, bounded
+  // sorted lists for top-k/group-by), so the result is bit-identical to the
+  // origin folding all elements itself — regardless of delivery mode, shard
+  // count, or arrival order.
+  const AggregateSpec& spec = *ex.agg;
+  std::map<NodeId, AggregatePartial> nodes;
+  std::uint64_t partials_merged = 0;
+  std::uint64_t elements_folded = 0;
+  std::uint64_t shipall_bytes = 0;
+  for (const AggScanRecord& rec : ex.agg_scans) {
+    auto [it, fresh] = nodes.try_emplace(rec.at, make_partial(spec));
+    (void)fresh;
+    it->second.merge(rec.partial);
+    ++partials_merged;
+    elements_folded += rec.partial.count;
+    if constexpr (obs::kEnabled) {
+      // What this scan would have shipped without pushdown: every matching
+      // element, straight to the origin. Feeds bytes_saved only.
+      shipall_bytes += reply_wire_size(
+          rec.at, ex.origin, rec.partial.count,
+          static_cast<std::size_t>(rec.partial.count), rec.ship_bytes);
+    }
+  }
+  // Every tree node answers its parent exactly once, even when it found
+  // nothing — an empty partial is still a reply on the wire.
+  nodes.try_emplace(ex.origin, make_partial(spec));
+  for (const auto& [child, parent] : ex.reply_edges) {
+    nodes.try_emplace(child, make_partial(spec));
+    nodes.try_emplace(parent, make_partial(spec));
+  }
+  // Reverse discovery order visits children before the parents that sent
+  // them work, so each node's partial is final when it ships upward.
+  for (auto it = ex.reply_edges.rbegin(); it != ex.reply_edges.rend(); ++it) {
+    const AggregatePartial& from = nodes.at(it->first);
+    const std::size_t bytes =
+        reply_wire_size(it->first, it->second, from.count, 0, 0, &from);
+    ex.bytes_shipped += bytes;
+    ex.reply_messages += frames_of(bytes, config_.reply_frame_bytes);
+    nodes.at(it->second).merge(from);
+    ++partials_merged;
+  }
+  ex.result.aggregate =
+      std::make_shared<const AggregatePartial>(std::move(nodes.at(ex.origin)));
+  if (ex.publish_metrics) {
+    publish_aggregation_metrics(partials_merged, elements_folded,
+                                shipall_bytes > ex.bytes_shipped
+                                    ? shipall_bytes - ex.bytes_shipped
+                                    : 0);
+  }
+}
+
 void SquidSystem::finalize_query(QueryExec& ex) const {
   QueryResult& result = ex.result;
+  if (ex.agg) finalize_aggregate(ex);
   result.complete = ex.complete;
   result.elements = std::move(ex.results);
-  result.stats.matches = result.elements.size();
+  result.stats.matches =
+      ex.agg ? result.aggregate->count : result.elements.size();
   result.stats.routing_nodes = ex.routing.size();
   result.stats.processing_nodes = ex.processing.size();
   result.stats.data_nodes = ex.data_nodes.size();
   result.stats.messages = ex.messages;
   result.stats.retries = ex.retries;
   result.stats.failed_clusters = ex.failed_clusters;
+  result.stats.bytes_shipped = ex.bytes_shipped;
+  result.stats.reply_messages = ex.reply_messages;
   result.timing = std::move(ex.timing);
   result.stats.critical_path_hops = critical_path_of(result.timing);
 #if SQUID_OBS_ENABLED
@@ -586,7 +731,7 @@ void SquidSystem::finalize_query(QueryExec& ex) const {
 std::shared_ptr<QueryExec> SquidSystem::start_exec(
     sim::Engine& engine, DeliveryMode mode, const keyword::Query& query,
     NodeId origin, bool count_only, bool want_trace, bool publish,
-    bool arm_guard) const {
+    bool arm_guard, const AggregateSpec* aggregate) const {
   SQUID_REQUIRE(ring_.contains(origin), "query origin is not a live node");
   auto exec = std::make_shared<QueryExec>();
   QueryExec& ex = *exec;
@@ -603,6 +748,12 @@ std::shared_ptr<QueryExec> SquidSystem::start_exec(
   ex.dispatch_budget = 64 * (ring_.size() + 8); // churn safety valve
   ex.count_only = count_only;
   ex.publish_metrics = publish;
+  if (aggregate != nullptr) {
+    ex.agg = *aggregate;
+    // The origin is the reply tree's root: pre-seeding it means the first
+    // hop away from it records a (child, origin) edge, never a self-edge.
+    ex.reply_seen.insert(origin);
+  }
   ex.routing.insert(origin);
   ex.started_at = engine.now();
 #if SQUID_OBS_ENABLED
@@ -652,9 +803,10 @@ void SquidSystem::begin_resolution(const std::shared_ptr<QueryExec>& exec,
       }
       if (leg.delivered) {
         ex.pay_leg(leg, r.dest, 0, span);
+        ex.note_reply_parent(r.dest, ex.origin);
         runtime.post(exec,
                      msg::ScanRequest{ex.id, r.dest, sfc::Segment{index, index},
-                                      /*covered=*/true, event, span});
+                                      /*covered=*/true, {}, 0, event, span});
       } else {
         ex.fail_leg(leg.resends, leg.penalty, 1, r.dest, 0, span);
       }
@@ -729,6 +881,104 @@ std::size_t SquidSystem::count(const keyword::Query& query,
   begin_resolution(exec, /*allow_point=*/false);
   drive_to_completion(engine, exec);
   return exec->count;
+}
+
+// --- Aggregation pushdown (DESIGN.md 4g) ------------------------------------
+
+void SquidSystem::validate_aggregate(const AggregateSpec& spec) const {
+  SQUID_REQUIRE(spec.kind != AggregateKind::kNone,
+                "aggregate spec needs a kind");
+  SQUID_REQUIRE(spec.dim < space_.dims(), "aggregate dimension out of range");
+  switch (spec.kind) {
+  case AggregateKind::kSum:
+  case AggregateKind::kMin:
+  case AggregateKind::kMax:
+  case AggregateKind::kTopK:
+    SQUID_REQUIRE(std::holds_alternative<keyword::NumericCodec>(
+                      space_.dimension(spec.dim)),
+                  "numeric aggregate over a non-numeric dimension");
+    break;
+  default:
+    break;
+  }
+  if (spec.kind == AggregateKind::kTopK)
+    SQUID_REQUIRE(spec.k >= 1, "top-k needs k >= 1");
+}
+
+QueryResult SquidSystem::query_aggregate(const keyword::Query& query,
+                                         const AggregateSpec& spec,
+                                         NodeId origin) const {
+  // Same planning as query() — identical routing, fault draws, and timing —
+  // only the scan sites fold instead of shipping. That makes pushdown-vs-
+  // ship-all comparisons (bench/abl_aggregation) apples to apples.
+  validate_aggregate(spec);
+  sim::Engine engine(fault_ ? fault_->now() : 0);
+  engine.set_fault_injector(fault_);
+  auto exec = start_exec(engine, DeliveryMode::kLockstep, query, origin,
+                         /*count_only=*/false, /*want_trace=*/trace_enabled_,
+                         /*publish=*/true, /*arm_guard=*/true, &spec);
+  begin_resolution(exec, /*allow_point=*/true);
+  drive_to_completion(engine, exec);
+  return std::move(exec->result);
+}
+
+QueryHandle SquidSystem::query_aggregate_async(const keyword::Query& query,
+                                               const AggregateSpec& spec,
+                                               NodeId origin,
+                                               sim::Engine& engine) const {
+  validate_aggregate(spec);
+  auto exec = start_exec(engine, DeliveryMode::kVirtualTime, query, origin,
+                         /*count_only=*/false, /*want_trace=*/trace_enabled_,
+                         /*publish=*/true, /*arm_guard=*/true, &spec);
+  begin_resolution(exec, /*allow_point=*/true);
+  return QueryHandle(exec);
+}
+
+std::uint64_t SquidSystem::query_count(const keyword::Query& query,
+                                       NodeId origin) const {
+  AggregateSpec spec;
+  spec.kind = AggregateKind::kCount;
+  return query_aggregate(query, spec, origin).aggregate->count;
+}
+
+double SquidSystem::query_sum(const keyword::Query& query, std::uint32_t dim,
+                              NodeId origin) const {
+  AggregateSpec spec;
+  spec.kind = AggregateKind::kSum;
+  spec.dim = dim;
+  return query_aggregate(query, spec, origin).aggregate->sum.value();
+}
+
+std::pair<std::optional<double>, std::optional<double>>
+SquidSystem::query_min_max(const keyword::Query& query, std::uint32_t dim,
+                           NodeId origin) const {
+  AggregateSpec spec;
+  spec.kind = AggregateKind::kMin; // the partial tracks both extremes
+  spec.dim = dim;
+  const QueryResult result = query_aggregate(query, spec, origin);
+  if (!result.aggregate->has_extremes) return {std::nullopt, std::nullopt};
+  return {result.aggregate->min, result.aggregate->max};
+}
+
+std::vector<GroupCount> SquidSystem::query_group_by(const keyword::Query& query,
+                                                    std::uint32_t dim,
+                                                    NodeId origin) const {
+  AggregateSpec spec;
+  spec.kind = AggregateKind::kGroupBy;
+  spec.dim = dim;
+  return query_aggregate(query, spec, origin).aggregate->groups;
+}
+
+std::vector<TopEntry> SquidSystem::query_top_k(const keyword::Query& query,
+                                               std::uint32_t dim,
+                                               std::uint32_t k, NodeId origin,
+                                               bool largest) const {
+  AggregateSpec spec;
+  spec.kind = AggregateKind::kTopK;
+  spec.dim = dim;
+  spec.k = k;
+  spec.largest = largest;
+  return query_aggregate(query, spec, origin).aggregate->top;
 }
 
 QueryResult SquidSystem::query_centralized(const keyword::Query& query,

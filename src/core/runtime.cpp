@@ -98,6 +98,17 @@ void NodeRuntime::post(const std::shared_ptr<QueryExec>& exec,
                        msg::Message message) const {
   QueryExec& ex = *exec;
   sim::Engine& engine = *ex.engine;
+  if (auto* scan = std::get_if<msg::ScanRequest>(&message); scan && ex.agg) {
+    // Aggregate pushdown: stamp the spec so the scan site folds instead of
+    // shipping, and assign the scan's record slot in post order (identical
+    // across delivery modes; kParallel allocates from its own scan deque,
+    // which is filled in the same post order).
+    scan->agg = *ex.agg;
+    if (ex.mode != DeliveryMode::kParallel) {
+      scan->slot = static_cast<std::uint32_t>(ex.agg_scans.size());
+      ex.agg_scans.emplace_back();
+    }
+  }
   if (ex.mode == DeliveryMode::kParallel) {
     // Scans are order-insensitive store sweeps: hand them off to the shard
     // owning the scanned node. Everything else is planning and stays on the
@@ -146,8 +157,7 @@ void NodeRuntime::deliver(const std::shared_ptr<QueryExec>& exec,
                               d.span);
     }
     void operator()(const msg::ScanRequest& s) const {
-      rt.sys_->perform_scan(*exec, s.at, s.segment, s.covered, s.event,
-                            s.span);
+      rt.sys_->perform_scan(*exec, s);
     }
     void operator()(const msg::Reply&) const {
       rt.sys_->finalize_query(*exec);

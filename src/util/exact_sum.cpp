@@ -1,0 +1,149 @@
+#include "squid/util/exact_sum.hpp"
+
+#include <cmath>
+
+#include "squid/util/require.hpp"
+
+namespace squid {
+namespace {
+
+/// Bit `index` of a two's-complement magnitude array.
+inline bool bit_at(const std::array<std::uint64_t, ExactSum::kLimbs>& limbs,
+                   int index) noexcept {
+  if (index < 0) return false;
+  return (limbs[static_cast<std::size_t>(index) / 64] >>
+          (static_cast<std::size_t>(index) % 64)) & 1u;
+}
+
+/// True if any bit strictly below `index` is set.
+inline bool any_below(const std::array<std::uint64_t, ExactSum::kLimbs>& limbs,
+                      int index) noexcept {
+  if (index <= 0) return false;
+  const std::size_t limb = static_cast<std::size_t>(index) / 64;
+  const unsigned within = static_cast<unsigned>(index) % 64;
+  if (within != 0 &&
+      (limbs[limb] & ((std::uint64_t{1} << within) - 1)) != 0)
+    return true;
+  for (std::size_t i = 0; i < limb; ++i)
+    if (limbs[i] != 0) return true;
+  return false;
+}
+
+} // namespace
+
+void ExactSum::add(double v) {
+  SQUID_REQUIRE(std::isfinite(v), "ExactSum::add requires a finite value");
+  if (v == 0.0) return;
+  int exp = 0;
+  const double frac = std::frexp(std::fabs(v), &exp); // frac in [0.5, 1)
+  const auto mantissa =
+      static_cast<std::uint64_t>(std::ldexp(frac, 53)); // in [2^52, 2^53)
+  // v = +/- mantissa * 2^(exp - 53); the mantissa LSB lands at fixed-point
+  // bit (exp - 53) + kFracBits, which is >= 26 even for the smallest
+  // subnormal and <= 2123 for the largest double.
+  accumulate(mantissa, exp - 53 + kFracBits, v < 0.0);
+}
+
+void ExactSum::accumulate(std::uint64_t mantissa, int bit_offset,
+                          bool negative) noexcept {
+  const std::size_t limb = static_cast<std::size_t>(bit_offset) / 64;
+  const unsigned shift = static_cast<unsigned>(bit_offset) % 64;
+  const unsigned __int128 wide = static_cast<unsigned __int128>(mantissa)
+                                 << shift;
+  const std::uint64_t addend[2] = {static_cast<std::uint64_t>(wide),
+                                   static_cast<std::uint64_t>(wide >> 64)};
+  if (!negative) {
+    std::uint64_t carry = 0;
+    for (std::size_t i = limb; i < kLimbs; ++i) {
+      const std::uint64_t a = i - limb < 2 ? addend[i - limb] : 0;
+      // Both addend words must be visited even when the first is zero (a
+      // shifted mantissa can land entirely in the second word); after that,
+      // stop as soon as the carry dies out.
+      if (a == 0 && carry == 0 && i - limb >= 2) break;
+      const unsigned __int128 acc =
+          static_cast<unsigned __int128>(limbs_[i]) + a + carry;
+      limbs_[i] = static_cast<std::uint64_t>(acc);
+      carry = static_cast<std::uint64_t>(acc >> 64);
+    }
+  } else {
+    std::uint64_t borrow = 0;
+    for (std::size_t i = limb; i < kLimbs; ++i) {
+      const std::uint64_t a = i - limb < 2 ? addend[i - limb] : 0;
+      if (a == 0 && borrow == 0 && i - limb >= 2) break;
+      const unsigned __int128 take = static_cast<unsigned __int128>(a) + borrow;
+      const unsigned __int128 have = limbs_[i];
+      limbs_[i] = static_cast<std::uint64_t>(have - take);
+      borrow = have < take ? 1 : 0;
+    }
+  }
+}
+
+void ExactSum::merge(const ExactSum& other) noexcept {
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < kLimbs; ++i) {
+    const unsigned __int128 acc = static_cast<unsigned __int128>(limbs_[i]) +
+                                  other.limbs_[i] + carry;
+    limbs_[i] = static_cast<std::uint64_t>(acc);
+    carry = static_cast<std::uint64_t>(acc >> 64);
+  }
+}
+
+bool ExactSum::is_zero() const noexcept {
+  for (const std::uint64_t limb : limbs_)
+    if (limb != 0) return false;
+  return true;
+}
+
+double ExactSum::value() const noexcept {
+  const bool negative = (limbs_[kLimbs - 1] >> 63) != 0;
+  std::array<std::uint64_t, kLimbs> mag = limbs_;
+  if (negative) {
+    // Two's-complement negation to get the magnitude.
+    std::uint64_t carry = 1;
+    for (std::size_t i = 0; i < kLimbs; ++i) {
+      const unsigned __int128 acc =
+          static_cast<unsigned __int128>(~mag[i]) + carry;
+      mag[i] = static_cast<std::uint64_t>(acc);
+      carry = static_cast<std::uint64_t>(acc >> 64);
+    }
+  }
+  int high = -1;
+  for (std::size_t i = kLimbs; i-- > 0;) {
+    if (mag[i] != 0) {
+      high = static_cast<int>(i) * 64 + 63;
+      std::uint64_t word = mag[i];
+      while ((word >> 63) == 0) {
+        word <<= 1;
+        --high;
+      }
+      break;
+    }
+  }
+  if (high < 0) return 0.0;
+
+  const int e_top = high - kFracBits; // value in [2^e_top, 2^(e_top+1))
+  // Normal results take the full 53 bits; subnormal results take however
+  // many bits remain above 2^-1074. take == 0 still rounds correctly (the
+  // whole value is round/sticky material below the representable range).
+  int take = e_top >= -1022 ? 53 : e_top + 1075;
+  if (take < 0) return negative ? -0.0 : 0.0;
+
+  std::uint64_t mantissa = 0;
+  for (int i = 0; i < take; ++i)
+    mantissa = (mantissa << 1) | (bit_at(mag, high - i) ? 1u : 0u);
+  const int round_pos = high - take;
+  const bool round = bit_at(mag, round_pos);
+  const bool sticky = any_below(mag, round_pos);
+  int exp2 = e_top - take + 1;
+  if (round && (sticky || (mantissa & 1u))) {
+    ++mantissa;
+    if (take > 0 && (mantissa >> take) != 0) {
+      mantissa >>= 1;
+      ++exp2;
+    }
+  }
+  const double result = std::ldexp(static_cast<double>(mantissa), exp2);
+  return negative ? -result : result;
+}
+
+} // namespace squid

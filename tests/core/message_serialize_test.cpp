@@ -5,9 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "squid/core/messages.hpp"
@@ -64,6 +66,11 @@ msg::ScanRequest sample_scan() {
   s.at = 99;
   s.segment = {kHuge / 3, kHuge / 2};
   s.covered = true;
+  s.agg.kind = AggregateKind::kTopK;
+  s.agg.dim = 1;
+  s.agg.k = 8;
+  s.agg.largest = false;
+  s.slot = 41;
   s.event = 0;
   s.span = -1;
   return s;
@@ -78,6 +85,35 @@ msg::Reply sample_reply() {
   r.count = 1234;
   r.elements = {DataElement{"alpha", {"ab", "cd"}},
                 DataElement{"with space", {"", "x y z"}}};
+  return r;
+}
+
+/// A reply carrying an aggregate partial with every field populated —
+/// non-trivial ExactSum limbs, extremes, groups, and a sorted top list.
+msg::Reply sample_aggregate_reply() {
+  AggregateSpec spec;
+  spec.kind = AggregateKind::kTopK;
+  spec.dim = 1;
+  spec.k = 3;
+  spec.largest = true;
+  AggregatePartial partial = make_partial(spec);
+  partial.fold(DataElement{"a", {std::string("x"), 0.1}});
+  partial.fold(DataElement{"b", {std::string("y"), -1e300}});
+  partial.fold(DataElement{"c", {std::string("z"), 5e-324}});
+  partial.fold(DataElement{"d", {std::string("w"), 0.1}}); // value tie
+  partial.sum.add(0.2); // desync sum from the folds: arbitrary limbs ship
+  partial.has_extremes = true;
+  partial.min = -1e300;
+  partial.max = 0.1;
+  partial.groups = {{"g/a", 2}, {"g/b", 7}};
+
+  msg::Reply r;
+  r.query = 9;
+  r.from = kHuge - 2;
+  r.to = 1;
+  r.complete = true;
+  r.count = partial.count;
+  r.aggregate = std::make_shared<const AggregatePartial>(std::move(partial));
   return r;
 }
 
@@ -99,6 +135,83 @@ TEST(MessageSerialize, ScanRequestRoundTrips) {
 TEST(MessageSerialize, ReplyRoundTrips) {
   const msg::Reply r = sample_reply();
   EXPECT_EQ(round_trip(r), r);
+}
+
+TEST(MessageSerialize, AggregateReplyRoundTripsBitExactly) {
+  const msg::Reply r = sample_aggregate_reply();
+  const msg::Reply back = round_trip(r);
+  EXPECT_EQ(back, r); // Reply::operator== compares the partial by value
+  ASSERT_NE(back.aggregate, nullptr);
+  // The ExactSum travels limb-for-limb: the decoded accumulator must carry
+  // the identical 2304-bit state, not just a close double.
+  EXPECT_EQ(back.aggregate->sum, r.aggregate->sum);
+  EXPECT_EQ(back.aggregate->top, r.aggregate->top);
+  EXPECT_EQ(back.aggregate->groups, r.aggregate->groups);
+}
+
+TEST(MessageSerialize, EveryAggregateKindRoundTripsOnScanAndReply) {
+  for (AggregateKind kind :
+       {AggregateKind::kNone, AggregateKind::kCount, AggregateKind::kSum,
+        AggregateKind::kMin, AggregateKind::kMax, AggregateKind::kGroupBy,
+        AggregateKind::kTopK}) {
+    msg::ScanRequest s = sample_scan();
+    s.agg = AggregateSpec{};
+    s.agg.kind = kind;
+    if (kind == AggregateKind::kTopK) s.agg.k = 2;
+    EXPECT_EQ(round_trip(s), s) << aggregate_kind_name(kind);
+
+    AggregatePartial partial = make_partial(s.agg);
+    if (kind == AggregateKind::kSum) partial.sum.add(-0.25);
+    msg::Reply r;
+    r.query = 3;
+    r.aggregate = std::make_shared<const AggregatePartial>(std::move(partial));
+    EXPECT_EQ(round_trip(r), r) << aggregate_kind_name(kind);
+  }
+}
+
+TEST(MessageSerialize, SaveReportsTheExactEncodedSizeAndLoadConsumesIt) {
+  const std::vector<msg::Message> all = {
+      msg::Message{sample_resolve()}, msg::Message{sample_dispatch()},
+      msg::Message{sample_scan()}, msg::Message{sample_reply()},
+      msg::Message{sample_aggregate_reply()}};
+  for (const msg::Message& message : all) {
+    std::ostringstream out;
+    const std::size_t saved = save_message(message, out);
+    EXPECT_EQ(saved, out.str().size()) << msg::type_name(message);
+    EXPECT_EQ(wire_size(message), saved) << msg::type_name(message);
+    std::istringstream in(out.str());
+    std::size_t consumed = 0;
+    (void)load_message(in, &consumed);
+    EXPECT_EQ(consumed, saved) << msg::type_name(message);
+  }
+}
+
+TEST(MessageSerialize, CorruptAggregateFramesAreRejected) {
+  // Out-of-range kind byte.
+  {
+    std::string text = encode(msg::Message{sample_scan()});
+    const std::size_t pos = text.find(" 6 1 8 0 "); // kTopK spec: kind 6
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 3, " 9 ");
+    EXPECT_THROW(decode(text), std::invalid_argument);
+  }
+  // Group keys must arrive strictly ascending (the canonical sorted form).
+  {
+    msg::Reply r = sample_aggregate_reply();
+    AggregatePartial tampered = *r.aggregate;
+    std::swap(tampered.groups[0], tampered.groups[1]);
+    r.aggregate = std::make_shared<const AggregatePartial>(std::move(tampered));
+    EXPECT_THROW(decode(encode(msg::Message{r})), std::invalid_argument);
+  }
+  // Top entries must respect the spec's total order.
+  {
+    msg::Reply r = sample_aggregate_reply();
+    AggregatePartial tampered = *r.aggregate;
+    ASSERT_GE(tampered.top.size(), 2u);
+    std::swap(tampered.top.front(), tampered.top.back());
+    r.aggregate = std::make_shared<const AggregatePartial>(std::move(tampered));
+    EXPECT_THROW(decode(encode(msg::Message{r})), std::invalid_argument);
+  }
 }
 
 TEST(MessageSerialize, EmptyAggregatesAndElementListsRoundTrip) {
@@ -131,7 +244,8 @@ TEST(MessageSerialize, DestinationAndTypeNameMatchTheAlternative) {
 TEST(MessageSerialize, EveryTruncationFailsLoudly) {
   const std::vector<msg::Message> all = {
       msg::Message{sample_resolve()}, msg::Message{sample_dispatch()},
-      msg::Message{sample_scan()}, msg::Message{sample_reply()}};
+      msg::Message{sample_scan()}, msg::Message{sample_reply()},
+      msg::Message{sample_aggregate_reply()}};
   for (const msg::Message& message : all) {
     const std::string full = encode(message);
     // Drop whitespace-delimited tokens from the tail one at a time; every

@@ -172,6 +172,10 @@ void expect_identical(const QueryResult& par, const QueryResult& ref,
       << context;
   EXPECT_EQ(par.stats.retries, ref.stats.retries) << context;
   EXPECT_EQ(par.stats.failed_clusters, ref.stats.failed_clusters) << context;
+  // Reply-path accounting is a sum of per-scan measured terms, so it must
+  // be mode-identical too.
+  EXPECT_EQ(par.stats.bytes_shipped, ref.stats.bytes_shipped) << context;
+  EXPECT_EQ(par.stats.reply_messages, ref.stats.reply_messages) << context;
   ASSERT_EQ(par.timing.size(), ref.timing.size()) << context;
   for (std::size_t i = 0; i < par.timing.size(); ++i) {
     EXPECT_EQ(par.timing[i].parent, ref.timing[i].parent)
