@@ -1,0 +1,163 @@
+// Flash-crowd hotspot detection panel (DESIGN.md 4h, EXPERIMENTS.md):
+// attach the virtual-time telemetry pipeline to a paper-scale fixture,
+// drive a FlashCrowdWorkload through it — baseline Q1/Q2 hum, then a
+// window where most queries converge on one keyword prefix — and measure
+// what the observability layer sees: per-epoch load imbalance (Gini/CV/
+// max-mean over the ring-space heatmap) before, during, and after the
+// crowd, and the online detector's latency from workload onset to its
+// first hotspot.onset event. Writes BENCH_hotspot.json (the raw heatmap
+// and imbalance exports are available through `squid_cli heatmap`).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/fixture.hpp"
+#include "squid/obs/export.hpp"
+#include "squid/obs/hotspot.hpp"
+#include "squid/obs/telemetry.hpp"
+#include "squid/stats/summary.hpp"
+
+namespace {
+
+using namespace squid;
+using namespace squid::bench;
+
+constexpr sim::Time kEpochTicks = 256; // lockstep queries fit well inside
+constexpr std::uint64_t kEpochs = 24;
+constexpr std::size_t kQueriesPerEpoch = 32;
+
+double mean_gini(const std::vector<obs::ImbalanceRow>& rows,
+                 std::uint64_t lo, std::uint64_t hi) {
+  double sum = 0;
+  std::size_t n = 0;
+  for (const auto& row : rows)
+    if (row.epoch >= lo && row.epoch < hi) {
+      sum += row.gini;
+      ++n;
+    }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  if constexpr (!obs::kEnabled) {
+    std::printf("ext_hotspot: observability compiled out (SQUID_OBS=OFF); "
+                "nothing to measure\n");
+    return 0;
+  }
+
+  const ScalePoint scale = paper_scales(flags)[0];
+  KeywordFixture fx = build_keyword_fixture(2, scale, flags.seed);
+
+  workload::FlashCrowdConfig crowd;
+  crowd.onset_epoch = 8;
+  crowd.end_epoch = 16;
+  const workload::FlashCrowdWorkload wl(*fx.corpus, crowd);
+
+  obs::EpochSampler sampler(kEpochTicks);
+  fx.sys->set_telemetry(&sampler);
+
+  Rng rng(flags.seed ^ 0x40075);
+  for (std::uint64_t epoch = 0; epoch < kEpochs; ++epoch) {
+    for (std::size_t q = 0; q < kQueriesPerEpoch; ++q) {
+      const keyword::Query query = wl.draw(epoch, rng);
+      (void)fx.sys->query(query, fx.sys->ring().random_node(rng));
+    }
+    sampler.advance_to(static_cast<sim::Time>(epoch + 1) * kEpochTicks);
+  }
+  fx.sys->set_telemetry(nullptr);
+
+  const obs::LoadSeries series = sampler.finish();
+
+  // Calibrate the detector's absolute floor on the pre-crowd hum: shared
+  // keyword prefixes concentrate baseline routes on cluster entry nodes, so
+  // the busy tail of normal traffic sits far above the default idle-ring
+  // floor. Everything past the floor is the EWMA ratio test's job.
+  Summary hum;
+  for (const auto& sample : series.epochs)
+    if (sample.epoch < crowd.onset_epoch)
+      for (const auto& [node, load] : sample.nodes)
+        hum.add(static_cast<double>(load.total()));
+  obs::HotspotConfig cfg;
+  cfg.min_load =
+      std::max(cfg.min_load, 2.0 * hum.percentile(95));
+  obs::HotspotDetector detector(cfg);
+  detector.observe_all(series);
+  const auto imbalance = obs::derive_imbalance(series);
+
+  const auto latency = detector.detection_latency(crowd.onset_epoch);
+  const double gini_before = mean_gini(imbalance, 0, crowd.onset_epoch);
+  const double gini_during =
+      mean_gini(imbalance, crowd.onset_epoch, crowd.end_epoch);
+  const double gini_after = mean_gini(imbalance, crowd.end_epoch, kEpochs);
+
+  Table table({"phase", "epochs", "mean gini"});
+  table.add_row({"before", "0-7", Table::cell(gini_before)});
+  table.add_row({"during", "8-15", Table::cell(gini_during)});
+  table.add_row({"after", "16-23", Table::cell(gini_after)});
+  emit("Flash crowd: ring-space load imbalance by phase", table, flags);
+
+  std::printf("detection latency: ");
+  if (latency.has_value())
+    std::printf("%llu epoch(s) after onset\n",
+                static_cast<unsigned long long>(*latency));
+  else
+    std::printf("crowd not detected\n");
+  std::printf("hotspot events: %zu (onsets+clears), active at end: %zu\n",
+              detector.events().size(), detector.active());
+
+  // Top hot nodes with keyword attribution: a node's stored region starts
+  // at its own ring position, so decoding that position names the keyword
+  // prefix the crowd converged on.
+  for (const auto& hot : detector.top_hot(3)) {
+    const auto tokens =
+        fx.sys->space().decode(fx.sys->curve().point_of(hot.node));
+    std::string label;
+    for (const auto& t : tokens) {
+      if (!label.empty()) label += ",";
+      label += keyword::to_string(t);
+    }
+    std::printf("  hot node load=%.0f baseline=%.1f keywords~(%s)%s\n",
+                hot.load, hot.baseline, label.c_str(),
+                hot.hot ? " [hot]" : "");
+  }
+
+  std::string json = "{\n";
+  json += "  \"onset_epoch\": " + std::to_string(crowd.onset_epoch) + ",\n";
+  json += "  \"end_epoch\": " + std::to_string(crowd.end_epoch) + ",\n";
+  json += "  \"detection_latency_epochs\": " +
+          (latency.has_value() ? std::to_string(*latency)
+                               : std::string("null")) +
+          ",\n";
+  json += "  \"hotspot_events\": " + std::to_string(detector.events().size()) +
+          ",\n";
+  json += "  \"active_at_end\": " + std::to_string(detector.active()) + ",\n";
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "  \"gini_before\": %.4f,\n  \"gini_during\": %.4f,\n"
+                "  \"gini_after\": %.4f,\n",
+                gini_before, gini_during, gini_after);
+  json += buf;
+  json += "  \"gini_series\": [";
+  for (std::size_t i = 0; i < imbalance.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%s%.4f", i ? ", " : "",
+                  imbalance[i].gini);
+    json += buf;
+  }
+  json += "]\n}\n";
+
+  const std::string out = "BENCH_hotspot.json";
+  if (FILE* f = std::fopen(out.c_str(), "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  maybe_dump_metrics(flags);
+  return 0;
+}

@@ -18,6 +18,7 @@
 #include "squid/core/parallel.hpp"
 #include "squid/core/system.hpp"
 #include "squid/obs/metrics.hpp"
+#include "squid/obs/telemetry.hpp"
 #include "squid/obs/trace.hpp"
 #include "squid/workload/corpus.hpp"
 
@@ -59,6 +60,40 @@ void BM_QueryTracingOn(benchmark::State& state) {
     benchmark::DoNotOptimize(
         world.sys->query(q, world.sys->ring().random_node(world.rng)));
   }
+}
+
+/// Epoch-sampler overhead guard (DESIGN.md 4h): the same query sweep with
+/// no sampler attached vs. one attached. The delta is the telemetry
+/// pipeline's whole per-query price — scratch allocation, the passive
+/// record() appends, and one mutex-guarded flush at finalize — and must
+/// stay under the <2% budget. Present in both builds: under -DSQUID_OBS=OFF
+/// the sampler records nothing and every engine site is a dead null check,
+/// so On and Off must be indistinguishable there.
+void BM_QuerySamplerOff(benchmark::State& state) {
+  World world = make_world(static_cast<std::size_t>(state.range(0)), 20000);
+  world.sys->set_tracing(false);
+  const keyword::Query q = world.corpus->q1(2, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        world.sys->query(q, world.sys->ring().random_node(world.rng)));
+  }
+}
+
+void BM_QuerySamplerOn(benchmark::State& state) {
+  World world = make_world(static_cast<std::size_t>(state.range(0)), 20000);
+  world.sys->set_tracing(false);
+  obs::EpochSampler sampler(/*epoch_ticks=*/256);
+  world.sys->set_telemetry(&sampler);
+  const keyword::Query q = world.corpus->q1(2, true);
+  sim::Time now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        world.sys->query(q, world.sys->ring().random_node(world.rng)));
+    // Advance the epoch clock as a harness would; boundary crossings take
+    // the windowed registry snapshot, which is part of the honest price.
+    sampler.advance_to(now += 16);
+  }
+  world.sys->set_telemetry(nullptr);
 }
 
 void BM_CounterAdd(benchmark::State& state) {
@@ -125,6 +160,8 @@ BENCHMARK(BM_QueryTracingOff)->Arg(1000)->Arg(5000)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_QueryTracingOn)->Arg(1000)->Arg(5000)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_QuerySamplerOff)->Arg(1000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_QuerySamplerOn)->Arg(1000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CounterAdd);
 BENCHMARK(BM_HistogramObserve);
 BENCHMARK(BM_QueryParallelShardCounters)->Arg(2)->Arg(4)

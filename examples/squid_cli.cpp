@@ -13,6 +13,13 @@
 // Reads commands from stdin (scriptable: `./squid_cli < commands.txt`).
 // With --trace-out=FILE, every `explain` additionally writes the span
 // trace as Chrome/Perfetto trace_event JSON to FILE.
+//
+// The session also carries a virtual-time telemetry sampler
+// (obs/telemetry.hpp): every publish and query records per-node load, the
+// session clock advances by each query's critical path, and the `heatmap`
+// command reports the accumulated ring-space load by epoch —
+// with --heatmap-out/--series-out writing the full exports
+// (.json or .csv by extension; --epoch-ticks sets the epoch width).
 
 #include <fstream>
 #include <iostream>
@@ -41,6 +48,7 @@ void print_help() {
       "  unpublish <name> <kw1> <kw2>\n"
       "  query <text>               e.g. query (comp*, a-m)\n"
       "  explain <text>             run a query and print its span trace\n"
+      "  heatmap                    per-epoch ring-space load + imbalance\n"
       "  loads                      load distribution summary\n"
       "  stats                      system counters\n"
       "  save <file> | load <file>  snapshot to/from disk\n"
@@ -48,20 +56,31 @@ void print_help() {
 }
 
 void print_usage(const char* argv0) {
-  std::cout << "usage: " << argv0 << " [--help] [--trace-out=FILE]\n"
+  std::cout << "usage: " << argv0
+            << " [--help] [--trace-out=FILE] [--epoch-ticks=N]\n"
+            << "                 [--heatmap-out=FILE] [--series-out=FILE]\n"
             << "\nInteractive shell over a simulated Squid deployment;\n"
             << "reads commands from stdin, one per line.\n\n";
   print_help();
   std::cout << "\nflags:\n"
-            << "  --help            print this message and exit\n"
-            << "  --trace-out=FILE  also write each `explain` trace as\n"
-            << "                    Perfetto trace_event JSON to FILE\n";
+            << "  --help             print this message and exit\n"
+            << "  --trace-out=FILE   also write each `explain` trace as\n"
+            << "                     Perfetto trace_event JSON to FILE\n"
+            << "  --epoch-ticks=N    telemetry epoch width in virtual ticks\n"
+            << "                     (default 64)\n"
+            << "  --heatmap-out=FILE `heatmap` writes the epoch x node load\n"
+            << "                     heatmap here (.json or .csv)\n"
+            << "  --series-out=FILE  `heatmap` writes the per-epoch imbalance\n"
+            << "                     series here (.json or .csv)\n";
 }
 
 } // namespace
 
 int main(int argc, char** argv) {
   std::string trace_out;
+  std::string heatmap_out;
+  std::string series_out;
+  sim::Time epoch_ticks = 64;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -72,11 +91,38 @@ int main(int argc, char** argv) {
       trace_out = arg.substr(12);
       continue;
     }
+    if (arg.rfind("--heatmap-out=", 0) == 0) {
+      heatmap_out = arg.substr(14);
+      continue;
+    }
+    if (arg.rfind("--series-out=", 0) == 0) {
+      series_out = arg.substr(13);
+      continue;
+    }
+    if (arg.rfind("--epoch-ticks=", 0) == 0) {
+      epoch_ticks = std::max<sim::Time>(1, std::stoull(arg.substr(14)));
+      continue;
+    }
     std::cerr << "unknown flag '" << arg << "' — try --help\n";
     return 2;
   }
 
   std::unique_ptr<core::SquidSystem> sys;
+  // Session telemetry: one sampler for the shell's lifetime; the virtual
+  // clock advances by each query's critical path, so epochs group the
+  // session's activity in the order it happened.
+  std::optional<obs::EpochSampler> sampler;
+  sim::Time session_clock = 0;
+  const auto attach_sampler = [&] {
+    sampler.emplace(epoch_ticks);
+    session_clock = 0;
+    sys->set_telemetry(&*sampler);
+  };
+  const auto advance_clock = [&](sim::Time hops) {
+    if (!sampler.has_value()) return;
+    session_clock += std::max<sim::Time>(1, hops);
+    sampler->advance_to(session_clock);
+  };
   Rng rng(1);
   std::cout << "squid shell — 2D keyword space, 'help' for commands\n";
 
@@ -97,6 +143,7 @@ int main(int argc, char** argv) {
         rng.reseed(seed);
         sys = std::make_unique<core::SquidSystem>(make_space());
         sys->build_network(std::max<std::size_t>(1, nodes), rng);
+        attach_sampler();
         std::cout << "network of " << sys->ring().size() << " peers ready\n";
       } else if (!sys && command != "load") {
         std::cout << "no network yet — run 'build <nodes>' first\n";
@@ -118,6 +165,7 @@ int main(int argc, char** argv) {
         std::string text;
         std::getline(args, text);
         const auto result = sys->query(text, rng);
+        advance_clock(static_cast<sim::Time>(result.stats.critical_path_hops));
         std::cout << result.stats.matches << " matches ("
                   << result.stats.messages << " msgs, "
                   << result.stats.processing_nodes << " peers, depth "
@@ -135,6 +183,7 @@ int main(int argc, char** argv) {
         sys->set_tracing(true);
         const auto result = sys->query(text, rng);
         sys->set_tracing(was_tracing);
+        advance_clock(static_cast<sim::Time>(result.stats.critical_path_hops));
         if (!result.trace) {
           std::cout << "no trace recorded\n";
           continue;
@@ -151,6 +200,36 @@ int main(int argc, char** argv) {
           } else {
             std::cout << "cannot write " << trace_out << '\n';
           }
+        }
+      } else if (command == "heatmap") {
+        if (!obs::kEnabled) {
+          std::cout << "telemetry unavailable: built with -DSQUID_OBS=OFF\n";
+          continue;
+        }
+        if (!sampler.has_value()) {
+          std::cout << "no telemetry yet — run 'build <nodes>' first\n";
+          continue;
+        }
+        const obs::LoadSeries series = sampler->finish();
+        const auto imbalance = obs::derive_imbalance(series);
+        std::cout << series.epochs.size() << " epoch(s) of "
+                  << series.epoch_ticks << " ticks\n";
+        for (const auto& row : imbalance) {
+          std::cout << "  epoch " << row.epoch << ": load " << row.total
+                    << " over " << row.nodes << " peer(s), gini " << row.gini
+                    << ", max/mean " << row.max_over_mean << '\n';
+        }
+        if (!heatmap_out.empty()) {
+          std::cout << (obs::dump_heatmap(series, heatmap_out)
+                            ? "heatmap written to " + heatmap_out
+                            : "cannot write " + heatmap_out)
+                    << '\n';
+        }
+        if (!series_out.empty()) {
+          std::cout << (obs::dump_series(series, series_out)
+                            ? "series written to " + series_out
+                            : "cannot write " + series_out)
+                    << '\n';
         }
       } else if (command == "loads") {
         Summary loads;
@@ -183,6 +262,7 @@ int main(int argc, char** argv) {
         }
         sys = std::make_unique<core::SquidSystem>(make_space());
         core::load_snapshot(*sys, in);
+        attach_sampler();
         std::cout << "restored " << sys->ring().size() << " peers, "
                   << sys->element_count() << " elements\n";
       } else {

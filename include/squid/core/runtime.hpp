@@ -42,6 +42,7 @@
 #include "squid/core/messages.hpp"
 #include "squid/core/types.hpp"
 #include "squid/obs/metrics.hpp"
+#include "squid/obs/telemetry.hpp"
 #include "squid/obs/trace.hpp"
 #include "squid/sfc/types.hpp"
 #include "squid/sim/engine.hpp"
@@ -161,8 +162,15 @@ struct QueryExec {
   /// Storage + pointer: non-null only while this query records a trace.
   std::optional<obs::TraceRecorder> recorder;
   obs::TraceRecorder* trace = nullptr;
+  /// Storage + pointer: non-null only while an EpochSampler is attached to
+  /// the system (set_telemetry). Recording sites append load events here —
+  /// purely passive scratch, flushed once at finalize — so with no sampler
+  /// (or obs compiled out) every site is a dead null check.
+  std::optional<obs::QueryTelemetry> telemetry_store;
+  obs::QueryTelemetry* telemetry = nullptr;
 #else
   static constexpr obs::TraceRecorder* trace = nullptr;
+  static constexpr obs::QueryTelemetry* telemetry = nullptr;
 #endif
   std::int32_t root_span = -1;
   /// Safety valve for inconsistent rings (heavy churn): a real query would

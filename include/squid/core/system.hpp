@@ -264,6 +264,18 @@ public:
   void set_tracing(bool on) noexcept;
   bool tracing() const noexcept { return trace_enabled_; }
 
+  /// Attach (or detach, with nullptr) an epoch sampler (obs/telemetry.hpp):
+  /// every query then accumulates per-node load events in private scratch
+  /// and flushes them into the sampler at finalize; publish sites record
+  /// directly at the sampler's current virtual time. Recording is purely
+  /// passive — results, QueryStats, traces, and fault RNG streams are
+  /// bit-identical with or without a sampler (the telemetry differential
+  /// lock). Not owned; must outlive its use. Stamps the sampler's id_bits
+  /// from the curve so heatmap positions normalize. No-op with the
+  /// observability layer compiled out.
+  void set_telemetry(obs::EpochSampler* sampler) noexcept;
+  obs::EpochSampler* telemetry() const noexcept { return telemetry_; }
+
   // --- Fault injection (sim/fault.hpp, docs/FAULT_MODEL.md) -----------------
 
   /// Attach (or detach, with nullptr) a fault injector: every query message
@@ -404,6 +416,9 @@ private:
   /// Fault injector consulted by every query message leg; null = no faults
   /// (the default, and the zero-overhead path).
   sim::FaultInjector* fault_ = nullptr;
+  /// Epoch sampler receiving per-node load telemetry; null = no telemetry
+  /// (the default — every recording site is then a dead null check).
+  obs::EpochSampler* telemetry_ = nullptr;
   /// Per-peer memory of owners learned from aggregation replies:
   /// peer -> (cluster level, prefix) -> owner. Only the dispatching peer's
   /// own entries are consulted (no global knowledge leaks in).

@@ -8,13 +8,26 @@
 //   snapshot, the machine-readable sidecar the bench fixtures emit.
 // - print_span_tree: human-oriented rendering with per-subtree cost
 //   rollups; backs `squid_cli explain`.
+// - write_heatmap_csv / write_heatmap_json: the EpochSampler's LoadSeries
+//   as a ring-space heatmap — node position (normalized index-space
+//   coordinate) x epoch -> per-component load. Feed the CSV straight into
+//   a pivot/heatmap plot.
+// - derive_imbalance + write_series_csv / write_series_json: per-epoch
+//   imbalance metrics (Gini, CV, max/mean, p99/mean via stats Summary)
+//   over the same series; JSON also carries the windowed counter deltas.
+// - write_load_perfetto: the series as Perfetto counter tracks ("ph":"C",
+//   one track per node) with hotspot onset/clear instants ("ph":"i")
+//   overlaid, so load and alarms line up on one timeline.
 
 #pragma once
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
+#include "squid/obs/hotspot.hpp"
 #include "squid/obs/metrics.hpp"
+#include "squid/obs/telemetry.hpp"
 #include "squid/obs/trace.hpp"
 
 namespace squid::obs {
@@ -38,5 +51,53 @@ bool dump_metrics(const Registry& registry, const std::string& path);
 /// aggregate lines (in brackets) roll up messages, keys scanned, and
 /// matches over the whole subtree.
 void print_span_tree(const Trace& trace, std::ostream& out);
+
+/// Ring-space load heatmap, one CSV row per (epoch, node) with load:
+/// epoch,node,position,scan_hits,routes_through,publishes,cache_hits,
+/// replies_forwarded,total. `position` is the node id normalized into
+/// [0,1) by the series' id_bits (0 when id_bits is unknown).
+void write_heatmap_csv(const LoadSeries& series, std::ostream& out);
+
+/// Same heatmap as JSON: {"epoch_ticks","id_bits","epochs":[{"epoch",
+/// "start","end","nodes":[{"node","position",...,"total"}]}]}.
+void write_heatmap_json(const LoadSeries& series, std::ostream& out);
+
+/// Write `series` as a heatmap to `path`; format picked by extension
+/// (".json" -> JSON, anything else -> CSV). False when the file cannot
+/// be opened.
+bool dump_heatmap(const LoadSeries& series, const std::string& path);
+
+/// Per-epoch imbalance over node load totals. Every node seen anywhere in
+/// the series contributes a sample to every epoch (0 when idle that
+/// window) — a node going quiet is exactly what moves the Gini.
+struct ImbalanceRow {
+  std::uint64_t epoch = 0;
+  double total = 0;       ///< sum of node loads this epoch
+  std::size_t nodes = 0;  ///< nodes with nonzero load this epoch
+  double gini = 0;
+  double cv = 0;
+  double max_over_mean = 0;
+  double p99_over_mean = 0;
+};
+std::vector<ImbalanceRow> derive_imbalance(const LoadSeries& series);
+
+/// Imbalance time series, one CSV row per epoch:
+/// epoch,total,nodes,gini,cv,max_over_mean,p99_over_mean.
+void write_series_csv(const LoadSeries& series, std::ostream& out);
+
+/// Imbalance rows plus each epoch's windowed registry counter deltas
+/// (which the CSV form drops).
+void write_series_json(const LoadSeries& series, std::ostream& out);
+
+/// Write the imbalance series to `path`; ".json" -> JSON, else CSV.
+bool dump_series(const LoadSeries& series, const std::string& path);
+
+/// Perfetto counter tracks: one "ph":"C" track per node (epoch-total
+/// load, sampled every epoch so gaps render as zero) plus a gini track,
+/// with one "ph":"i" instant per hotspot transition. Same 1-tick = 1ms
+/// scale as write_trace_json, so both files line up when merged.
+void write_load_perfetto(const LoadSeries& series,
+                         const std::vector<HotspotEvent>& events,
+                         std::ostream& out);
 
 } // namespace squid::obs

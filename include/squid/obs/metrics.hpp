@@ -116,7 +116,8 @@ public:
                              std::size_t buckets);
 
   /// Zero every metric (benches isolate phases with this; registration
-  /// survives so cached handles stay valid).
+  /// survives so cached handles stay valid). Also clears the
+  /// snapshot_delta baseline: the window restarts at zero.
   void reset();
 
   struct CounterRow {
@@ -138,9 +139,22 @@ public:
   };
   Snapshot snapshot() const;
 
+  /// Windowed counter read: each counter's value minus the retained
+  /// baseline from the previous snapshot_delta (or construction/reset),
+  /// then rebaseline — so consecutive calls partition the counter stream
+  /// into non-overlapping windows. The shared windowing primitive of the
+  /// EpochSampler (obs/telemetry.hpp) and `squid_cli heatmap`. Counters
+  /// registered since the last call report their full value. Concurrent
+  /// increments are safe: each relaxed add lands in exactly one window
+  /// (value reads are atomic; the baseline map is mutex-guarded). Only
+  /// counters whose window moved are returned, sorted by name.
+  std::vector<CounterRow> snapshot_delta();
+
 private:
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  /// snapshot_delta baselines (same keys as counters_); missing = 0.
+  std::map<std::string, std::uint64_t, std::less<>> baseline_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<HistogramMetric>, std::less<>>
       histograms_;

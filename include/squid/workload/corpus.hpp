@@ -76,6 +76,51 @@ private:
   mutable std::uint64_t counter_ = 0; ///< element-name sequence
 };
 
+/// Flash-crowd query workload (bench/ext_hotspot, EXPERIMENTS.md): a
+/// baseline mix of the paper's Q1/Q2 query families over Zipf-ranked
+/// keywords that, during the epochs of [onset_epoch, end_epoch), redirects
+/// `hot_fraction` of the draws onto ONE partial-keyword query — the
+/// "suddenly popular keyword" scenario. In index space that query is a few
+/// curve clusters under one prefix, so the shifted mass lands on the small
+/// set of nodes owning them; the telemetry pipeline (obs/telemetry.hpp,
+/// obs/hotspot.hpp) should see their epoch load step up and raise
+/// hotspot.onset within a few epochs.
+struct FlashCrowdConfig {
+  std::size_t hot_rank = 0;  ///< vocabulary rank the crowd converges on
+  unsigned prefix_len = 3;   ///< partial-match prefix length of the hot query
+  double hot_fraction = 0.8; ///< crowd-phase probability of the hot query
+  std::uint64_t onset_epoch = 8; ///< first crowd epoch
+  std::uint64_t end_epoch = 16;  ///< first epoch after the crowd
+  /// Baseline draws spread over the top `baseline_ranks` vocabulary words.
+  std::size_t baseline_ranks = 64;
+  double q2_fraction = 0.3; ///< baseline chance of a two-keyword query
+};
+
+class FlashCrowdWorkload {
+public:
+  explicit FlashCrowdWorkload(const KeywordCorpus& corpus,
+                              FlashCrowdConfig config = {});
+
+  const FlashCrowdConfig& config() const noexcept { return config_; }
+
+  /// True while `epoch` lies inside the crowd window.
+  bool hot_phase(std::uint64_t epoch) const noexcept {
+    return epoch >= config_.onset_epoch && epoch < config_.end_epoch;
+  }
+
+  /// The crowd's query itself (what hot draws return).
+  keyword::Query hot_query() const;
+
+  /// One query for a request issued during `epoch`: the hot query with
+  /// probability hot_fraction inside the crowd window, a baseline Q1/Q2
+  /// draw otherwise.
+  keyword::Query draw(std::uint64_t epoch, Rng& rng) const;
+
+private:
+  const KeywordCorpus* corpus_;
+  FlashCrowdConfig config_;
+};
+
 /// Grid-resource corpus: numeric attributes with realistic clustering
 /// (memory concentrates on powers of two, bandwidth on standard tiers,
 /// cost spreads log-uniformly).

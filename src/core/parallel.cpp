@@ -306,6 +306,16 @@ void ParallelExecutor::finalize(ParallelQueryState& q) {
       ex.bytes_shipped += b.reply_bytes;
       ex.reply_messages += b.reply_frames;
     }
+    // Telemetry for the deferred scans, recorded here on the home shard so
+    // the scratch is only ever touched single-threaded — the same events,
+    // at the same ticks, the sequential modes record inside perform_scan.
+    if (ex.telemetry != nullptr) {
+      if (!ex.agg.has_value())
+        ex.telemetry->record(b.at, obs::LoadKind::kReplyForwarded,
+                             b.reply_frames, ex.tick(b.event));
+      ex.telemetry->record(b.at, obs::LoadKind::kScanHit, b.keys_matched,
+                           ex.tick(b.event));
+    }
     if (ex.trace) {
       const std::int32_t id = ex.trace->begin(obs::SpanKind::kLocalScan,
                                               b.span, b.event, ex.tick(b.event));

@@ -151,6 +151,11 @@ void SquidSystem::set_tracing(bool on) noexcept {
   trace_enabled_ = on && SQUID_OBS_ENABLED != 0;
 }
 
+void SquidSystem::set_telemetry(obs::EpochSampler* sampler) noexcept {
+  telemetry_ = SQUID_OBS_ENABLED != 0 ? sampler : nullptr;
+  if (telemetry_ != nullptr) telemetry_->set_id_bits(curve_->index_bits());
+}
+
 // --- Message handlers (run at delivery; see NodeRuntime::deliver) -----------
 
 void SquidSystem::scan_segment(const sfc::Rect& rect, sfc::Segment seg,
@@ -220,9 +225,16 @@ void SquidSystem::perform_scan(QueryExec& ex,
     const std::size_t bytes = reply_wire_size(
         at, ex.origin, ex.count_only ? collected : shipped, shipped, payload);
     ex.bytes_shipped += bytes;
-    ex.reply_messages += frames_of(bytes, config_.reply_frame_bytes);
+    const std::size_t frames = frames_of(bytes, config_.reply_frame_bytes);
+    ex.reply_messages += frames;
+    if (ex.telemetry != nullptr)
+      ex.telemetry->record(at, obs::LoadKind::kReplyForwarded, frames,
+                           ex.tick(scan.event));
   }
   if (matched > 0) ex.data_nodes.insert(at);
+  if (ex.telemetry != nullptr)
+    ex.telemetry->record(at, obs::LoadKind::kScanHit, matched,
+                         ex.tick(scan.event));
   if (ex.trace) {
     const std::int32_t id = ex.trace->begin(obs::SpanKind::kLocalScan,
                                             scan.span, scan.event,
@@ -289,6 +301,10 @@ void SquidSystem::plan_chain(const std::shared_ptr<QueryExec>& exec,
     }
     ex.messages += 1;
     ex.routing.insert(r.path.begin(), r.path.end());
+    if (ex.telemetry != nullptr)
+      for (const NodeId hop : r.path)
+        ex.telemetry->record(hop, obs::LoadKind::kRouteThrough, 1,
+                             ex.tick(event));
     const QueryExec::Leg leg = ex.attempt_leg(at, r.dest);
     const sim::Time sent = ex.tick(event);
     const std::int32_t arrive = ex.add_event(
@@ -328,6 +344,11 @@ void SquidSystem::plan_chain(const std::shared_ptr<QueryExec>& exec,
     ex.messages += 1;
     ex.routing.insert(at);
     ex.routing.insert(next);
+    if (ex.telemetry != nullptr) {
+      ex.telemetry->record(at, obs::LoadKind::kRouteThrough, 1, ex.tick(event));
+      ex.telemetry->record(next, obs::LoadKind::kRouteThrough, 1,
+                           ex.tick(event));
+    }
     seg.lo = local.hi + 1;
     const sim::Time sent = ex.tick(event);
     const std::int32_t arrive = ex.add_event(
@@ -406,6 +427,14 @@ void SquidSystem::dispatch_clusters(
           ex.messages += 1; // one direct message, no overlay routing
           ex.routing.insert(from);
           ex.routing.insert(dest);
+          if (ex.telemetry != nullptr) {
+            ex.telemetry->record(from, obs::LoadKind::kCacheHit, 1,
+                                 ex.tick(event));
+            ex.telemetry->record(from, obs::LoadKind::kRouteThrough, 1,
+                                 ex.tick(event));
+            ex.telemetry->record(dest, obs::LoadKind::kRouteThrough, 1,
+                                 ex.tick(event));
+          }
           if (ex.trace) {
             const std::int32_t id = ex.trace->begin(
                 obs::SpanKind::kCacheHit, dspan, event, ex.tick(event));
@@ -446,6 +475,10 @@ void SquidSystem::dispatch_clusters(
       }
       ex.messages += 1; // the head sub-query
       ex.routing.insert(r.path.begin(), r.path.end());
+      if (ex.telemetry != nullptr)
+        for (const NodeId hop : r.path)
+          ex.telemetry->record(hop, obs::LoadKind::kRouteThrough, 1,
+                               ex.tick(event));
       dest = r.dest;
       dispatch_hops = std::max<std::size_t>(r.hops(), 1);
       if (ex.trace) {
@@ -681,7 +714,11 @@ void SquidSystem::finalize_aggregate(QueryExec& ex) const {
     const std::size_t bytes =
         reply_wire_size(it->first, it->second, from.count, 0, 0, &from);
     ex.bytes_shipped += bytes;
-    ex.reply_messages += frames_of(bytes, config_.reply_frame_bytes);
+    const std::size_t frames = frames_of(bytes, config_.reply_frame_bytes);
+    ex.reply_messages += frames;
+    if (ex.telemetry != nullptr)
+      ex.telemetry->record(it->first, obs::LoadKind::kReplyForwarded, frames,
+                           0);
     nodes.at(it->second).merge(from);
     ++partials_merged;
   }
@@ -721,6 +758,15 @@ void SquidSystem::finalize_query(QueryExec& ex) const {
   }
 #endif
   if (ex.publish_metrics) publish_query_metrics(result.stats, result.complete);
+#if SQUID_OBS_ENABLED
+  // The one flush per query, at the per-mode safe point (kParallel reaches
+  // here on the home shard after the deterministic scan merge). Everything
+  // above is already settled, so the sampler sees a finished query's events.
+  if (ex.telemetry != nullptr && telemetry_ != nullptr) {
+    telemetry_->flush(*ex.telemetry, ex.started_at);
+    ex.telemetry = nullptr;
+  }
+#endif
   ex.cache_guard.reset();
   ex.completed_at = ex.engine->now();
   ex.finished = true;
@@ -764,6 +810,12 @@ std::shared_ptr<QueryExec> SquidSystem::start_exec(
     ex.trace->at(ex.root_span).node = origin;
     ex.trace->add_path_node(ex.root_span, origin);
   }
+  // Telemetry scratch is armed only while a sampler is attached; with none
+  // every recording site is one dead null check.
+  if (telemetry_ != nullptr) {
+    ex.telemetry_store.emplace();
+    ex.telemetry = &*ex.telemetry_store;
+  }
 #else
   (void)want_trace;
 #endif
@@ -786,6 +838,9 @@ void SquidSystem::begin_resolution(const std::shared_ptr<QueryExec>& exec,
     if (r.ok) {
       ex.messages += 1;
       ex.routing.insert(r.path.begin(), r.path.end());
+      if (ex.telemetry != nullptr)
+        for (const NodeId hop : r.path)
+          ex.telemetry->record(hop, obs::LoadKind::kRouteThrough, 1, 0);
       const QueryExec::Leg leg = ex.attempt_leg(ex.origin, r.dest);
       const std::int32_t event =
           ex.add_event(0, r.hops() + static_cast<std::size_t>(leg.penalty));

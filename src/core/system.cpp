@@ -105,6 +105,8 @@ void SquidSystem::publish(const DataElement& element) {
     static obs::Counter& publishes =
         obs::Registry::global().counter("squid.system.publishes");
     publishes.add(1);
+    if (telemetry_ != nullptr)
+      telemetry_->record_now(owner_of(index), obs::LoadKind::kPublish, 1);
   }
 }
 
@@ -154,6 +156,27 @@ void SquidSystem::publish_batch(const std::vector<DataElement>& elements) {
   key_data_ = std::move(merged_data);
   element_count_ += elements.size();
   bump("squid.system.publishes", elements.size());
+  if constexpr (obs::kEnabled) {
+    if (telemetry_ != nullptr) {
+      // `order` is index-sorted, so elements landing on one owner are
+      // consecutive: run-length the owner lookups and record one event per
+      // (owner, run) instead of per element.
+      NodeId owner = 0;
+      std::uint64_t run = 0;
+      for (const auto& entry : order) {
+        const NodeId o = owner_of(entry.first);
+        if (run > 0 && o == owner) {
+          ++run;
+          continue;
+        }
+        if (run > 0)
+          telemetry_->record_now(owner, obs::LoadKind::kPublish, run);
+        owner = o;
+        run = 1;
+      }
+      if (run > 0) telemetry_->record_now(owner, obs::LoadKind::kPublish, run);
+    }
+  }
 }
 
 bool SquidSystem::unpublish(const DataElement& element) {

@@ -1,9 +1,11 @@
 #include "squid/obs/export.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <map>
 #include <ostream>
+#include <set>
 #include <vector>
 
 #include "squid/util/u128.hpp"
@@ -247,6 +249,194 @@ void print_span_tree(const Trace& trace, std::ostream& out) {
     if (trace.spans[i].parent < 0)
       print_span(trace, children, rollups, static_cast<std::int32_t>(i), "",
                  true, out);
+}
+
+namespace {
+
+/// Node id -> normalized ring coordinate in [0,1). id_bits == 0 means the
+/// series never learned the curve geometry; report 0 rather than guessing.
+double ring_position(overlay::NodeId node, unsigned id_bits) {
+  if (id_bits == 0) return 0.0;
+  return static_cast<double>(node) / std::ldexp(1.0, static_cast<int>(id_bits));
+}
+
+bool path_is_json(const std::string& path) {
+  return path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+}
+
+} // namespace
+
+void write_heatmap_csv(const LoadSeries& series, std::ostream& out) {
+  out << "epoch,node,position,scan_hits,routes_through,publishes,cache_hits,"
+         "replies_forwarded,total\n";
+  for (const EpochSample& sample : series.epochs)
+    for (const auto& [node, v] : sample.nodes)
+      out << sample.epoch << "," << node_label(node) << ","
+          << ring_position(node, series.id_bits) << "," << v.scan_hits << ","
+          << v.routes_through << "," << v.publishes << "," << v.cache_hits
+          << "," << v.replies_forwarded << "," << v.total() << "\n";
+}
+
+void write_heatmap_json(const LoadSeries& series, std::ostream& out) {
+  out << "{\n  \"epoch_ticks\": " << series.epoch_ticks
+      << ",\n  \"id_bits\": " << series.id_bits << ",\n  \"epochs\": [";
+  bool first_epoch = true;
+  for (const EpochSample& sample : series.epochs) {
+    out << (first_epoch ? "" : ",") << "\n    {\"epoch\": " << sample.epoch
+        << ", \"start\": " << sample.start << ", \"end\": " << sample.end
+        << ", \"nodes\": [";
+    first_epoch = false;
+    bool first_node = true;
+    for (const auto& [node, v] : sample.nodes) {
+      out << (first_node ? "" : ",") << "\n      {\"node\": \"";
+      write_json_escaped(out, node_label(node));
+      out << "\", \"position\": " << ring_position(node, series.id_bits)
+          << ", \"scan_hits\": " << v.scan_hits
+          << ", \"routes_through\": " << v.routes_through
+          << ", \"publishes\": " << v.publishes
+          << ", \"cache_hits\": " << v.cache_hits
+          << ", \"replies_forwarded\": " << v.replies_forwarded
+          << ", \"total\": " << v.total() << "}";
+      first_node = false;
+    }
+    out << (first_node ? "]}" : "\n    ]}");
+  }
+  out << "\n  ]\n}\n";
+}
+
+bool dump_heatmap(const LoadSeries& series, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  if (path_is_json(path)) write_heatmap_json(series, out);
+  else write_heatmap_csv(series, out);
+  return true;
+}
+
+std::vector<ImbalanceRow> derive_imbalance(const LoadSeries& series) {
+  // The sample population is every node the series ever saw: a node that
+  // carried load in epoch 3 but sits idle in epoch 7 contributes a zero in
+  // epoch 7 — that zero IS the imbalance a flash crowd creates.
+  std::set<overlay::NodeId> population;
+  for (const EpochSample& sample : series.epochs)
+    for (const auto& [node, v] : sample.nodes) population.insert(node);
+
+  std::vector<ImbalanceRow> rows;
+  rows.reserve(series.epochs.size());
+  for (const EpochSample& sample : series.epochs) {
+    ImbalanceRow row;
+    row.epoch = sample.epoch;
+    Summary loads;
+    auto present = sample.nodes.begin();
+    for (const overlay::NodeId node : population) {
+      double load = 0;
+      if (present != sample.nodes.end() && present->first == node) {
+        load = static_cast<double>(present->second.total());
+        ++present;
+      }
+      loads.add(load);
+      row.total += load;
+      if (load > 0) ++row.nodes;
+    }
+    if (loads.count() > 0 && row.total > 0) {
+      row.gini = loads.gini();
+      row.cv = loads.cv();
+      row.max_over_mean = loads.max_over_mean();
+      row.p99_over_mean = loads.percentile(99) / loads.mean();
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void write_series_csv(const LoadSeries& series, std::ostream& out) {
+  out << "epoch,total,nodes,gini,cv,max_over_mean,p99_over_mean\n";
+  for (const ImbalanceRow& row : derive_imbalance(series))
+    out << row.epoch << "," << row.total << "," << row.nodes << ","
+        << row.gini << "," << row.cv << "," << row.max_over_mean << ","
+        << row.p99_over_mean << "\n";
+}
+
+void write_series_json(const LoadSeries& series, std::ostream& out) {
+  const auto rows = derive_imbalance(series);
+  out << "{\n  \"epoch_ticks\": " << series.epoch_ticks
+      << ",\n  \"epochs\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ImbalanceRow& row = rows[i];
+    out << (i ? "," : "") << "\n    {\"epoch\": " << row.epoch
+        << ", \"total\": " << row.total << ", \"nodes\": " << row.nodes
+        << ", \"gini\": " << row.gini << ", \"cv\": " << row.cv
+        << ", \"max_over_mean\": " << row.max_over_mean
+        << ", \"p99_over_mean\": " << row.p99_over_mean
+        << ", \"counter_deltas\": {";
+    bool first = true;
+    for (const auto& delta : series.epochs[i].counter_deltas) {
+      out << (first ? "" : ",") << "\n      \"";
+      write_json_escaped(out, delta.name);
+      out << "\": " << delta.value;
+      first = false;
+    }
+    out << (first ? "}}" : "\n    }}");
+  }
+  out << "\n  ]\n}\n";
+}
+
+bool dump_series(const LoadSeries& series, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  if (path_is_json(path)) write_series_json(series, out);
+  else write_series_csv(series, out);
+  return true;
+}
+
+void write_load_perfetto(const LoadSeries& series,
+                         const std::vector<HotspotEvent>& events,
+                         std::ostream& out) {
+  constexpr sim::Time kTickUs = 1000; // same scale as write_trace_json
+  std::set<overlay::NodeId> population;
+  for (const EpochSample& sample : series.epochs)
+    for (const auto& [node, v] : sample.nodes) population.insert(node);
+  const auto imbalance = derive_imbalance(series);
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto emit_counter = [&](const std::string& name, sim::Time ts,
+                                const char* key, double value) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"";
+    write_json_escaped(out, name);
+    out << "\",\"ph\":\"C\",\"ts\":" << ts * kTickUs
+        << ",\"pid\":1,\"args\":{\"" << key << "\":" << value << "}}";
+  };
+  // One counter track per node, sampled at every epoch start; emitting
+  // explicit zeros keeps gaps from rendering as held values.
+  for (const EpochSample& sample : series.epochs) {
+    auto present = sample.nodes.begin();
+    for (const overlay::NodeId node : population) {
+      double load = 0;
+      if (present != sample.nodes.end() && present->first == node) {
+        load = static_cast<double>(present->second.total());
+        ++present;
+      }
+      emit_counter("load peer " + node_label(node), sample.start, "load",
+                   load);
+    }
+  }
+  for (std::size_t i = 0; i < imbalance.size(); ++i)
+    emit_counter("load gini", series.epochs[i].start, "gini",
+                 imbalance[i].gini);
+  for (const HotspotEvent& e : events) {
+    if (!first) out << ",";
+    first = false;
+    const sim::Time ts = static_cast<sim::Time>(e.epoch) * series.epoch_ticks;
+    out << "{\"name\":\"" << hotspot_event_name(e.kind)
+        << "\",\"cat\":\"squid\",\"ph\":\"i\",\"s\":\"g\",\"ts\":"
+        << ts * kTickUs << ",\"pid\":1,\"tid\":0,\"args\":{\"node\":\"";
+    write_json_escaped(out, node_label(e.node));
+    out << "\",\"epoch\":" << e.epoch << ",\"load\":" << e.load
+        << ",\"baseline\":" << e.baseline << "}}";
+  }
+  out << "]}\n";
 }
 
 } // namespace squid::obs

@@ -82,6 +82,25 @@ void Registry::reset() {
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
+  // A reset rewinds the delta window too: the next snapshot_delta measures
+  // from zero, not from a stale pre-reset baseline (which would underflow).
+  baseline_.clear();
+}
+
+std::vector<Registry::CounterRow> Registry::snapshot_delta() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CounterRow> rows;
+  for (const auto& [name, c] : counters_) {
+    const std::uint64_t value = c->value();
+    std::uint64_t& base = baseline_[name];
+    // A concurrent reset() cannot run here (it takes the same mutex), but a
+    // per-counter Counter::reset() between windows can move value below the
+    // baseline; clamp instead of wrapping.
+    const std::uint64_t delta = value >= base ? value - base : value;
+    base = value;
+    if (delta != 0) rows.push_back({name, delta});
+  }
+  return rows;
 }
 
 Registry::Snapshot Registry::snapshot() const {

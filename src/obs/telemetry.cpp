@@ -1,0 +1,127 @@
+#include "squid/obs/telemetry.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace squid::obs {
+
+EpochSampler::EpochSampler(sim::Time epoch_ticks, Registry* registry)
+    : epoch_ticks_(epoch_ticks > 0 ? epoch_ticks : 1),
+      registry_(registry != nullptr ? registry : &Registry::global()) {
+  // Retain the current counter values as the baseline so the first window
+  // reports only what happens after the sampler was attached.
+  if constexpr (kEnabled) (void)registry_->snapshot_delta();
+}
+
+void EpochSampler::flush(const QueryTelemetry& telemetry,
+                         sim::Time started_at) {
+  if constexpr (!kEnabled) {
+    (void)telemetry;
+    (void)started_at;
+    return;
+  }
+  if (telemetry.events.empty()) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  // Lockstep queries run on private engines pinned at (near) zero: rebase
+  // them onto the harness-driven sampler clock. Virtual-time queries carry
+  // an honest shared-clock start that is already >= the sampler clock
+  // whenever the harness keeps advance_to in step.
+  const sim::Time base = std::max(now_, started_at);
+  for (const LoadEvent& e : telemetry.events) {
+    LoadVector& v = load_[(base + e.tick) / epoch_ticks_][e.node];
+    switch (e.kind) {
+    case LoadKind::kScanHit: v.scan_hits += e.n; break;
+    case LoadKind::kRouteThrough: v.routes_through += e.n; break;
+    case LoadKind::kPublish: v.publishes += e.n; break;
+    case LoadKind::kCacheHit: v.cache_hits += e.n; break;
+    case LoadKind::kReplyForwarded: v.replies_forwarded += e.n; break;
+    }
+  }
+}
+
+void EpochSampler::record_now(overlay::NodeId node, LoadKind kind,
+                              std::uint64_t n) {
+  if constexpr (!kEnabled) {
+    (void)node;
+    (void)kind;
+    (void)n;
+    return;
+  }
+  if (n == 0) return;
+  QueryTelemetry one;
+  one.record(node, kind, n, 0);
+  // flush re-locks; route through it so the bucketing logic stays in one
+  // place. `started_at = now_` is what flush computes anyway.
+  flush(one, 0);
+}
+
+void EpochSampler::advance_to(sim::Time now) {
+  if constexpr (!kEnabled) {
+    (void)now;
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (now <= now_) return;
+  close_through(now);
+  now_ = now;
+}
+
+sim::Time EpochSampler::now() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return now_;
+}
+
+void EpochSampler::close_through(sim::Time t) {
+  // Every boundary the clock crosses closes one epoch; each closure takes
+  // one windowed registry snapshot. When one advance crosses several
+  // boundaries at once, the accumulated delta lands on the FIRST epoch
+  // closed (the counters moved no later than its end) and the rest record
+  // empty windows.
+  const std::uint64_t target = t / epoch_ticks_;
+  while (closed_epochs_ < target) {
+    auto rows = registry_->snapshot_delta();
+    if (!rows.empty()) deltas_[closed_epochs_] = std::move(rows);
+    ++closed_epochs_;
+  }
+}
+
+LoadSeries EpochSampler::finish() {
+  LoadSeries series;
+  series.epoch_ticks = epoch_ticks_;
+  series.id_bits = id_bits_;
+  if constexpr (!kEnabled) return series;
+  const std::lock_guard<std::mutex> lock(mu_);
+  // Close the open window: the residual counter delta lands on the epoch
+  // the clock currently sits in. Merged by name so repeated finish() calls
+  // keep reporting the same cumulative story.
+  if (auto rows = registry_->snapshot_delta(); !rows.empty()) {
+    std::vector<Registry::CounterRow>& dst = deltas_[now_ / epoch_ticks_];
+    std::map<std::string, std::uint64_t> merged;
+    for (const auto& row : dst) merged[row.name] += row.value;
+    for (const auto& row : rows) merged[row.name] += row.value;
+    dst.clear();
+    for (const auto& [name, value] : merged) dst.push_back({name, value});
+  }
+  std::uint64_t last = closed_epochs_ > 0 ? closed_epochs_ - 1 : 0;
+  if (!load_.empty()) last = std::max(last, load_.rbegin()->first);
+  if (!deltas_.empty()) last = std::max(last, deltas_.rbegin()->first);
+  if (load_.empty() && deltas_.empty() && closed_epochs_ == 0 && now_ == 0)
+    return series; // nothing ever happened: an honestly empty series
+  series.epochs.reserve(static_cast<std::size_t>(last) + 1);
+  for (std::uint64_t e = 0; e <= last; ++e) {
+    EpochSample sample;
+    sample.epoch = e;
+    sample.start = static_cast<sim::Time>(e) * epoch_ticks_;
+    sample.end = sample.start + epoch_ticks_;
+    if (const auto it = load_.find(e); it != load_.end()) {
+      sample.nodes.reserve(it->second.size());
+      for (const auto& [node, v] : it->second) sample.nodes.emplace_back(node, v);
+    }
+    if (const auto it = deltas_.find(e); it != deltas_.end())
+      sample.counter_deltas = it->second;
+    series.epochs.push_back(std::move(sample));
+  }
+  return series;
+}
+
+} // namespace squid::obs

@@ -114,6 +114,36 @@ keyword::Query KeywordCorpus::q2(std::size_t rank_a, std::size_t rank_b,
   return query;
 }
 
+FlashCrowdWorkload::FlashCrowdWorkload(const KeywordCorpus& corpus,
+                                       FlashCrowdConfig config)
+    : corpus_(&corpus), config_(config) {
+  SQUID_REQUIRE(config_.onset_epoch <= config_.end_epoch,
+                "flash crowd must end at or after its onset");
+  SQUID_REQUIRE(config_.hot_fraction >= 0.0 && config_.hot_fraction <= 1.0,
+                "hot_fraction must be a probability");
+  const std::size_t vocab = corpus.vocabulary().words().size();
+  SQUID_REQUIRE(config_.hot_rank < vocab, "hot_rank beyond the vocabulary");
+  config_.baseline_ranks =
+      std::max<std::size_t>(1, std::min(config_.baseline_ranks, vocab));
+}
+
+keyword::Query FlashCrowdWorkload::hot_query() const {
+  return corpus_->q1(config_.hot_rank, /*partial=*/true, config_.prefix_len);
+}
+
+keyword::Query FlashCrowdWorkload::draw(std::uint64_t epoch, Rng& rng) const {
+  if (hot_phase(epoch) && rng.chance(config_.hot_fraction)) return hot_query();
+  // Baseline mix: mostly single-keyword Q1 (half partial, half whole) with
+  // a q2_fraction slice of two-keyword Q2 — the steady hum the detector's
+  // EWMA baselines learn before the crowd arrives.
+  const std::size_t rank = rng.below(config_.baseline_ranks);
+  if (corpus_->dims() >= 2 && rng.chance(config_.q2_fraction)) {
+    const std::size_t rank_b = rng.below(config_.baseline_ranks);
+    return corpus_->q2(rank, rank_b, /*partial_b=*/true, config_.prefix_len);
+  }
+  return corpus_->q1(rank, rng.chance(0.5), config_.prefix_len);
+}
+
 ResourceCorpus::ResourceCorpus(unsigned bits) : bits_(bits) {
   SQUID_REQUIRE(bits >= 4 && bits < 32, "resource bits must be in [4,31]");
 }

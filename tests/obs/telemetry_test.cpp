@@ -1,0 +1,493 @@
+// The virtual-time telemetry pipeline's unit contracts (DESIGN.md 4h):
+//   - Registry::snapshot_delta partitions the counter stream into
+//     non-overlapping windows (the primitive the sampler and CLI share);
+//   - EpochSampler buckets flushed query events by rebased virtual tick,
+//     closes epochs in order under advance_to, and materializes a
+//     contiguous series at finish() — repeatably;
+//   - HotspotDetector's EWMA lifecycle: onset over a learned baseline,
+//     frozen-while-hot, clear on decay or disappearance, deterministic
+//     top-k, measured detection latency;
+//   - the exporters: heatmap/series CSV goldens, JSON structure, and
+//     Perfetto counter-track validity, including the empty-series and
+//     single-epoch edges.
+// Pipeline-level bit-transparency lives in telemetry_differential_test.cpp.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "squid/obs/export.hpp"
+#include "squid/obs/hotspot.hpp"
+#include "squid/obs/metrics.hpp"
+#include "squid/obs/telemetry.hpp"
+
+namespace squid::obs {
+namespace {
+
+// --- Registry::snapshot_delta --------------------------------------------
+
+TEST(SnapshotDelta, PartitionsTheCounterStreamIntoWindows) {
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  Registry reg;
+  reg.counter("x").add(5);
+  auto d = reg.snapshot_delta();
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].name, "x");
+  EXPECT_EQ(d[0].value, 5u);
+
+  reg.counter("x").add(2);
+  d = reg.snapshot_delta();
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].value, 2u); // only the movement since the last window
+
+  EXPECT_TRUE(reg.snapshot_delta().empty()); // nothing moved
+}
+
+TEST(SnapshotDelta, LateRegisteredCountersReportTheirFullValue) {
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  Registry reg;
+  reg.counter("old").add(9);
+  (void)reg.snapshot_delta();
+  reg.counter("young").add(4);
+  const auto d = reg.snapshot_delta();
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].name, "young");
+  EXPECT_EQ(d[0].value, 4u);
+}
+
+TEST(SnapshotDelta, ResetRestartsTheWindowAtZero) {
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  Registry reg;
+  reg.counter("x").add(5);
+  (void)reg.snapshot_delta();
+  reg.reset();
+  reg.counter("x").add(3);
+  const auto d = reg.snapshot_delta();
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0].value, 3u); // not 5+3, and not clamped away by the reset
+}
+
+// --- LoadVector / QueryTelemetry -----------------------------------------
+
+TEST(LoadVector, SumsComponentwiseAndTotals) {
+  LoadVector a;
+  a.scan_hits = 2;
+  a.routes_through = 3;
+  LoadVector b;
+  b.publishes = 5;
+  b.cache_hits = 7;
+  b.replies_forwarded = 11;
+  a += b;
+  EXPECT_EQ(a.total(), 2u + 3u + 5u + 7u + 11u);
+  LoadVector c = a;
+  EXPECT_TRUE(c == a);
+  c.scan_hits += 1;
+  EXPECT_FALSE(c == a);
+}
+
+TEST(QueryTelemetry, DropsZeroWeightEvents) {
+  QueryTelemetry t;
+  t.record(1, LoadKind::kScanHit, 0, 4);
+  EXPECT_TRUE(t.events.empty());
+  t.record(1, LoadKind::kScanHit, 2, 4);
+  ASSERT_EQ(t.events.size(), 1u);
+  EXPECT_EQ(t.events[0].n, 2u);
+}
+
+// --- EpochSampler ---------------------------------------------------------
+
+TEST(EpochSampler, BucketsFlushedEventsByTick) {
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  EpochSampler sampler(10);
+  QueryTelemetry t;
+  t.record(1, LoadKind::kScanHit, 2, 0);
+  t.record(1, LoadKind::kRouteThrough, 1, 9); // still epoch 0
+  t.record(2, LoadKind::kCacheHit, 3, 10);    // epoch 1
+  t.record(2, LoadKind::kReplyForwarded, 4, 25); // epoch 2
+  sampler.flush(t, /*started_at=*/0);
+
+  const LoadSeries s = sampler.finish();
+  ASSERT_EQ(s.epochs.size(), 3u);
+  ASSERT_EQ(s.epochs[0].nodes.size(), 1u);
+  EXPECT_EQ(s.epochs[0].nodes[0].second.scan_hits, 2u);
+  EXPECT_EQ(s.epochs[0].nodes[0].second.routes_through, 1u);
+  EXPECT_EQ(s.epochs[1].total().cache_hits, 3u);
+  EXPECT_EQ(s.epochs[2].total().replies_forwarded, 4u);
+}
+
+TEST(EpochSampler, RebasesOntoTheLaterOfClockAndQueryStart) {
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  // A virtual-time query carries an honest shared-clock start ahead of the
+  // harness clock: events land relative to it.
+  EpochSampler sampler(10);
+  QueryTelemetry t;
+  t.record(1, LoadKind::kScanHit, 1, 0);
+  sampler.flush(t, /*started_at=*/25);
+  // A lockstep query's private engine is pinned near 0: the harness clock
+  // wins the max and carries it into the current window.
+  sampler.advance_to(12);
+  QueryTelemetry u;
+  u.record(2, LoadKind::kScanHit, 1, 0);
+  sampler.flush(u, /*started_at=*/0);
+
+  const LoadSeries s = sampler.finish();
+  ASSERT_EQ(s.epochs.size(), 3u);
+  EXPECT_TRUE(s.epochs[0].nodes.empty());
+  ASSERT_EQ(s.epochs[1].nodes.size(), 1u); // harness-clock query at t=12
+  EXPECT_EQ(s.epochs[1].nodes[0].first, overlay::NodeId{2});
+  ASSERT_EQ(s.epochs[2].nodes.size(), 1u); // shared-clock query at t=25
+  EXPECT_EQ(s.epochs[2].nodes[0].first, overlay::NodeId{1});
+}
+
+TEST(EpochSampler, AdvanceToIsMonotonic) {
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  EpochSampler sampler(10);
+  sampler.advance_to(20);
+  sampler.advance_to(5); // ignored: the clock never moves backwards
+  EXPECT_EQ(sampler.now(), sim::Time{20});
+  sampler.record_now(7, LoadKind::kPublish, 2);
+  const LoadSeries s = sampler.finish();
+  ASSERT_EQ(s.epochs.size(), 3u);
+  EXPECT_EQ(s.epochs[2].total().publishes, 2u);
+}
+
+TEST(EpochSampler, FinishMaterializesContiguousEpochs) {
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  EpochSampler sampler(10);
+  QueryTelemetry t;
+  t.record(1, LoadKind::kScanHit, 1, 0);  // epoch 0
+  t.record(1, LoadKind::kScanHit, 1, 35); // epoch 3
+  sampler.flush(t, 0);
+  const LoadSeries s = sampler.finish();
+  ASSERT_EQ(s.epochs.size(), 4u);
+  for (std::uint64_t e = 0; e < 4; ++e) {
+    EXPECT_EQ(s.epochs[e].epoch, e);
+    EXPECT_EQ(s.epochs[e].start, sim::Time{e * 10});
+    EXPECT_EQ(s.epochs[e].end, sim::Time{e * 10 + 10});
+  }
+  EXPECT_TRUE(s.epochs[1].nodes.empty()); // quiet epochs appear, empty
+  EXPECT_TRUE(s.epochs[2].nodes.empty());
+}
+
+TEST(EpochSampler, FreshSamplerFinishesHonestlyEmpty) {
+  EpochSampler sampler(10);
+  const LoadSeries s = sampler.finish();
+  EXPECT_TRUE(s.epochs.empty());
+  EXPECT_EQ(s.epoch_ticks, sim::Time{10});
+}
+
+TEST(EpochSampler, FinishIsRepeatableAndKeepsAccumulating) {
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  EpochSampler sampler(10);
+  sampler.record_now(1, LoadKind::kScanHit, 3);
+  const LoadSeries first = sampler.finish();
+  const LoadSeries again = sampler.finish();
+  ASSERT_EQ(first.epochs.size(), again.epochs.size());
+  EXPECT_EQ(first.epochs[0].total().total(), again.epochs[0].total().total());
+
+  sampler.record_now(1, LoadKind::kScanHit, 2);
+  const LoadSeries more = sampler.finish();
+  EXPECT_EQ(more.epochs[0].total().scan_hits, 5u); // cumulative, not reset
+}
+
+TEST(EpochSampler, SnapshotsCounterDeltasAtEpochBoundaries) {
+  if (!kEnabled) GTEST_SKIP() << "observability compiled out";
+  Registry reg;
+  reg.counter("pre").add(5); // history before attach: excluded by baseline
+  EpochSampler sampler(10, &reg);
+  reg.counter("a").add(3);
+  sampler.advance_to(10); // closes epoch 0
+  reg.counter("a").add(4);
+  sampler.advance_to(30); // closes epochs 1 and 2 in one jump
+  reg.counter("b").add(5);
+
+  const LoadSeries s = sampler.finish(); // residual lands on epoch 3
+  ASSERT_EQ(s.epochs.size(), 4u);
+  ASSERT_EQ(s.epochs[0].counter_deltas.size(), 1u);
+  EXPECT_EQ(s.epochs[0].counter_deltas[0].name, "a");
+  EXPECT_EQ(s.epochs[0].counter_deltas[0].value, 3u);
+  // A multi-epoch jump puts the accumulated delta on the FIRST epoch
+  // closed; the rest record empty windows.
+  ASSERT_EQ(s.epochs[1].counter_deltas.size(), 1u);
+  EXPECT_EQ(s.epochs[1].counter_deltas[0].value, 4u);
+  EXPECT_TRUE(s.epochs[2].counter_deltas.empty());
+  ASSERT_EQ(s.epochs[3].counter_deltas.size(), 1u);
+  EXPECT_EQ(s.epochs[3].counter_deltas[0].name, "b");
+}
+
+// --- HotspotDetector ------------------------------------------------------
+
+EpochSample sample_at(std::uint64_t epoch,
+                      std::initializer_list<std::pair<int, std::uint64_t>>
+                          loads) {
+  EpochSample s;
+  s.epoch = epoch;
+  for (const auto& [node, load] : loads) {
+    LoadVector v;
+    v.scan_hits = load;
+    s.nodes.emplace_back(overlay::NodeId{static_cast<unsigned>(node)}, v);
+  }
+  return s;
+}
+
+HotspotConfig test_config() {
+  HotspotConfig cfg;
+  cfg.alpha = 0.5;
+  cfg.onset_factor = 3.0;
+  cfg.clear_factor = 1.5;
+  cfg.min_load = 10.0;
+  return cfg;
+}
+
+TEST(HotspotDetector, OnsetFreezeClearLifecycle) {
+  Registry reg;
+  HotspotDetector detector(test_config(), &reg);
+  EXPECT_TRUE(detector.observe(sample_at(0, {{1, 4}})).empty()); // hum
+  EXPECT_TRUE(detector.observe(sample_at(1, {{1, 4}})).empty()); // baseline 3
+  const auto onset = detector.observe(sample_at(2, {{1, 40}}));
+  ASSERT_EQ(onset.size(), 1u);
+  EXPECT_EQ(onset[0].kind, HotspotEvent::Kind::kOnset);
+  EXPECT_DOUBLE_EQ(onset[0].load, 40.0);
+  EXPECT_DOUBLE_EQ(onset[0].baseline, 3.0);
+  EXPECT_EQ(detector.active(), 1u);
+  // Baseline frozen while hot: a second hot window re-fires nothing, and
+  // the eventual clear still compares against the pre-crowd level.
+  EXPECT_TRUE(detector.observe(sample_at(3, {{1, 40}})).empty());
+  const auto clear = detector.observe(sample_at(4, {{1, 4}}));
+  ASSERT_EQ(clear.size(), 1u);
+  EXPECT_EQ(clear[0].kind, HotspotEvent::Kind::kClear);
+  EXPECT_DOUBLE_EQ(clear[0].baseline, 3.0);
+  EXPECT_EQ(detector.active(), 0u);
+  ASSERT_EQ(detector.events().size(), 2u);
+
+  if constexpr (kEnabled) {
+    EXPECT_EQ(reg.counter("squid.balance.hotspot.onsets").value(), 1u);
+    EXPECT_EQ(reg.counter("squid.balance.hotspot.clears").value(), 1u);
+    EXPECT_DOUBLE_EQ(reg.gauge("squid.balance.hotspot.active").value(), 0.0);
+  }
+}
+
+TEST(HotspotDetector, AbsentHotNodeClearsAtLoadZero) {
+  HotspotDetector detector(test_config());
+  ASSERT_EQ(detector.observe(sample_at(0, {{1, 40}})).size(), 1u);
+  // Node 1 vanishes from the next window entirely: judged at load 0.
+  const auto fired = detector.observe(sample_at(1, {{2, 3}}));
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, HotspotEvent::Kind::kClear);
+  EXPECT_EQ(fired[0].node, overlay::NodeId{1});
+  EXPECT_DOUBLE_EQ(fired[0].load, 0.0);
+}
+
+TEST(HotspotDetector, MinLoadFloorSuppressesIdleNoise) {
+  HotspotDetector detector(test_config());
+  // A fresh node's baseline is 0, so the ratio test alone would fire on any
+  // load at all; the absolute floor is what filters the idle-ring noise.
+  EXPECT_TRUE(detector.observe(sample_at(0, {{1, 9}})).empty());
+  EXPECT_EQ(detector.observe(sample_at(1, {{2, 10}})).size(), 1u);
+}
+
+TEST(HotspotDetector, TopHotIsDeterministicUnderTies) {
+  HotspotDetector detector(test_config());
+  (void)detector.observe(sample_at(0, {{3, 30}, {1, 30}, {2, 10}}));
+  const auto top = detector.top_hot(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].node, overlay::NodeId{1}); // ties break by node id
+  EXPECT_EQ(top[1].node, overlay::NodeId{3});
+  EXPECT_DOUBLE_EQ(top[0].load, 30.0);
+  EXPECT_TRUE(top[0].hot);
+}
+
+TEST(HotspotDetector, DetectionLatencyMeasuresFirstOnsetAtOrAfter) {
+  HotspotDetector detector(test_config());
+  EXPECT_FALSE(detector.detection_latency(0).has_value());
+  (void)detector.observe(sample_at(0, {{1, 2}}));
+  (void)detector.observe(sample_at(1, {{1, 2}}));
+  (void)detector.observe(sample_at(2, {{1, 50}})); // onset at epoch 2
+  EXPECT_EQ(detector.detection_latency(0), std::uint64_t{2});
+  EXPECT_EQ(detector.detection_latency(2), std::uint64_t{0});
+  EXPECT_FALSE(detector.detection_latency(3).has_value());
+}
+
+// --- Exporters ------------------------------------------------------------
+
+/// Two epochs over a 2-bit ring: nodes 1 and 3 split epoch 0 evenly, node 1
+/// alone carries epoch 1. Position = node / 2^id_bits.
+LoadSeries tiny_series() {
+  LoadSeries s;
+  s.epoch_ticks = 4;
+  s.id_bits = 2;
+  EpochSample e0;
+  e0.epoch = 0;
+  e0.start = 0;
+  e0.end = 4;
+  LoadVector a;
+  a.scan_hits = 2;
+  a.routes_through = 1;
+  LoadVector b;
+  b.publishes = 3;
+  e0.nodes.emplace_back(overlay::NodeId{1}, a);
+  e0.nodes.emplace_back(overlay::NodeId{3}, b);
+  e0.counter_deltas.push_back({"squid.test.moved", 7});
+  EpochSample e1;
+  e1.epoch = 1;
+  e1.start = 4;
+  e1.end = 8;
+  LoadVector c;
+  c.cache_hits = 6;
+  e1.nodes.emplace_back(overlay::NodeId{1}, c);
+  s.epochs.push_back(std::move(e0));
+  s.epochs.push_back(std::move(e1));
+  return s;
+}
+
+/// Structural JSON check: braces/brackets balance outside string literals.
+bool balanced_json(const std::string& text) {
+  int depth = 0;
+  bool in_string = false, escape = false;
+  for (const char c : text) {
+    if (escape) {
+      escape = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escape = true;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{' || c == '[') ++depth;
+    else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t at = text.find(needle); at != std::string::npos;
+       at = text.find(needle, at + needle.size()))
+    ++n;
+  return n;
+}
+
+TEST(LoadExport, HeatmapCsvGolden) {
+  std::ostringstream out;
+  write_heatmap_csv(tiny_series(), out);
+  EXPECT_EQ(out.str(),
+            "epoch,node,position,scan_hits,routes_through,publishes,"
+            "cache_hits,replies_forwarded,total\n"
+            "0,0x1,0.25,2,1,0,0,0,3\n"
+            "0,0x3,0.75,0,0,3,0,0,3\n"
+            "1,0x1,0.25,0,0,0,6,0,6\n");
+}
+
+TEST(LoadExport, HeatmapJsonStructureRoundTrips) {
+  std::ostringstream out;
+  write_heatmap_json(tiny_series(), out);
+  const std::string json = out.str();
+  EXPECT_TRUE(balanced_json(json)) << json;
+  EXPECT_NE(json.find("\"epoch_ticks\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"id_bits\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"node\": \"0x3\", \"position\": 0.75"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"total\": 6"), std::string::npos);
+}
+
+TEST(LoadExport, DeriveImbalanceJudgesEveryKnownNodeEveryEpoch) {
+  const auto rows = derive_imbalance(tiny_series());
+  ASSERT_EQ(rows.size(), 2u);
+  // Epoch 0: both nodes carry 3 — perfectly balanced.
+  EXPECT_DOUBLE_EQ(rows[0].total, 6.0);
+  EXPECT_EQ(rows[0].nodes, 2u);
+  EXPECT_DOUBLE_EQ(rows[0].gini, 0.0);
+  EXPECT_DOUBLE_EQ(rows[0].cv, 0.0);
+  EXPECT_DOUBLE_EQ(rows[0].max_over_mean, 1.0);
+  // Epoch 1: node 3 went idle but still counts as a zero sample — that
+  // zero is exactly what moves the imbalance.
+  EXPECT_DOUBLE_EQ(rows[1].total, 6.0);
+  EXPECT_EQ(rows[1].nodes, 1u);
+  EXPECT_GT(rows[1].gini, 0.0);
+  EXPECT_DOUBLE_EQ(rows[1].max_over_mean, 2.0);
+}
+
+TEST(LoadExport, SeriesCsvHeaderAndRowPerEpoch) {
+  std::ostringstream out;
+  write_series_csv(tiny_series(), out);
+  const std::string csv = out.str();
+  EXPECT_EQ(count_occurrences(csv, "\n"), 3u); // header + 2 epochs
+  EXPECT_EQ(csv.rfind("epoch,total,nodes,gini,cv,max_over_mean,p99_over_mean",
+                      0),
+            0u);
+  EXPECT_NE(csv.find("\n0,6,2,0,0,1,1\n"), std::string::npos);
+}
+
+TEST(LoadExport, SeriesJsonCarriesTheCounterDeltas) {
+  std::ostringstream out;
+  write_series_json(tiny_series(), out);
+  const std::string json = out.str();
+  EXPECT_TRUE(balanced_json(json)) << json;
+  EXPECT_NE(json.find("\"squid.test.moved\": 7"), std::string::npos);
+}
+
+TEST(LoadExport, PerfettoTracksCoverEveryNodeEveryEpoch) {
+  std::vector<HotspotEvent> events;
+  events.push_back(
+      {HotspotEvent::Kind::kOnset, /*epoch=*/1, overlay::NodeId{1}, 6.0, 1.5});
+  std::ostringstream out;
+  write_load_perfetto(tiny_series(), events, out);
+  const std::string json = out.str();
+  EXPECT_TRUE(balanced_json(json)) << json;
+  // 2 nodes x 2 epochs of per-node counters + 2 gini samples: explicit
+  // zeros keep a node's gap from rendering as a held value.
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"C\""), 6u);
+  EXPECT_EQ(count_occurrences(json, "\"load\":0}"), 1u); // node 3, epoch 1
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"i\""), 1u);
+  EXPECT_NE(json.find("hotspot.onset"), std::string::npos);
+  // Same 1-tick = 1ms scale as the span traces: epoch 1 starts at tick 4.
+  EXPECT_NE(json.find("\"ts\":4000"), std::string::npos);
+}
+
+TEST(LoadExport, EmptySeriesExportsAreWellFormed) {
+  const LoadSeries empty;
+  std::ostringstream heat, heat_json, series, series_json, perfetto;
+  write_heatmap_csv(empty, heat);
+  EXPECT_EQ(count_occurrences(heat.str(), "\n"), 1u); // header only
+  write_heatmap_json(empty, heat_json);
+  EXPECT_TRUE(balanced_json(heat_json.str()));
+  write_series_csv(empty, series);
+  EXPECT_EQ(count_occurrences(series.str(), "\n"), 1u);
+  write_series_json(empty, series_json);
+  EXPECT_TRUE(balanced_json(series_json.str()));
+  write_load_perfetto(empty, {}, perfetto);
+  EXPECT_TRUE(balanced_json(perfetto.str()));
+}
+
+TEST(LoadExport, DumpPicksTheFormatByExtension) {
+  const LoadSeries series = tiny_series();
+  const std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(dump_heatmap(series, dir + "heatmap.json"));
+  ASSERT_TRUE(dump_heatmap(series, dir + "heatmap.csv"));
+  ASSERT_TRUE(dump_series(series, dir + "series.json"));
+  ASSERT_TRUE(dump_series(series, dir + "series.csv"));
+  const auto starts_with = [](const std::string& path, char c) {
+    std::ifstream in(path);
+    char first = '\0';
+    in.get(first);
+    return first == c;
+  };
+  EXPECT_TRUE(starts_with(dir + "heatmap.json", '{'));
+  EXPECT_TRUE(starts_with(dir + "heatmap.csv", 'e'));
+  EXPECT_TRUE(starts_with(dir + "series.json", '{'));
+  EXPECT_TRUE(starts_with(dir + "series.csv", 'e'));
+  EXPECT_FALSE(dump_heatmap(series, dir + "no/such/dir/x.csv"));
+}
+
+} // namespace
+} // namespace squid::obs
