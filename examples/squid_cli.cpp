@@ -28,6 +28,7 @@
 #include "squid/core/serialize.hpp"
 #include "squid/core/system.hpp"
 #include "squid/obs/export.hpp"
+#include "squid/obs/hotspot.hpp"
 #include "squid/stats/summary.hpp"
 
 namespace {
@@ -48,7 +49,7 @@ void print_help() {
       "  unpublish <name> <kw1> <kw2>\n"
       "  query <text>               e.g. query (comp*, a-m)\n"
       "  explain <text>             run a query and print its span trace\n"
-      "  heatmap                    per-epoch ring-space load + imbalance\n"
+      "  heatmap                    per-epoch load, imbalance + hotspot report\n"
       "  loads                      load distribution summary\n"
       "  stats                      system counters\n"
       "  save <file> | load <file>  snapshot to/from disk\n"
@@ -218,6 +219,27 @@ int main(int argc, char** argv) {
           std::cout << "  epoch " << row.epoch << ": load " << row.total
                     << " over " << row.nodes << " peer(s), gini " << row.gini
                     << ", max/mean " << row.max_over_mean << '\n';
+        }
+        // Hotspot report over the session so far, with the detector's
+        // absolute floor calibrated by the documented rule
+        // (docs/LOAD_BALANCING.md §4) — the same floor bench/ext_hotspot
+        // uses, so the CLI and the benches agree on what counts as hot.
+        const double factor = sys->config().hotspot_min_load_factor;
+        obs::HotspotConfig hot_config;
+        hot_config.min_load = obs::calibrated_min_load(
+            hot_config.min_load, series,
+            series.epochs.empty() ? 0 : series.epochs.back().epoch + 1,
+            factor);
+        obs::Registry heatmap_registry; // keep the global counters clean
+        obs::HotspotDetector detector(hot_config, &heatmap_registry);
+        detector.observe_all(series);
+        std::cout << "hotspot floor " << hot_config.min_load << " (factor "
+                  << factor << " x p95 epoch load), "
+                  << detector.events().size() << " transition(s), "
+                  << detector.active() << " node(s) hot now\n";
+        for (const auto& hot : detector.top_hot(3)) {
+          std::cout << "  node load " << hot.load << " baseline "
+                    << hot.baseline << (hot.hot ? "  [hot]" : "") << '\n';
         }
         if (!heatmap_out.empty()) {
           std::cout << (obs::dump_heatmap(series, heatmap_out)

@@ -255,6 +255,50 @@ public:
     cache_stats_ = {};
   }
 
+  // --- Hot-cluster replica cache (docs/LOAD_BALANCING.md) -------------------
+  // The reaction controller's serving tier: a replicated, versioned snapshot
+  // of one cluster's stored keys, keyed by cluster id (level, prefix).
+  // dispatch_clusters consults it before routing — a dispatch whose cluster
+  // falls inside a *valid* entry is sent one hop to one of the entry's
+  // replica peers, which answers from the snapshot. publish / publish_batch /
+  // unpublish of any key inside an entry's segment invalidates the entry
+  // (version bump, valid=false): an invalid entry stops serving (dispatches
+  // fall back to routing, so a stale read is structurally impossible) until
+  // refresh_replica() re-snapshots it. With no entries installed the consult
+  // is a single empty() branch, which is the reaction layer's half of the
+  // bit-transparency lock (tests/core/reaction_test.cpp).
+
+  struct ReplicaCacheStats {
+    std::uint64_t serves = 0;        ///< dispatches answered from a replica
+    std::uint64_t stale_skips = 0;   ///< consults finding only invalid entries
+    std::uint64_t invalidations = 0; ///< valid → invalid transitions
+    std::uint64_t refreshes = 0;     ///< re-snapshots (refresh_replica)
+  };
+
+  /// Install (or replace) the replica set serving reads for the cluster
+  /// (level, prefix): snapshots the cluster's stored keys now and serves
+  /// later dispatches of that cluster — or any descendant — from `replicas`.
+  /// Returns the entry id (stable until drop_replica). Replicas must be live
+  /// peers; the set must be non-empty.
+  std::uint64_t install_replica(unsigned level, u128 prefix,
+                                std::vector<NodeId> replicas);
+  /// Re-snapshot an (invalidated) entry from the live store and mark it
+  /// valid again, bumping its version. Returns false for unknown ids.
+  bool refresh_replica(std::uint64_t id);
+  /// Remove an entry; its cluster is served by routing again.
+  bool drop_replica(std::uint64_t id);
+  std::size_t replica_entries() const noexcept { return replica_cache_.size(); }
+  /// False for unknown or invalidated entries.
+  bool replica_valid(std::uint64_t id) const;
+  /// Monotone per-entry version: bumped on every invalidation and refresh;
+  /// 0 for unknown ids.
+  std::uint64_t replica_version(std::uint64_t id) const;
+  /// Load the entry has absorbed so far, in owner scan_hits units (keys its
+  /// replica scans matched; 0 for unknown ids) — the reaction controller's
+  /// per-entry demand signal.
+  std::uint64_t replica_serves(std::uint64_t id) const;
+  ReplicaCacheStats replica_stats() const;
+
   // --- Observability (obs/trace.hpp) ---------------------------------------
 
   /// Toggle span-level query tracing at runtime. Seeded from
@@ -362,6 +406,20 @@ private:
                     std::size_t& count, std::uint64_t& keys_scanned,
                     std::uint64_t& keys_matched, std::uint64_t& matches,
                     AggScanRecord* agg = nullptr) const;
+  /// The sweep over an explicit (index, payload) array pair: scan_segment
+  /// runs it over the live store; replica scans (ScanRequest::replica != 0)
+  /// run it over the entry's snapshot.
+  void scan_arrays(const std::vector<u128>& index,
+                   const std::vector<StoredKey>& data, const sfc::Rect& rect,
+                   sfc::Segment segment, bool covered, bool count_only,
+                   std::vector<DataElement>& elements, std::size_t& count,
+                   std::uint64_t& keys_scanned, std::uint64_t& keys_matched,
+                   std::uint64_t& matches, AggScanRecord* agg) const;
+  /// Resolve a replica scan's arrays: the entry's snapshot when it is still
+  /// present and valid, else the live store (an entry invalidated or dropped
+  /// while the scan was in flight must not serve its stale snapshot).
+  std::pair<const std::vector<u128>*, const std::vector<StoredKey>*>
+  replica_scan_arrays(std::uint64_t id) const;
   /// kParallel twin of perform_scan: identical sweep, but every result and
   /// span field lands in the scan's private ScanBuffer (no QueryExec
   /// mutation — executor shards run this concurrently with home-shard
@@ -400,6 +458,42 @@ private:
   /// of keys <= v): the primitive behind every load probe and split point.
   std::size_t key_rank_after(u128 v) const;
 
+  // --- Hot-cluster replica cache internals ----------------------------------
+  struct ReplicaEntry {
+    std::uint64_t id = 0;              ///< cache key, stamped at install
+    unsigned level = 0;
+    u128 prefix = 0;
+    sfc::Segment segment{};            ///< index range the cluster covers
+    std::vector<NodeId> replicas;      ///< peers serving the snapshot
+    std::uint64_t version = 1;         ///< bumped on invalidate and refresh
+    bool valid = true;                 ///< false after a covered republish
+    std::vector<u128> snapshot_index;  ///< snapshot: sorted keys in segment
+    std::vector<StoredKey> snapshot_data;
+    /// Load this entry absorbed, in the owner's units: keys its replica
+    /// scans matched (exactly the scan_hits the owner would otherwise have
+    /// recorded) — the controller's demand signal for draining entries
+    /// after a clear. Atomic behind unique_ptr: bumped on the const query
+    /// path, possibly from several shard threads.
+    std::unique_ptr<std::atomic<std::uint64_t>> serves =
+        std::make_unique<std::atomic<std::uint64_t>>(0);
+  };
+  /// The deepest valid entry whose cluster contains `cluster` (an entry at
+  /// level L serves every descendant dispatch at level >= L with matching
+  /// prefix). Counts a stale skip and returns null when only invalidated
+  /// entries match.
+  const ReplicaEntry* replica_serving(const sfc::ClusterNode& cluster) const;
+  /// Scan-side hook: credit `matched` keys of served load to entry `id`
+  /// (no-op for id 0 / dropped entries). Called from both scan paths.
+  void note_replica_serve(std::uint64_t id, std::uint64_t matched) const;
+  /// Copy the live store's keys in `entry.segment` into its snapshot.
+  void snapshot_replica(ReplicaEntry& entry);
+  /// Publish-side hook: invalidate every valid entry whose segment covers
+  /// `index`. O(entries) per publish, entries are O(active hotspots).
+  void invalidate_replicas(u128 index);
+  /// Batch twin: `touched` is the index-sorted key list of one
+  /// publish_batch; each entry is judged with one binary search.
+  void invalidate_replicas_batch(const std::vector<u128>& touched);
+
   keyword::KeywordSpace space_;
   SquidConfig config_;
   std::unique_ptr<sfc::Curve> curve_;
@@ -431,6 +525,21 @@ private:
   /// (Heap-held so the system stays movable; atomics are not.)
   mutable std::unique_ptr<std::atomic<int>> cache_writers_ =
       std::make_unique<std::atomic<int>>(0);
+  /// Hot-cluster replica entries, by id. Mutated only between queries (the
+  /// controller runs at epoch close, a safe point); the query path reads it.
+  std::map<std::uint64_t, ReplicaEntry> replica_cache_;
+  std::uint64_t next_replica_id_ = 1;
+  /// Query-path counters: bumped inside const planning, which kParallel
+  /// replays concurrently on home shards — hence atomics (heap-held for
+  /// movability, same pattern as cache_writers_).
+  struct ReplicaCounters {
+    std::atomic<std::uint64_t> serves{0};
+    std::atomic<std::uint64_t> stale_skips{0};
+    std::atomic<std::uint64_t> invalidations{0};
+    std::atomic<std::uint64_t> refreshes{0};
+  };
+  mutable std::unique_ptr<ReplicaCounters> replica_counters_ =
+      std::make_unique<ReplicaCounters>();
 };
 
 } // namespace squid::core

@@ -124,6 +124,13 @@ struct SquidConfig {
   /// Reply-path MTU for wire accounting: a reply of B bytes counts as
   /// ceil(B / reply_frame_bytes) frames in QueryStats::reply_messages.
   std::size_t reply_frame_bytes = 1024;
+  /// Hotspot-detector floor calibration (docs/LOAD_BALANCING.md): the
+  /// effective HotspotConfig::min_load is raised to this factor × the p95
+  /// of per-node epoch load totals over a calibration window
+  /// (obs::calibrated_min_load), so steady-state hum never trips the
+  /// detector. 2x-p95 is the documented default; the CLI heatmap report
+  /// and bench/ext_hotspot both read it from here so they agree.
+  double hotspot_min_load_factor = 2.0;
 };
 
 /// Hit/miss counters for the cluster-owner cache.

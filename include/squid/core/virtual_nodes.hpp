@@ -7,10 +7,18 @@
 // in the paper — here a small random sample, which models the same limited
 // view). Migration moves only the hosting assignment, so it is much cheaper
 // than the identifier moves of the boundary-exchange algorithm.
+//
+// The split/migrate actions are exposed as event-driven primitives
+// (split_virtual, migrate_heaviest): the periodic balance_round sweep is
+// now one caller among two — the reaction controller (core/reaction.hpp)
+// invokes the same primitives from `hotspot.onset` events, so a flash crowd
+// is answered when the detector fires instead of whenever the next round
+// happens to run (docs/LOAD_BALANCING.md).
 
 #pragma once
 
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "squid/core/system.hpp"
@@ -31,10 +39,37 @@ public:
   /// Sum of virtual-node loads per physical peer.
   std::vector<std::size_t> physical_loads() const;
 
-  /// One balancing round: split virtual nodes whose load exceeds
-  /// `split_threshold` times the average virtual load, then migrate virtual
-  /// nodes away from physical peers whose load exceeds `migrate_threshold`
-  /// times the average physical load. Returns splits + migrations done.
+  // --- Event-driven primitives (docs/LOAD_BALANCING.md) --------------------
+
+  /// Split virtual node `hot` at its median key: the new identifier takes
+  /// the first half of `hot`'s keys as a fresh virtual node, hosted by the
+  /// least-loaded of `probes` sampled peers (a cold peer under a crowd).
+  /// This is balance_round's phase-1 step and the reaction controller's
+  /// `hotspot.onset` handler. Returns the new virtual node's id; nullopt
+  /// when `hot` has too few keys or its median id is unusable.
+  std::optional<SquidSystem::NodeId> split_virtual(SquidSystem::NodeId hot,
+                                                   unsigned probes, Rng& rng);
+
+  /// Move the heaviest virtual node hosted by `peer` to the least-loaded
+  /// sampled peer, when that strictly lowers the gap. Only the hosting
+  /// assignment changes — no keys or identifiers move. balance_round's
+  /// phase-2 step. Returns true when a migration happened.
+  bool migrate_heaviest(std::size_t peer, unsigned probes, Rng& rng);
+
+  /// Peer hosting virtual node `id` (it must be one of ours).
+  std::size_t host_of(SquidSystem::NodeId id) const;
+
+  /// The full virtual → peer hosting map (split-determinism tests compare
+  /// it across runs and shard counts).
+  const std::map<SquidSystem::NodeId, std::size_t>& hosts() const noexcept {
+    return host_of_;
+  }
+
+  /// One balancing round over the primitives above: split virtual nodes
+  /// whose load exceeds `split_threshold` times the average virtual load,
+  /// then migrate virtual nodes away from physical peers whose load exceeds
+  /// `migrate_threshold` times the average physical load. Returns splits +
+  /// migrations done.
   std::size_t balance_round(double split_threshold, double migrate_threshold,
                             Rng& rng);
 
@@ -43,6 +78,10 @@ public:
 
 private:
   std::size_t load_of_virtual(SquidSystem::NodeId id) const;
+  /// The least-loaded of `probes` uniform draws (the paper's constant-size
+  /// "neighbors or fingers" view; never a global argmin).
+  std::size_t sample_cold_peer(const std::vector<std::size_t>& loads,
+                               unsigned probes, Rng& rng) const;
 
   SquidSystem& sys_;
   std::size_t physical_count_;

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <vector>
@@ -54,6 +55,16 @@ struct HotspotEvent {
 
 const char* hotspot_event_name(HotspotEvent::Kind kind) noexcept;
 
+/// The documented min_load calibration (docs/LOAD_BALANCING.md §4): raise
+/// the absolute floor to `factor` × the p95 of per-node epoch totals over
+/// the calibration window `series.epochs[0, through_epoch)`, so the steady
+/// hum of a healthy ring can never trip the detector. `factor` comes from
+/// `SquidConfig::hotspot_min_load_factor` (default 2.0) so the CLI and the
+/// benches agree on the same floor. Returns `base` unchanged when the
+/// window is empty.
+double calibrated_min_load(double base, const LoadSeries& series,
+                           std::uint64_t through_epoch, double factor);
+
 class HotspotDetector {
 public:
   /// `registry`: where the squid.balance.hotspot.* counters publish
@@ -66,8 +77,26 @@ public:
   /// Feed one closed epoch (must be fed in epoch order). Every node ever
   /// seen is re-evaluated — a hot node absent from this window counts as
   /// load 0 and clears. Returns the transitions this window triggered
-  /// (also appended to events()).
+  /// (also appended to events(), and delivered to the sink if one is set).
   std::vector<HotspotEvent> observe(const EpochSample& sample);
+
+  /// The event bus out of the detector: every transition observe() fires is
+  /// also delivered here, in epoch order, before observe() returns. The
+  /// reaction controller (core/reaction.hpp) subscribes through this; so can
+  /// a CLI printer or a Perfetto exporter. Sinks run outside the query
+  /// engine — at epoch close, a safe point in every delivery mode — so a
+  /// sink can mutate the overlay without racing in-flight queries.
+  void set_sink(std::function<void(const HotspotEvent&)> sink) {
+    sink_ = std::move(sink);
+  }
+
+  /// Whether `node` is currently flagged hot (false for unknown nodes).
+  bool is_hot(overlay::NodeId node) const;
+
+  /// The node's current EWMA baseline (frozen while hot; 0 for unknown
+  /// nodes). The reaction controller's drain test compares absorbed replica
+  /// demand against it.
+  double baseline_of(overlay::NodeId node) const;
 
   /// Replay a whole series through observe(), in order.
   void observe_all(const LoadSeries& series);
@@ -103,6 +132,7 @@ private:
 
   HotspotConfig config_;
   Registry* registry_ = nullptr;
+  std::function<void(const HotspotEvent&)> sink_;
   std::vector<HotspotEvent> events_;
   std::map<overlay::NodeId, NodeState> nodes_;
   std::size_t active_ = 0;

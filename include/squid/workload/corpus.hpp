@@ -121,6 +121,91 @@ private:
   FlashCrowdConfig config_;
 };
 
+/// Diurnal Zipf-shift workload (bench/ext_hotspot --scenario=diurnal,
+/// EXPERIMENTS.md): the popular region of the vocabulary is not fixed but
+/// wanders — every `period_epochs` epochs the Zipf focus advances by
+/// `focus_step` ranks, the way interest follows the sun across time zones.
+/// Each relocation concentrates load on a fresh set of owners, so the
+/// detector must raise onsets for the new region while clearing the old one
+/// — the adversarial case for frozen-while-hot baselines, and for a
+/// reaction controller that must keep re-aiming its splits.
+struct DiurnalShiftConfig {
+  std::uint64_t period_epochs = 6; ///< epochs between focus relocations
+  std::size_t focus_step = 24;     ///< ranks the focus advances per move
+  std::size_t window = 4;          ///< focused draws spread over this many ranks
+  double focus_fraction = 0.8;     ///< chance a draw comes from the focus
+  std::size_t baseline_ranks = 64; ///< background draws over the top ranks
+  unsigned prefix_len = 3;
+  double q2_fraction = 0.3;
+};
+
+class DiurnalShiftWorkload {
+public:
+  explicit DiurnalShiftWorkload(const KeywordCorpus& corpus,
+                                DiurnalShiftConfig config = {});
+
+  const DiurnalShiftConfig& config() const noexcept { return config_; }
+
+  /// First vocabulary rank of the focus window during `epoch`.
+  std::size_t focus_of(std::uint64_t epoch) const noexcept;
+
+  /// One query for a request issued during `epoch`: a partial-keyword query
+  /// from the current focus window with probability focus_fraction, a
+  /// baseline Q1/Q2 draw otherwise.
+  keyword::Query draw(std::uint64_t epoch, Rng& rng) const;
+
+private:
+  const KeywordCorpus* corpus_;
+  DiurnalShiftConfig config_;
+};
+
+/// Skewed-publisher workload (bench/ext_hotspot --scenario=skew,
+/// EXPERIMENTS.md): the *write* path is the adversary. Publishes concentrate
+/// under one keyword prefix (hot_fraction of new elements share the hot
+/// word's prefix region), so one arc of the ring absorbs most inserts —
+/// and, once the reaction controller replicates the hot cluster, every such
+/// publish invalidates the snapshot, exercising the
+/// invalidation-then-refresh path of the replica cache under a realistic
+/// update stream. Queries stay the baseline mix.
+struct SkewedPublisherConfig {
+  std::size_t hot_rank = 0;  ///< vocabulary rank publishes pile onto
+  double hot_fraction = 0.8; ///< chance a publish lands in the hot region
+  unsigned prefix_len = 3;   ///< prefix defining the hot region
+  std::size_t baseline_ranks = 64;
+  double q2_fraction = 0.3;
+};
+
+class SkewedPublisherWorkload {
+public:
+  explicit SkewedPublisherWorkload(const KeywordCorpus& corpus,
+                                   SkewedPublisherConfig config = {});
+
+  const SkewedPublisherConfig& config() const noexcept { return config_; }
+
+  /// One published element: first keyword drawn from the hot-prefix pool
+  /// with probability hot_fraction (uniform vocabulary otherwise), other
+  /// dimensions uniform.
+  core::DataElement make_element(Rng& rng) const;
+
+  /// The query matching the hot region (what a reader of the contended data
+  /// issues): a partial-keyword Q1 over the hot prefix.
+  keyword::Query hot_query() const;
+
+  /// Baseline Q1/Q2 query mix (epoch-independent; the skew is in writes).
+  keyword::Query draw(Rng& rng) const;
+
+  /// Vocabulary ranks sharing the hot word's prefix (the publish pool).
+  const std::vector<std::size_t>& hot_pool() const noexcept {
+    return hot_pool_;
+  }
+
+private:
+  const KeywordCorpus* corpus_;
+  SkewedPublisherConfig config_;
+  std::vector<std::size_t> hot_pool_;
+  mutable std::uint64_t counter_ = 0; ///< element-name sequence
+};
+
 /// Grid-resource corpus: numeric attributes with realistic clustering
 /// (memory concentrates on powers of two, bandwidth on standard tiers,
 /// cost spreads log-uniformly).

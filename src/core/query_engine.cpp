@@ -165,15 +165,47 @@ void SquidSystem::scan_segment(const sfc::Rect& rect, sfc::Segment seg,
                                std::uint64_t& keys_matched,
                                std::uint64_t& matches,
                                AggScanRecord* agg) const {
-  // One contiguous sweep over the flat store: binary search to the segment
+  scan_arrays(key_index_, key_data_, rect, seg, covered, count_only, elements,
+              count, keys_scanned, keys_matched, matches, agg);
+}
+
+std::pair<const std::vector<u128>*,
+          const std::vector<SquidSystem::StoredKey>*>
+SquidSystem::replica_scan_arrays(std::uint64_t id) const {
+  const auto it = replica_cache_.find(id);
+  if (it != replica_cache_.end() && it->second.valid)
+    return {&it->second.snapshot_index, &it->second.snapshot_data};
+  // Invalidated or dropped while the scan was in flight: answer from the
+  // live store instead — a replica may be behind, but it must never be
+  // stale-served (docs/LOAD_BALANCING.md, invalidation protocol).
+  return {&key_index_, &key_data_};
+}
+
+void SquidSystem::note_replica_serve(std::uint64_t id,
+                                     std::uint64_t matched) const {
+  if (id == 0) return;
+  const auto it = replica_cache_.find(id);
+  if (it != replica_cache_.end())
+    it->second.serves->fetch_add(matched, std::memory_order_relaxed);
+}
+
+void SquidSystem::scan_arrays(const std::vector<u128>& index,
+                              const std::vector<StoredKey>& data,
+                              const sfc::Rect& rect, sfc::Segment seg,
+                              bool covered, bool count_only,
+                              std::vector<DataElement>& elements,
+                              std::size_t& count, std::uint64_t& keys_scanned,
+                              std::uint64_t& keys_matched,
+                              std::uint64_t& matches,
+                              AggScanRecord* agg) const {
+  // One contiguous sweep over a flat store: binary search to the segment
   // start, then walk the index/payload arrays in lockstep. With an aggregate
   // sink the matching elements fold into the local partial instead of being
   // collected — that pushdown is the whole point of DESIGN.md 4g.
   std::size_t i = static_cast<std::size_t>(
-      std::lower_bound(key_index_.begin(), key_index_.end(), seg.lo) -
-      key_index_.begin());
-  for (; i < key_index_.size() && key_index_[i] <= seg.hi; ++i) {
-    const StoredKey& key = key_data_[i];
+      std::lower_bound(index.begin(), index.end(), seg.lo) - index.begin());
+  for (; i < index.size() && index[i] <= seg.hi; ++i) {
+    const StoredKey& key = data[i];
     ++keys_scanned;
     if (!covered && !rect.contains(key.point)) continue;
     ++keys_matched;
@@ -202,6 +234,10 @@ void SquidSystem::perform_scan(QueryExec& ex,
   std::uint64_t scanned = 0;
   std::uint64_t matched = 0;
   std::uint64_t collected = 0;
+  const auto [scan_index, scan_data] =
+      scan.replica == 0
+          ? std::pair{&key_index_, &key_data_}
+          : replica_scan_arrays(scan.replica);
   if (scan.agg.kind != AggregateKind::kNone) {
     // Pushdown: fold into this scan's pre-assigned record. The slot was
     // allocated at post time (identical order across delivery modes), so the
@@ -209,12 +245,14 @@ void SquidSystem::perform_scan(QueryExec& ex,
     AggScanRecord& rec = ex.agg_scans[scan.slot];
     rec.at = at;
     rec.partial.spec = scan.agg;
-    scan_segment(ex.rect, seg, scan.covered, ex.count_only, ex.results,
-                 ex.count, scanned, matched, collected, &rec);
+    scan_arrays(*scan_index, *scan_data, ex.rect, seg, scan.covered,
+                ex.count_only, ex.results, ex.count, scanned, matched,
+                collected, &rec);
   } else {
     const std::size_t first = ex.results.size();
-    scan_segment(ex.rect, seg, scan.covered, ex.count_only, ex.results,
-                 ex.count, scanned, matched, collected, nullptr);
+    scan_arrays(*scan_index, *scan_data, ex.rect, seg, scan.covered,
+                ex.count_only, ex.results, ex.count, scanned, matched,
+                collected, nullptr);
     // Reply-path accounting: this scan site answers the origin directly with
     // one reply (split into MTU frames), measured through the real
     // serializer. Sums of per-scan terms, so mode-independent.
@@ -232,6 +270,7 @@ void SquidSystem::perform_scan(QueryExec& ex,
                            ex.tick(scan.event));
   }
   if (matched > 0) ex.data_nodes.insert(at);
+  note_replica_serve(scan.replica, matched);
   if (ex.telemetry != nullptr)
     ex.telemetry->record(at, obs::LoadKind::kScanHit, matched,
                          ex.tick(scan.event));
@@ -256,16 +295,20 @@ void SquidSystem::perform_scan_parallel(const QueryExec& ex,
   out.segment = scan.segment;
   out.event = scan.event;
   out.span = scan.span;
+  const auto [scan_index, scan_data] =
+      scan.replica == 0
+          ? std::pair{&key_index_, &key_data_}
+          : replica_scan_arrays(scan.replica);
   if (scan.agg.kind != AggregateKind::kNone) {
     out.agg.at = scan.at;
     out.agg.partial.spec = scan.agg;
-    scan_segment(ex.rect, scan.segment, scan.covered, ex.count_only,
-                 out.elements, out.count, out.keys_scanned, out.keys_matched,
-                 out.matches, &out.agg);
+    scan_arrays(*scan_index, *scan_data, ex.rect, scan.segment, scan.covered,
+                ex.count_only, out.elements, out.count, out.keys_scanned,
+                out.keys_matched, out.matches, &out.agg);
   } else {
-    scan_segment(ex.rect, scan.segment, scan.covered, ex.count_only,
-                 out.elements, out.count, out.keys_scanned, out.keys_matched,
-                 out.matches, nullptr);
+    scan_arrays(*scan_index, *scan_data, ex.rect, scan.segment, scan.covered,
+                ex.count_only, out.elements, out.count, out.keys_scanned,
+                out.keys_matched, out.matches, nullptr);
     std::size_t payload = 0;
     for (const DataElement& e : out.elements) payload += element_wire_size(e);
     const std::size_t bytes = reply_wire_size(
@@ -274,6 +317,7 @@ void SquidSystem::perform_scan_parallel(const QueryExec& ex,
     out.reply_bytes = bytes;
     out.reply_frames = frames_of(bytes, config_.reply_frame_bytes);
   }
+  note_replica_serve(scan.replica, out.keys_matched);
   out.touched_data = out.keys_matched > 0;
 }
 
@@ -406,6 +450,79 @@ void SquidSystem::dispatch_clusters(
       s.level = clusters[i].second.level;
       s.range_lo = head_lo;
       s.range_hi = head_lo;
+    }
+
+    // Hot-cluster replica consult (docs/LOAD_BALANCING.md): a valid entry
+    // covering this cluster is answered one hop away by one of its replica
+    // peers, from the entry's snapshot — no overlay routing, no refinement
+    // at the owner, no owner-chain walk. The peer choice is stateless
+    // ((prefix + origin) mod replica count — origin is part of the query
+    // spec, so every delivery mode and shard count picks the same peer,
+    // while different clients of one hot cluster still fan out across the
+    // replica set). While no entries are installed this whole branch is one
+    // empty() check — the reaction layer's bit-transparency lock
+    // (tests/core/reaction_test.cpp) rests on that.
+    if (!replica_cache_.empty()) {
+      if (const ReplicaEntry* entry = replica_serving(clusters[i].second)) {
+        const NodeId replica = entry->replicas[static_cast<std::size_t>(
+            (clusters[i].second.prefix + ex.origin) %
+            entry->replicas.size())];
+        replica_counters_->serves.fetch_add(1, std::memory_order_relaxed);
+        ex.messages += 1; // one direct message, no overlay routing
+        ex.routing.insert(from);
+        ex.routing.insert(replica);
+        if (ex.telemetry != nullptr) {
+          ex.telemetry->record(from, obs::LoadKind::kCacheHit, 1,
+                               ex.tick(event));
+          ex.telemetry->record(from, obs::LoadKind::kRouteThrough, 1,
+                               ex.tick(event));
+          ex.telemetry->record(replica, obs::LoadKind::kRouteThrough, 1,
+                               ex.tick(event));
+        }
+        if (ex.trace) {
+          const std::int32_t id = ex.trace->begin(obs::SpanKind::kCacheHit,
+                                                  dspan, event,
+                                                  ex.tick(event));
+          ex.trace->add_path_node(id, from);
+          ex.trace->add_path_node(id, replica);
+          obs::Span& s = ex.trace->at(id);
+          s.node = replica;
+          s.level = clusters[i].second.level;
+          s.messages = 1;
+          s.end = s.start + 1; // direct send: one hop
+        }
+        const QueryExec::Leg leg = ex.attempt_leg(from, replica);
+        if (!leg.delivered) {
+          ex.add_event(event, static_cast<std::size_t>(leg.penalty));
+          ex.fail_leg(leg.resends, leg.penalty, 1, replica, event, dspan);
+          ++i;
+          continue;
+        }
+        ex.pay_leg(leg, replica, event, dspan);
+        ex.note_reply_parent(replica, from);
+        const std::int32_t arrive =
+            ex.add_event(event, 1 + static_cast<std::size_t>(leg.penalty));
+        if (ex.trace) {
+          obs::Span& s = ex.trace->at(dspan);
+          s.node = replica;
+          s.event = arrive;
+          s.batch = 1;
+          s.hops = 1;
+          s.messages = 0;
+          s.range_hi = head_lo;
+          s.end = ex.tick(arrive);
+        }
+        // The replica answers the whole cluster from its snapshot: one scan
+        // over the cluster's segment, rectangle-filtered (the snapshot holds
+        // every key in the segment, matching or not).
+        runtime.post(exec, msg::ScanRequest{
+                               ex.id, replica,
+                               refiner_.segment_of(clusters[i].second),
+                               /*covered=*/false, {}, 0, arrive, dspan,
+                               entry->id});
+        ++i;
+        continue;
+      }
     }
 
     NodeId dest = 0;

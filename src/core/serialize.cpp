@@ -301,7 +301,8 @@ std::size_t save_message(const msg::Message& message, std::ostream& out) {
           << to_string(s.segment.lo) << ' ' << to_string(s.segment.hi) << ' '
           << (s.covered ? 1 : 0) << ' ';
       write_spec(out, s.agg);
-      out << ' ' << s.slot << ' ' << s.event << ' ' << s.span << '\n';
+      out << ' ' << s.slot << ' ' << s.event << ' ' << s.span << ' '
+          << s.replica << '\n';
     }
     void operator()(const msg::Reply& r) const {
       write_reply_header(out, r, r.elements.size());
@@ -359,6 +360,8 @@ msg::Message load_message(std::istream& in, std::size_t* bytes_read) {
     in >> s.slot;
     SQUID_REQUIRE(in, "message: truncated scan slot");
     std::tie(s.event, s.span) = read_ids(in);
+    in >> s.replica;
+    SQUID_REQUIRE(in, "message: truncated scan replica id");
     message = std::move(s);
   } else if (type == "reply") {
     msg::Reply r;

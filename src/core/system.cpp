@@ -101,6 +101,7 @@ void SquidSystem::publish(const DataElement& element) {
   }
   key_data_[pos].elements.push_back(element);
   ++element_count_;
+  if (!replica_cache_.empty()) invalidate_replicas(index);
   if constexpr (obs::kEnabled) {
     static obs::Counter& publishes =
         obs::Registry::global().counter("squid.system.publishes");
@@ -155,6 +156,12 @@ void SquidSystem::publish_batch(const std::vector<DataElement>& elements) {
   key_index_ = std::move(merged_index);
   key_data_ = std::move(merged_data);
   element_count_ += elements.size();
+  if (!replica_cache_.empty()) {
+    std::vector<u128> touched;
+    touched.reserve(order.size());
+    for (const auto& [index, pos] : order) touched.push_back(index);
+    invalidate_replicas_batch(touched); // already index-sorted
+  }
   bump("squid.system.publishes", elements.size());
   if constexpr (obs::kEnabled) {
     if (telemetry_ != nullptr) {
@@ -194,8 +201,133 @@ bool SquidSystem::unpublish(const DataElement& element) {
     key_index_.erase(it);
     key_data_.erase(key_data_.begin() + static_cast<std::ptrdiff_t>(pos));
   }
+  if (!replica_cache_.empty()) invalidate_replicas(index);
   bump("squid.system.unpublishes");
   return true;
+}
+
+// --- Hot-cluster replica cache (docs/LOAD_BALANCING.md) ---------------------
+
+std::uint64_t SquidSystem::install_replica(unsigned level, u128 prefix,
+                                           std::vector<NodeId> replicas) {
+  SQUID_REQUIRE(!replicas.empty(), "install_replica: empty replica set");
+  for (const NodeId r : replicas)
+    SQUID_REQUIRE(ring_.contains(r), "install_replica: replica not a live peer");
+  ReplicaEntry entry;
+  entry.level = level;
+  entry.prefix = prefix;
+  entry.segment = refiner_.segment_of(sfc::ClusterNode{prefix, level});
+  entry.replicas = std::move(replicas);
+  snapshot_replica(entry);
+  const std::uint64_t id = next_replica_id_++;
+  entry.id = id;
+  replica_cache_.emplace(id, std::move(entry));
+  bump("squid.balance.replica.installs");
+  return id;
+}
+
+bool SquidSystem::refresh_replica(std::uint64_t id) {
+  const auto it = replica_cache_.find(id);
+  if (it == replica_cache_.end()) return false;
+  ReplicaEntry& entry = it->second;
+  snapshot_replica(entry);
+  entry.valid = true;
+  ++entry.version;
+  replica_counters_->refreshes.fetch_add(1, std::memory_order_relaxed);
+  bump("squid.balance.replica.refreshes");
+  return true;
+}
+
+bool SquidSystem::drop_replica(std::uint64_t id) {
+  return replica_cache_.erase(id) > 0;
+}
+
+bool SquidSystem::replica_valid(std::uint64_t id) const {
+  const auto it = replica_cache_.find(id);
+  return it != replica_cache_.end() && it->second.valid;
+}
+
+std::uint64_t SquidSystem::replica_version(std::uint64_t id) const {
+  const auto it = replica_cache_.find(id);
+  return it != replica_cache_.end() ? it->second.version : 0;
+}
+
+std::uint64_t SquidSystem::replica_serves(std::uint64_t id) const {
+  const auto it = replica_cache_.find(id);
+  return it != replica_cache_.end()
+             ? it->second.serves->load(std::memory_order_relaxed)
+             : 0;
+}
+
+SquidSystem::ReplicaCacheStats SquidSystem::replica_stats() const {
+  ReplicaCacheStats stats;
+  stats.serves = replica_counters_->serves.load(std::memory_order_relaxed);
+  stats.stale_skips =
+      replica_counters_->stale_skips.load(std::memory_order_relaxed);
+  stats.invalidations =
+      replica_counters_->invalidations.load(std::memory_order_relaxed);
+  stats.refreshes =
+      replica_counters_->refreshes.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void SquidSystem::snapshot_replica(ReplicaEntry& entry) {
+  const auto lo =
+      std::lower_bound(key_index_.begin(), key_index_.end(), entry.segment.lo);
+  const auto hi = std::upper_bound(lo, key_index_.end(), entry.segment.hi);
+  const auto first = static_cast<std::size_t>(lo - key_index_.begin());
+  entry.snapshot_index.assign(lo, hi);
+  entry.snapshot_data.assign(
+      key_data_.begin() + static_cast<std::ptrdiff_t>(first),
+      key_data_.begin() +
+          static_cast<std::ptrdiff_t>(first + entry.snapshot_index.size()));
+}
+
+const SquidSystem::ReplicaEntry* SquidSystem::replica_serving(
+    const sfc::ClusterNode& cluster) const {
+  const ReplicaEntry* best = nullptr;
+  bool stale_only = false;
+  const unsigned dims = curve_->dims();
+  for (const auto& [id, entry] : replica_cache_) {
+    if (cluster.level < entry.level) continue;
+    // `cluster` descends from the entry's cluster iff dropping the extra
+    // levels of its prefix reproduces the entry's prefix. A shift of >= 128
+    // bits means the entry is so shallow it covers everything it matches.
+    const unsigned shift = (cluster.level - entry.level) * dims;
+    const u128 ancestor = shift >= 128 ? 0 : cluster.prefix >> shift;
+    if (ancestor != entry.prefix) continue;
+    if (!entry.valid) {
+      stale_only = true;
+      continue;
+    }
+    if (best == nullptr || entry.level > best->level) best = &entry;
+  }
+  if (best == nullptr && stale_only)
+    replica_counters_->stale_skips.fetch_add(1, std::memory_order_relaxed);
+  return best;
+}
+
+void SquidSystem::invalidate_replicas(u128 index) {
+  for (auto& [id, entry] : replica_cache_) {
+    if (!entry.valid || !entry.segment.contains(index)) continue;
+    entry.valid = false;
+    ++entry.version;
+    replica_counters_->invalidations.fetch_add(1, std::memory_order_relaxed);
+    bump("squid.balance.replica.invalidations");
+  }
+}
+
+void SquidSystem::invalidate_replicas_batch(const std::vector<u128>& touched) {
+  for (auto& [id, entry] : replica_cache_) {
+    if (!entry.valid) continue;
+    const auto hit = std::lower_bound(touched.begin(), touched.end(),
+                                      entry.segment.lo);
+    if (hit == touched.end() || *hit > entry.segment.hi) continue;
+    entry.valid = false;
+    ++entry.version;
+    replica_counters_->invalidations.fetch_add(1, std::memory_order_relaxed);
+    bump("squid.balance.replica.invalidations");
+  }
 }
 
 overlay::RouteResult SquidSystem::publish_routed(const DataElement& element,

@@ -36,6 +36,61 @@ std::vector<std::size_t> VirtualNodeManager::physical_loads() const {
   return loads;
 }
 
+std::size_t VirtualNodeManager::host_of(SquidSystem::NodeId id) const {
+  const auto it = host_of_.find(id);
+  SQUID_REQUIRE(it != host_of_.end(), "host_of: not a managed virtual node");
+  return it->second;
+}
+
+std::size_t VirtualNodeManager::sample_cold_peer(
+    const std::vector<std::size_t>& loads, unsigned probes, Rng& rng) const {
+  std::size_t target = rng.below(physical_count_);
+  for (unsigned probe = 0; probe < probes; ++probe) {
+    const std::size_t candidate = rng.below(physical_count_);
+    if (loads[candidate] < loads[target]) target = candidate;
+  }
+  return target;
+}
+
+std::optional<SquidSystem::NodeId> VirtualNodeManager::split_virtual(
+    SquidSystem::NodeId hot, unsigned probes, Rng& rng) {
+  SQUID_REQUIRE(host_of_.count(hot) != 0,
+                "split_virtual: not a managed virtual node");
+  const auto split = sys_.median_split_id(hot);
+  if (!split) return std::nullopt;
+  const auto loads = physical_loads();
+  const std::size_t target = sample_cold_peer(loads, probes, rng);
+  // The split id takes the first half of `hot`'s keys as a new virtual
+  // node on the chosen peer.
+  sys_.add_node_at(*split);
+  host_of_[*split] = target;
+  ++splits_;
+  return split;
+}
+
+bool VirtualNodeManager::migrate_heaviest(std::size_t peer, unsigned probes,
+                                          Rng& rng) {
+  SQUID_REQUIRE(peer < physical_count_, "migrate_heaviest: no such peer");
+  const auto loads = physical_loads();
+  // Heaviest virtual node hosted by `peer`.
+  SquidSystem::NodeId heaviest = 0;
+  std::size_t heaviest_load = 0;
+  for (const auto& [id, host] : host_of_) {
+    if (host != peer) continue;
+    const std::size_t load = load_of_virtual(id);
+    if (load >= heaviest_load) {
+      heaviest = id;
+      heaviest_load = load;
+    }
+  }
+  if (heaviest_load == 0) return false;
+  const std::size_t target = sample_cold_peer(loads, probes, rng);
+  if (loads[target] + heaviest_load >= loads[peer]) return false;
+  host_of_[heaviest] = target;
+  ++migrations_;
+  return true;
+}
+
 std::size_t VirtualNodeManager::balance_round(double split_threshold,
                                               double migrate_threshold,
                                               Rng& rng) {
@@ -57,22 +112,8 @@ std::size_t VirtualNodeManager::balance_round(double split_threshold,
       hot.push_back(id);
     }
   }
-  for (const auto id : hot) {
-    const auto split = sys_.median_split_id(id);
-    if (!split) continue;
-    const auto loads = physical_loads();
-    std::size_t target = rng.below(physical_count_);
-    for (int probe = 0; probe < 4; ++probe) {
-      const std::size_t candidate = rng.below(physical_count_);
-      if (loads[candidate] < loads[target]) target = candidate;
-    }
-    // The split id takes the first half of `id`'s keys as a new virtual
-    // node on the chosen peer.
-    sys_.add_node_at(*split);
-    host_of_[*split] = target;
-    ++splits_;
-    ++actions;
-  }
+  for (const auto id : hot)
+    if (split_virtual(id, 4, rng)) ++actions;
 
   // Phase 2 — migrate from overloaded peers: move the heaviest virtual node
   // of any peer loaded beyond migrate_threshold x average to the
@@ -86,28 +127,7 @@ std::size_t VirtualNodeManager::balance_round(double split_threshold,
         migrate_threshold * std::max(1.0, avg_physical)) {
       continue;
     }
-    // Heaviest virtual node hosted by `peer`.
-    SquidSystem::NodeId heaviest = 0;
-    std::size_t heaviest_load = 0;
-    for (const auto& [id, host] : host_of_) {
-      if (host != peer) continue;
-      const std::size_t load = load_of_virtual(id);
-      if (load >= heaviest_load) {
-        heaviest = id;
-        heaviest_load = load;
-      }
-    }
-    if (heaviest_load == 0) continue;
-    std::size_t target = rng.below(physical_count_);
-    for (int probe = 0; probe < 4; ++probe) {
-      const std::size_t candidate = rng.below(physical_count_);
-      if (loads[candidate] < loads[target]) target = candidate;
-    }
-    if (loads[target] + heaviest_load < loads[peer]) {
-      host_of_[heaviest] = target;
-      ++migrations_;
-      ++actions;
-    }
+    if (migrate_heaviest(peer, 4, rng)) ++actions;
   }
   return actions;
 }

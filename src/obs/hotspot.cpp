@@ -81,7 +81,35 @@ std::vector<HotspotEvent> HotspotDetector::observe(const EpochSample& sample) {
         .set(static_cast<double>(active_));
   }
   events_.insert(events_.end(), fired.begin(), fired.end());
+  if (sink_)
+    for (const HotspotEvent& e : fired) sink_(e);
   return fired;
+}
+
+bool HotspotDetector::is_hot(overlay::NodeId node) const {
+  const auto it = nodes_.find(node);
+  return it != nodes_.end() && it->second.hot;
+}
+
+double HotspotDetector::baseline_of(overlay::NodeId node) const {
+  const auto it = nodes_.find(node);
+  return it != nodes_.end() ? it->second.baseline : 0.0;
+}
+
+double calibrated_min_load(double base, const LoadSeries& series,
+                           std::uint64_t through_epoch, double factor) {
+  std::vector<double> totals;
+  for (const EpochSample& sample : series.epochs) {
+    if (sample.epoch >= through_epoch) break;
+    for (const auto& [node, load] : sample.nodes)
+      totals.push_back(static_cast<double>(load.total()));
+  }
+  if (totals.empty()) return base;
+  std::sort(totals.begin(), totals.end());
+  const std::size_t rank =
+      std::min(totals.size() - 1,
+               static_cast<std::size_t>(0.95 * static_cast<double>(totals.size())));
+  return std::max(base, factor * totals[rank]);
 }
 
 void HotspotDetector::observe_all(const LoadSeries& series) {

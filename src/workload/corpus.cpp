@@ -144,6 +144,98 @@ keyword::Query FlashCrowdWorkload::draw(std::uint64_t epoch, Rng& rng) const {
   return corpus_->q1(rank, rng.chance(0.5), config_.prefix_len);
 }
 
+DiurnalShiftWorkload::DiurnalShiftWorkload(const KeywordCorpus& corpus,
+                                           DiurnalShiftConfig config)
+    : corpus_(&corpus), config_(config) {
+  SQUID_REQUIRE(config_.period_epochs >= 1,
+                "diurnal shift needs a nonzero period");
+  SQUID_REQUIRE(config_.focus_fraction >= 0.0 &&
+                    config_.focus_fraction <= 1.0,
+                "focus_fraction must be a probability");
+  const std::size_t vocab = corpus.vocabulary().words().size();
+  config_.window = std::max<std::size_t>(1, std::min(config_.window, vocab));
+  config_.focus_step = std::max<std::size_t>(1, config_.focus_step);
+  config_.baseline_ranks =
+      std::max<std::size_t>(1, std::min(config_.baseline_ranks, vocab));
+}
+
+std::size_t DiurnalShiftWorkload::focus_of(std::uint64_t epoch) const noexcept {
+  // The focus advances focus_step ranks every period, wrapping around the
+  // vocabulary — a rotating popularity peak.
+  const std::size_t vocab = corpus_->vocabulary().words().size();
+  const std::uint64_t moves = epoch / config_.period_epochs;
+  return static_cast<std::size_t>((moves * config_.focus_step) % vocab);
+}
+
+keyword::Query DiurnalShiftWorkload::draw(std::uint64_t epoch,
+                                          Rng& rng) const {
+  const std::size_t vocab = corpus_->vocabulary().words().size();
+  if (rng.chance(config_.focus_fraction)) {
+    // A partial-keyword query from the current focus window: the
+    // concentrated mass that makes the focus region's owners hot.
+    const std::size_t rank =
+        (focus_of(epoch) + rng.below(config_.window)) % vocab;
+    return corpus_->q1(rank, /*partial=*/true, config_.prefix_len);
+  }
+  // Same baseline hum as FlashCrowdWorkload.
+  const std::size_t rank = rng.below(config_.baseline_ranks);
+  if (corpus_->dims() >= 2 && rng.chance(config_.q2_fraction)) {
+    const std::size_t rank_b = rng.below(config_.baseline_ranks);
+    return corpus_->q2(rank, rank_b, /*partial_b=*/true, config_.prefix_len);
+  }
+  return corpus_->q1(rank, rng.chance(0.5), config_.prefix_len);
+}
+
+SkewedPublisherWorkload::SkewedPublisherWorkload(const KeywordCorpus& corpus,
+                                                 SkewedPublisherConfig config)
+    : corpus_(&corpus), config_(config) {
+  SQUID_REQUIRE(config_.hot_fraction >= 0.0 && config_.hot_fraction <= 1.0,
+                "hot_fraction must be a probability");
+  const auto& words = corpus.vocabulary().words();
+  SQUID_REQUIRE(config_.hot_rank < words.size(),
+                "hot_rank beyond the vocabulary");
+  config_.baseline_ranks =
+      std::max<std::size_t>(1, std::min(config_.baseline_ranks, words.size()));
+  // Precompute the publish pool: every vocabulary rank whose word shares the
+  // hot word's prefix. These all map into the same curve clusters, so the
+  // concentrated publishes land on one arc of the ring.
+  const std::string prefix = words[config_.hot_rank].substr(
+      0, std::max<unsigned>(1, config_.prefix_len));
+  for (std::size_t rank = 0; rank < words.size(); ++rank) {
+    if (words[rank].compare(0, prefix.size(), prefix) == 0)
+      hot_pool_.push_back(rank);
+  }
+  if (hot_pool_.empty()) hot_pool_.push_back(config_.hot_rank);
+}
+
+core::DataElement SkewedPublisherWorkload::make_element(Rng& rng) const {
+  core::DataElement element;
+  element.name = "skew" + std::to_string(counter_++);
+  const auto& vocab = corpus_->vocabulary();
+  if (rng.chance(config_.hot_fraction)) {
+    element.keys.emplace_back(
+        vocab.by_rank(hot_pool_[rng.below(hot_pool_.size())]));
+  } else {
+    element.keys.emplace_back(vocab.sample(rng));
+  }
+  for (unsigned d = 1; d < corpus_->dims(); ++d)
+    element.keys.emplace_back(vocab.sample(rng));
+  return element;
+}
+
+keyword::Query SkewedPublisherWorkload::hot_query() const {
+  return corpus_->q1(config_.hot_rank, /*partial=*/true, config_.prefix_len);
+}
+
+keyword::Query SkewedPublisherWorkload::draw(Rng& rng) const {
+  const std::size_t rank = rng.below(config_.baseline_ranks);
+  if (corpus_->dims() >= 2 && rng.chance(config_.q2_fraction)) {
+    const std::size_t rank_b = rng.below(config_.baseline_ranks);
+    return corpus_->q2(rank, rank_b, /*partial_b=*/true, config_.prefix_len);
+  }
+  return corpus_->q1(rank, rng.chance(0.5), config_.prefix_len);
+}
+
 ResourceCorpus::ResourceCorpus(unsigned bits) : bits_(bits) {
   SQUID_REQUIRE(bits >= 4 && bits < 32, "resource bits must be in [4,31]");
 }

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "squid/core/parallel.hpp"
 #include "squid/core/virtual_nodes.hpp"
 #include "squid/stats/summary.hpp"
 #include "squid/workload/corpus.hpp"
@@ -93,6 +94,61 @@ TEST(VirtualNodes, QueriesRemainCompleteThroughBalancing) {
   for (const auto& e : all) expected += sys.space().matches(q, e.keys);
   const auto result = sys.query(q, sys.ring().random_node(rng));
   EXPECT_EQ(result.stats.matches, expected);
+}
+
+TEST(VirtualNodes, SplitChoiceIsDeterministicAcrossShardCounts) {
+  // The reaction controller splits hot nodes mid-run in every delivery
+  // mode, so the split's outcome — median key, sampled host, resulting
+  // topology — must not depend on how many shards executed the queries
+  // that heated the node.
+  struct Outcome {
+    bool split = false;
+    SquidSystem::NodeId added = 0;
+    std::size_t ring = 0;
+    std::size_t virtuals = 0;
+  };
+  std::vector<Outcome> outcomes;
+  for (const unsigned shards : {1u, 2u, 4u}) {
+    World world = make_world(67, 4000);
+    Rng rng(67);
+    VirtualNodeManager manager(*world.sys, 30, 2, rng);
+
+    std::vector<ParallelQuerySpec> specs;
+    Rng q_rng(68);
+    for (int i = 0; i < 12; ++i) {
+      ParallelQuerySpec spec;
+      spec.query = world.corpus->q1(static_cast<std::size_t>(i % 5), true);
+      spec.origin = world.sys->ring().random_node(q_rng);
+      specs.push_back(std::move(spec));
+    }
+    ParallelOptions opts;
+    opts.shards = shards;
+    (void)world.sys->query_parallel(specs, opts);
+
+    // The heaviest ring node (deterministic: queries never move keys).
+    SquidSystem::NodeId hot = 0;
+    std::size_t heaviest = 0;
+    for (const auto& [node, load] : world.sys->node_loads())
+      if (load > heaviest) {
+        heaviest = load;
+        hot = node;
+      }
+    Rng split_rng(69);
+    const auto added = manager.split_virtual(hot, 4, split_rng);
+    Outcome out;
+    out.split = added.has_value();
+    out.added = added.value_or(0);
+    out.ring = world.sys->ring().size();
+    out.virtuals = manager.virtual_count();
+    outcomes.push_back(out);
+  }
+  ASSERT_TRUE(outcomes.front().split);
+  for (std::size_t i = 1; i < outcomes.size(); ++i) {
+    EXPECT_EQ(outcomes[i].split, outcomes.front().split) << i;
+    EXPECT_EQ(outcomes[i].added, outcomes.front().added) << i;
+    EXPECT_EQ(outcomes[i].ring, outcomes.front().ring) << i;
+    EXPECT_EQ(outcomes[i].virtuals, outcomes.front().virtuals) << i;
+  }
 }
 
 TEST(VirtualNodes, RejectsMisuse) {
