@@ -3,6 +3,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <set>
@@ -108,6 +109,37 @@ void BM_LoadRank(benchmark::State& state) {
   benchmark::DoNotOptimize(acc);
 }
 
+/// Single-key publish -> retract cycle against a loaded store (DESIGN.md
+/// 4j): Arg0 = resident keys K, Arg1 = store_delta_cap. Cap 1 forces a
+/// merge on every mutation — the PR-2 flat store's O(K) memmove, the
+/// "before" arm. Cap 0 is the tiered sqrt policy: the publish lands in the
+/// delta tier and the retract removes it there, O(log K + |delta|)
+/// amortized. The fresh probe key keeps the resident set at K across
+/// iterations in both arms.
+void BM_SingleKeyUpdate(benchmark::State& state) {
+  const auto& fx =
+      store_fixture(static_cast<std::size_t>(state.range(0)), 1000);
+  core::SquidConfig config;
+  config.store_delta_cap = static_cast<std::size_t>(state.range(1));
+  core::SquidSystem sys(fx.corpus->make_space(), config);
+  sys.publish_batch(fx.elements);
+  // A probe element whose key is not already resident, so publish inserts a
+  // key and retract removes it (the mutating path both arms must pay).
+  Rng rng(777);
+  core::DataElement probe;
+  const auto resident = sys.key_indices();
+  for (;;) {
+    probe = fx.corpus->make_element(rng);
+    const u128 index = sys.curve().index_of(sys.space().encode(probe.keys));
+    if (!std::binary_search(resident.begin(), resident.end(), index)) break;
+  }
+  for (auto _ : state) {
+    sys.publish(probe);
+    sys.unpublish(probe);
+  }
+  state.SetItemsProcessed(state.iterations() * 2); // one publish, one retract
+}
+
 /// Median-split identifier of one node's key arc (balancing split point).
 void BM_MedianSplit(benchmark::State& state) {
   const auto& fx =
@@ -132,6 +164,14 @@ BENCHMARK(BM_PublishBatch)
     ->Arg(100000)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SegmentScan)->Arg(20000)->Arg(100000)->Unit(benchmark::kMicrosecond);
+// {keys, store_delta_cap}: cap 1 = flat-store "before" arm (linear in keys),
+// cap 0 = tiered sqrt policy (log). Compare columns at fixed cap across the
+// two key scales.
+BENCHMARK(BM_SingleKeyUpdate)
+    ->Args({20000, 1})
+    ->Args({100000, 1})
+    ->Args({20000, 0})
+    ->Args({100000, 0});
 BENCHMARK(BM_NodeLoads)->Arg(100000)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_LoadRank)->Arg(100000);
 BENCHMARK(BM_MedianSplit)->Arg(100000);

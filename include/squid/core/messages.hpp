@@ -124,8 +124,39 @@ struct Reply {
   }
 };
 
-using Message =
-    std::variant<ResolveRequest, ClusterDispatch, ScanRequest, Reply>;
+/// Routed single-element index update (DESIGN.md 4j): publish `element` at
+/// the owner of its key. `seq` is the submit index within one
+/// apply_updates run — the commit order every delivery mode replays, and
+/// the per-op fault-plan fork index under faults.
+struct PublishRequest {
+  std::uint64_t seq = 0;
+  NodeId origin = 0; ///< peer that issued the update
+  NodeId to = 0;     ///< owner of the element's key (route destination)
+  DataElement element;
+  std::int32_t event = 0;
+  std::int32_t span = -1;
+
+  friend bool operator==(const PublishRequest&,
+                         const PublishRequest&) = default;
+};
+
+/// Routed single-element retract: the update-plane twin of PublishRequest.
+/// Delivery unpublishes `element` at the owner (matched by name AND keys)
+/// and synchronously invalidates any hot-cluster replica covering its key.
+struct RetractRequest {
+  std::uint64_t seq = 0;
+  NodeId origin = 0;
+  NodeId to = 0;
+  DataElement element;
+  std::int32_t event = 0;
+  std::int32_t span = -1;
+
+  friend bool operator==(const RetractRequest&,
+                         const RetractRequest&) = default;
+};
+
+using Message = std::variant<ResolveRequest, ClusterDispatch, ScanRequest,
+                             Reply, PublishRequest, RetractRequest>;
 
 /// Peer the message is addressed to (where its work executes).
 inline NodeId destination_of(const Message& m) {
@@ -134,17 +165,22 @@ inline NodeId destination_of(const Message& m) {
     NodeId operator()(const ClusterDispatch& d) const { return d.to; }
     NodeId operator()(const ScanRequest& s) const { return s.at; }
     NodeId operator()(const Reply& r) const { return r.to; }
+    NodeId operator()(const PublishRequest& p) const { return p.to; }
+    NodeId operator()(const RetractRequest& r) const { return r.to; }
   };
   return std::visit(V{}, m);
 }
 
-/// Stable wire/type tag ("resolve", "dispatch", "scan", "reply").
+/// Stable wire/type tag ("resolve", "dispatch", "scan", "reply",
+/// "publish", "retract").
 inline const char* type_name(const Message& m) noexcept {
   struct V {
     const char* operator()(const ResolveRequest&) const { return "resolve"; }
     const char* operator()(const ClusterDispatch&) const { return "dispatch"; }
     const char* operator()(const ScanRequest&) const { return "scan"; }
     const char* operator()(const Reply&) const { return "reply"; }
+    const char* operator()(const PublishRequest&) const { return "publish"; }
+    const char* operator()(const RetractRequest&) const { return "retract"; }
   };
   return std::visit(V{}, m);
 }

@@ -25,6 +25,7 @@
 #include "squid/sfc/curve.hpp"
 #include "squid/sfc/refine.hpp"
 #include "squid/util/rng.hpp"
+#include "squid/util/store.hpp"
 
 namespace squid::sim {
 class FaultInjector; // sim/fault.hpp
@@ -81,12 +82,19 @@ public:
   // --- Data ---------------------------------------------------------------
 
   /// Index a data element (instant placement; experiment setup).
+  ///
+  /// Update contract (DESIGN.md 4j): element identity is (key, name) —
+  /// publishing an element whose name already exists under the same key
+  /// REPLACES the stored element in place (last write wins, element_count()
+  /// unchanged, arrival position preserved). publish_batch applies the same
+  /// rule, with later batch positions winning. Single-key cost is
+  /// O(log K + |delta|) amortized on the tiered store, not O(K).
   void publish(const DataElement& element);
 
   /// Index a whole corpus in one sort-merge pass: equivalent to publishing
-  /// the elements one by one, in order, but O((K+E)·log E) instead of one
-  /// O(K) array insert per new key. This is how fixtures load their
-  /// 2·10^4-10^5-key corpora.
+  /// the elements one by one, in order (same last-write-wins contract), but
+  /// O((K+E)·log E) instead of one store insert per new key. This is how
+  /// fixtures load their 2·10^4-10^5-key corpora.
   void publish_batch(const std::vector<DataElement>& elements);
 
   /// Protocol-faithful publish: routes the element's key from `origin` to
@@ -96,9 +104,16 @@ public:
 
   /// Remove one published element (matched by name AND keys). Returns true
   /// when something was removed; the key vanishes with its last element.
+  /// O(log K + |delta|) amortized: the slot is tombstoned, not shifted out.
   bool unpublish(const DataElement& element);
 
-  std::size_t key_count() const noexcept { return key_index_.size(); }
+  /// Protocol-faithful retract: routes the element's key from `origin` to
+  /// its owner, then unpublishes there. `removed` (when non-null) reports
+  /// whether the owner actually held the element.
+  overlay::RouteResult retract_routed(const DataElement& element,
+                                      NodeId origin, bool* removed = nullptr);
+
+  std::size_t key_count() const noexcept { return store_.size(); }
   std::size_t element_count() const noexcept { return element_count_; }
 
   /// Number of distinct keys owned by each live node, in ring order —
@@ -117,17 +132,29 @@ public:
   NodeId owner_of(u128 index) const { return ring_.successor_of(index); }
 
   /// All stored key indices in ascending order (Fig 18's raw data; also the
-  /// "a priori knowledge" granted to the Chord-lookup baseline). This is the
-  /// store's own index array — no lazy rebuild, no dirty flag.
-  const std::vector<u128>& key_indices() const noexcept { return key_index_; }
+  /// "a priori knowledge" granted to the Chord-lookup baseline). Since the
+  /// tiered store (DESIGN.md 4j) this is a materialized export — O(K) per
+  /// call — not a reference into the store; callers treat it as a snapshot.
+  std::vector<u128> key_indices() const { return store_.materialize_keys(); }
 
-  /// Visit every stored key in ascending index order (one contiguous sweep).
+  /// Visit every live key in ascending index order (tombstones skipped; a
+  /// three-way lockstep sweep over the store's tiers).
   void for_each_key(
       const std::function<void(u128 index, const sfc::Point& point,
                                const std::vector<DataElement>& elements)>& fn)
       const {
-    for (std::size_t i = 0; i < key_index_.size(); ++i)
-      fn(key_index_[i], key_data_[i].point, key_data_[i].elements);
+    store_.for_each([&](u128 index, const StoredKey& key) {
+      fn(index, key.point, key.elements);
+    });
+  }
+
+  /// Tiered-store introspection (DESIGN.md 4j): pending delta entries,
+  /// tombstoned base slots, and the merge counters — benches and the store
+  /// differential suite read these; queries never do.
+  std::size_t store_delta_size() const noexcept { return store_.delta_size(); }
+  std::size_t store_tombstones() const noexcept { return store_.tombstones(); }
+  const util::TieredStoreStats& store_stats() const noexcept {
+    return store_.stats();
   }
 
   // --- Queries ------------------------------------------------------------
@@ -406,20 +433,24 @@ private:
                     std::size_t& count, std::uint64_t& keys_scanned,
                     std::uint64_t& keys_matched, std::uint64_t& matches,
                     AggScanRecord* agg = nullptr) const;
-  /// The sweep over an explicit (index, payload) array pair: scan_segment
-  /// runs it over the live store; replica scans (ScanRequest::replica != 0)
-  /// run it over the entry's snapshot.
+  /// The sweep over an explicit (index, payload) array pair: replica scans
+  /// (ScanRequest::replica != 0) run it over the entry's flat snapshot.
+  /// Same per-key filter/fold body as the live-store walk in scan_segment.
   void scan_arrays(const std::vector<u128>& index,
                    const std::vector<StoredKey>& data, const sfc::Rect& rect,
                    sfc::Segment segment, bool covered, bool count_only,
                    std::vector<DataElement>& elements, std::size_t& count,
                    std::uint64_t& keys_scanned, std::uint64_t& keys_matched,
                    std::uint64_t& matches, AggScanRecord* agg) const;
-  /// Resolve a replica scan's arrays: the entry's snapshot when it is still
-  /// present and valid, else the live store (an entry invalidated or dropped
-  /// while the scan was in flight must not serve its stale snapshot).
-  std::pair<const std::vector<u128>*, const std::vector<StoredKey>*>
-  replica_scan_arrays(std::uint64_t id) const;
+  /// Dispatch a scan to its arrays: replica == 0 sweeps the live store
+  /// (scan_segment); otherwise the entry's snapshot when it is still present
+  /// and valid, else the live store (an entry invalidated or dropped while
+  /// the scan was in flight must not serve its stale snapshot).
+  void scan_slice(std::uint64_t replica, const sfc::Rect& rect,
+                  sfc::Segment segment, bool covered, bool count_only,
+                  std::vector<DataElement>& elements, std::size_t& count,
+                  std::uint64_t& keys_scanned, std::uint64_t& keys_matched,
+                  std::uint64_t& matches, AggScanRecord* agg) const;
   /// kParallel twin of perform_scan: identical sweep, but every result and
   /// span field lands in the scan's private ScanBuffer (no QueryExec
   /// mutation — executor shards run this concurrently with home-shard
@@ -499,11 +530,12 @@ private:
   std::unique_ptr<sfc::Curve> curve_;
   sfc::ClusterRefiner refiner_;
   overlay::ChordRing ring_;
-  /// The key store, flat (DESIGN.md 4b): sorted index array + parallel
-  /// payloads. key_index_ doubles as the public key_indices() snapshot;
-  /// scan_local is a contiguous range sweep, load probes are rank queries.
-  std::vector<u128> key_index_;
-  std::vector<StoredKey> key_data_;
+  /// The key store, tiered (DESIGN.md 4j): the flat sorted base arrays of
+  /// 4b plus a small sorted delta buffer and tombstone list, folded back at
+  /// a deterministic threshold (config_.store_delta_cap; 0 = sqrt policy).
+  /// Scans walk the tiers in lockstep, load probes are tier-corrected rank
+  /// queries — reads are bit-identical to a from-scratch flat build.
+  util::TieredStore<StoredKey> store_;
   std::size_t element_count_ = 0;
   std::size_t balance_moves_ = 0;
   bool trace_enabled_ = false; ///< runtime half of the tracing switch

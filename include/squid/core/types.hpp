@@ -131,6 +131,11 @@ struct SquidConfig {
   /// detector. 2x-p95 is the documented default; the CLI heatmap report
   /// and bench/ext_hotspot both read it from here so they agree.
   double hotspot_min_load_factor = 2.0;
+  /// Tiered key store (DESIGN.md 4j): pending delta entries + tombstones
+  /// allowed before the amortized fold into the base arrays. 0 = automatic
+  /// max(64, 4·sqrt(K)) policy; 1 = merge after every mutation, which is
+  /// exactly the PR-2 flat store (bench/micro_store's "before" arm).
+  std::size_t store_delta_cap = 0;
 };
 
 /// Hit/miss counters for the cluster-owner cache.

@@ -47,24 +47,27 @@ struct LoadVector {
   std::uint64_t scan_hits = 0;         ///< keys matched by local scans here
   std::uint64_t routes_through = 0;    ///< routing legs traversing this node
   std::uint64_t publishes = 0;         ///< elements stored at this owner
+  std::uint64_t retracts = 0;          ///< elements removed at this owner
   std::uint64_t cache_hits = 0;        ///< owner-cache hits consulted here
   std::uint64_t replies_forwarded = 0; ///< reply frames sent from this node
 
   std::uint64_t total() const noexcept {
-    return scan_hits + routes_through + publishes + cache_hits +
+    return scan_hits + routes_through + publishes + retracts + cache_hits +
            replies_forwarded;
   }
   LoadVector& operator+=(const LoadVector& o) noexcept {
     scan_hits += o.scan_hits;
     routes_through += o.routes_through;
     publishes += o.publishes;
+    retracts += o.retracts;
     cache_hits += o.cache_hits;
     replies_forwarded += o.replies_forwarded;
     return *this;
   }
   friend bool operator==(const LoadVector& a, const LoadVector& b) noexcept {
     return a.scan_hits == b.scan_hits && a.routes_through == b.routes_through &&
-           a.publishes == b.publishes && a.cache_hits == b.cache_hits &&
+           a.publishes == b.publishes && a.retracts == b.retracts &&
+           a.cache_hits == b.cache_hits &&
            a.replies_forwarded == b.replies_forwarded;
   }
 };
@@ -74,6 +77,7 @@ enum class LoadKind : std::uint8_t {
   kScanHit,
   kRouteThrough,
   kPublish,
+  kRetract,
   kCacheHit,
   kReplyForwarded,
 };

@@ -1,0 +1,115 @@
+// Geo moving-objects workload (DESIGN.md 4j, EXPERIMENTS.md): the first
+// update-heavy query family this repo opens.
+//
+// The paper's keyword space is generic over codecs, so a 2-d numeric space
+// (x, y) is already a geo index: an object at (x, y) is a DataElement with
+// two numeric tokens, a bounding-box query is a Query of two NumRanges, and
+// the SFC index keeps spatially-near objects near on the ring. What geo
+// adds is MOTION — objects move, so the index must absorb a continuous
+// retract-then-publish stream (the update plane, core/update.hpp), which is
+// exactly the workload the tiered store's O(log K + |delta|) single-key
+// mutations exist for.
+//
+// Objects follow the random-waypoint model standard in moving-object and
+// MANET evaluation: each picks a uniform waypoint, advances toward it at
+// its own speed every tick, and picks a fresh waypoint (and speed) on
+// arrival. Every tick of an object yields a retract of its indexed position
+// and a publish of the new one; recall under motion is then measured by
+// bbox queries against ground truth (positions(), which the workload tracks
+// exactly).
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "squid/core/types.hpp"
+#include "squid/core/update.hpp"
+#include "squid/keyword/space.hpp"
+#include "squid/util/rng.hpp"
+
+namespace squid::core {
+class SquidSystem;
+}
+
+namespace squid::workload {
+
+struct GeoConfig {
+  double width = 1024.0;  ///< world extent, x in [0, width)
+  double height = 1024.0; ///< world extent, y in [0, height)
+  unsigned bits = 10;     ///< codec resolution per axis (buckets = 2^bits)
+  std::size_t objects = 1024;
+  double speed_min = 1.0; ///< distance per tick, drawn per waypoint leg
+  double speed_max = 8.0;
+};
+
+/// Random-waypoint moving objects over a bounded 2-d world. The workload
+/// owns the ground truth: `element_of(i)` is exactly what object i has
+/// indexed right now, so a step's retract op always matches the stored
+/// element bit-for-bit (retract matching is by name AND keys).
+class GeoMovingObjectsWorkload {
+public:
+  GeoMovingObjectsWorkload(GeoConfig config, Rng& rng);
+
+  const GeoConfig& config() const noexcept { return config_; }
+  std::size_t size() const noexcept { return objects_.size(); }
+
+  /// The matching 2-d index space: one NumericCodec per axis.
+  keyword::KeywordSpace make_space() const;
+
+  struct Object {
+    std::string name;
+    double x = 0, y = 0;   ///< indexed (current) position
+    double tx = 0, ty = 0; ///< waypoint this leg heads toward
+    double speed = 1;      ///< distance covered per tick on this leg
+  };
+  const Object& object(std::size_t i) const { return objects_[i]; }
+
+  /// The element object i currently has indexed.
+  core::DataElement element_of(std::size_t i) const;
+  /// Initial corpus: every object's element (publish_batch fodder).
+  std::vector<core::DataElement> elements() const;
+
+  /// Advance object i one tick (random-waypoint; a new waypoint and speed
+  /// are drawn on arrival) and return the update-plane op pair — retract of
+  /// the old indexed position, publish of the new — both issued from
+  /// `origin`. Appended to `ops` so a whole tick builds one apply_updates
+  /// batch.
+  void step(std::size_t i, overlay::NodeId origin,
+            std::vector<core::UpdateOp>& ops, Rng& rng);
+
+  /// Ground truth for recall: names of objects currently inside the box
+  /// (half-open on nothing — closed box, matching bbox_query's NumRange).
+  std::vector<std::string> inside(double xlo, double xhi, double ylo,
+                                  double yhi) const;
+
+private:
+  GeoConfig config_;
+  std::vector<Object> objects_;
+};
+
+/// Bounding-box query: (x in [xlo, xhi], y in [ylo, yhi]).
+keyword::Query bbox_query(double xlo, double xhi, double ylo, double yhi);
+
+/// One k-nearest answer row.
+struct GeoNeighbor {
+  std::string name;
+  double x = 0, y = 0;
+  double dist2 = 0; ///< squared distance to the probe point
+
+  friend bool operator==(const GeoNeighbor&, const GeoNeighbor&) = default;
+};
+
+/// Deterministic k-nearest over the distributed index: expanding-box
+/// search. Starting from a small box around (x, y), issue bbox queries with
+/// doubling radius until at least k hits lie within the radius circle (or
+/// the box covers the world), then sort by (dist2, name) and truncate —
+/// the circle check makes the answer exact, not box-approximate. Results
+/// dedupe by object name. Costs a handful of bbox queries, each through the
+/// full distributed engine from `origin`.
+std::vector<GeoNeighbor> k_nearest(const core::SquidSystem& sys,
+                                   const GeoConfig& world, double x, double y,
+                                   std::size_t k, overlay::NodeId origin);
+
+} // namespace squid::workload

@@ -158,6 +158,38 @@ void SquidSystem::set_telemetry(obs::EpochSampler* sampler) noexcept {
 
 // --- Message handlers (run at delivery; see NodeRuntime::deliver) -----------
 
+namespace {
+
+/// The per-key filter/fold body shared by every scan path: live tiered
+/// walks, flat replica snapshots, and the frozen reference oracle all visit
+/// keys through this, so their accounting is identical by construction.
+/// `Key` is SquidSystem's private StoredKey (templated to keep it so).
+template <class Key>
+void visit_scanned_key(const Key& key, const sfc::Rect& rect, bool covered,
+                       bool count_only, std::vector<DataElement>& elements,
+                       std::size_t& count, std::uint64_t& keys_scanned,
+                       std::uint64_t& keys_matched, std::uint64_t& matches,
+                       AggScanRecord* agg) {
+  ++keys_scanned;
+  if (!covered && !rect.contains(key.point)) return;
+  ++keys_matched;
+  matches += key.elements.size();
+  if (agg != nullptr) {
+    for (const DataElement& e : key.elements) {
+      agg->partial.fold(e);
+      // What shipping this element instead would have cost; feeds the
+      // bytes_saved counter, so skip the serializer when obs is off.
+      if constexpr (obs::kEnabled) agg->ship_bytes += element_wire_size(e);
+    }
+  } else if (count_only) {
+    count += key.elements.size();
+  } else {
+    elements.insert(elements.end(), key.elements.begin(), key.elements.end());
+  }
+}
+
+} // namespace
+
 void SquidSystem::scan_segment(const sfc::Rect& rect, sfc::Segment seg,
                                bool covered, bool count_only,
                                std::vector<DataElement>& elements,
@@ -165,20 +197,35 @@ void SquidSystem::scan_segment(const sfc::Rect& rect, sfc::Segment seg,
                                std::uint64_t& keys_matched,
                                std::uint64_t& matches,
                                AggScanRecord* agg) const {
-  scan_arrays(key_index_, key_data_, rect, seg, covered, count_only, elements,
-              count, keys_scanned, keys_matched, matches, agg);
+  // The live-store sweep: a lockstep walk over the tiers in ascending key
+  // order, tombstones skipped entirely (a retracted key is invisible to
+  // keys_scanned, exactly as if it had never been published).
+  store_.scan(seg.lo, seg.hi, [&](u128, const StoredKey& key) {
+    visit_scanned_key(key, rect, covered, count_only, elements, count,
+                      keys_scanned, keys_matched, matches, agg);
+  });
 }
 
-std::pair<const std::vector<u128>*,
-          const std::vector<SquidSystem::StoredKey>*>
-SquidSystem::replica_scan_arrays(std::uint64_t id) const {
-  const auto it = replica_cache_.find(id);
-  if (it != replica_cache_.end() && it->second.valid)
-    return {&it->second.snapshot_index, &it->second.snapshot_data};
-  // Invalidated or dropped while the scan was in flight: answer from the
-  // live store instead — a replica may be behind, but it must never be
-  // stale-served (docs/LOAD_BALANCING.md, invalidation protocol).
-  return {&key_index_, &key_data_};
+void SquidSystem::scan_slice(std::uint64_t replica, const sfc::Rect& rect,
+                             sfc::Segment seg, bool covered, bool count_only,
+                             std::vector<DataElement>& elements,
+                             std::size_t& count, std::uint64_t& keys_scanned,
+                             std::uint64_t& keys_matched,
+                             std::uint64_t& matches, AggScanRecord* agg) const {
+  if (replica != 0) {
+    const auto it = replica_cache_.find(replica);
+    if (it != replica_cache_.end() && it->second.valid) {
+      scan_arrays(it->second.snapshot_index, it->second.snapshot_data, rect,
+                  seg, covered, count_only, elements, count, keys_scanned,
+                  keys_matched, matches, agg);
+      return;
+    }
+    // Invalidated or dropped while the scan was in flight: answer from the
+    // live store instead — a replica may be behind, but it must never be
+    // stale-served (docs/LOAD_BALANCING.md, invalidation protocol).
+  }
+  scan_segment(rect, seg, covered, count_only, elements, count, keys_scanned,
+               keys_matched, matches, agg);
 }
 
 void SquidSystem::note_replica_serve(std::uint64_t id,
@@ -198,32 +245,15 @@ void SquidSystem::scan_arrays(const std::vector<u128>& index,
                               std::uint64_t& keys_matched,
                               std::uint64_t& matches,
                               AggScanRecord* agg) const {
-  // One contiguous sweep over a flat store: binary search to the segment
-  // start, then walk the index/payload arrays in lockstep. With an aggregate
-  // sink the matching elements fold into the local partial instead of being
-  // collected — that pushdown is the whole point of DESIGN.md 4g.
+  // One contiguous sweep over a flat array pair (replica snapshots): binary
+  // search to the segment start, then walk index/payloads in lockstep. With
+  // an aggregate sink the matching elements fold into the local partial
+  // instead of being collected — the pushdown of DESIGN.md 4g.
   std::size_t i = static_cast<std::size_t>(
       std::lower_bound(index.begin(), index.end(), seg.lo) - index.begin());
-  for (; i < index.size() && index[i] <= seg.hi; ++i) {
-    const StoredKey& key = data[i];
-    ++keys_scanned;
-    if (!covered && !rect.contains(key.point)) continue;
-    ++keys_matched;
-    matches += key.elements.size();
-    if (agg != nullptr) {
-      for (const DataElement& e : key.elements) {
-        agg->partial.fold(e);
-        // What shipping this element instead would have cost; feeds the
-        // bytes_saved counter, so skip the serializer when obs is off.
-        if constexpr (obs::kEnabled) agg->ship_bytes += element_wire_size(e);
-      }
-    } else if (count_only) {
-      count += key.elements.size();
-    } else {
-      elements.insert(elements.end(), key.elements.begin(),
-                      key.elements.end());
-    }
-  }
+  for (; i < index.size() && index[i] <= seg.hi; ++i)
+    visit_scanned_key(data[i], rect, covered, count_only, elements, count,
+                      keys_scanned, keys_matched, matches, agg);
 }
 
 void SquidSystem::perform_scan(QueryExec& ex,
@@ -234,10 +264,6 @@ void SquidSystem::perform_scan(QueryExec& ex,
   std::uint64_t scanned = 0;
   std::uint64_t matched = 0;
   std::uint64_t collected = 0;
-  const auto [scan_index, scan_data] =
-      scan.replica == 0
-          ? std::pair{&key_index_, &key_data_}
-          : replica_scan_arrays(scan.replica);
   if (scan.agg.kind != AggregateKind::kNone) {
     // Pushdown: fold into this scan's pre-assigned record. The slot was
     // allocated at post time (identical order across delivery modes), so the
@@ -245,14 +271,12 @@ void SquidSystem::perform_scan(QueryExec& ex,
     AggScanRecord& rec = ex.agg_scans[scan.slot];
     rec.at = at;
     rec.partial.spec = scan.agg;
-    scan_arrays(*scan_index, *scan_data, ex.rect, seg, scan.covered,
-                ex.count_only, ex.results, ex.count, scanned, matched,
-                collected, &rec);
+    scan_slice(scan.replica, ex.rect, seg, scan.covered, ex.count_only,
+               ex.results, ex.count, scanned, matched, collected, &rec);
   } else {
     const std::size_t first = ex.results.size();
-    scan_arrays(*scan_index, *scan_data, ex.rect, seg, scan.covered,
-                ex.count_only, ex.results, ex.count, scanned, matched,
-                collected, nullptr);
+    scan_slice(scan.replica, ex.rect, seg, scan.covered, ex.count_only,
+               ex.results, ex.count, scanned, matched, collected, nullptr);
     // Reply-path accounting: this scan site answers the origin directly with
     // one reply (split into MTU frames), measured through the real
     // serializer. Sums of per-scan terms, so mode-independent.
@@ -295,20 +319,16 @@ void SquidSystem::perform_scan_parallel(const QueryExec& ex,
   out.segment = scan.segment;
   out.event = scan.event;
   out.span = scan.span;
-  const auto [scan_index, scan_data] =
-      scan.replica == 0
-          ? std::pair{&key_index_, &key_data_}
-          : replica_scan_arrays(scan.replica);
   if (scan.agg.kind != AggregateKind::kNone) {
     out.agg.at = scan.at;
     out.agg.partial.spec = scan.agg;
-    scan_arrays(*scan_index, *scan_data, ex.rect, scan.segment, scan.covered,
-                ex.count_only, out.elements, out.count, out.keys_scanned,
-                out.keys_matched, out.matches, &out.agg);
+    scan_slice(scan.replica, ex.rect, scan.segment, scan.covered,
+               ex.count_only, out.elements, out.count, out.keys_scanned,
+               out.keys_matched, out.matches, &out.agg);
   } else {
-    scan_arrays(*scan_index, *scan_data, ex.rect, scan.segment, scan.covered,
-                ex.count_only, out.elements, out.count, out.keys_scanned,
-                out.keys_matched, out.matches, nullptr);
+    scan_slice(scan.replica, ex.rect, scan.segment, scan.covered,
+               ex.count_only, out.elements, out.count, out.keys_scanned,
+               out.keys_matched, out.matches, nullptr);
     std::size_t payload = 0;
     for (const DataElement& e : out.elements) payload += element_wire_size(e);
     const std::size_t bytes = reply_wire_size(

@@ -182,13 +182,11 @@ void SquidSystem::ref_scan_local(RefQueryContext& ctx, NodeId at,
   std::uint64_t scanned = 0;
   std::uint64_t matched = 0;
   std::uint64_t collected = 0;
-  std::size_t i = static_cast<std::size_t>(
-      std::lower_bound(key_index_.begin(), key_index_.end(), seg.lo) -
-      key_index_.begin());
-  for (; i < key_index_.size() && key_index_[i] <= seg.hi; ++i) {
-    const StoredKey& key = key_data_[i];
+  // The oracle reads the store through the same merged-tier walk as the
+  // runtime's scan_segment; the planning it freezes is untouched.
+  store_.scan(seg.lo, seg.hi, [&](u128, const StoredKey& key) {
     ++scanned;
-    if (!covered && !ctx.rect.contains(key.point)) continue;
+    if (!covered && !ctx.rect.contains(key.point)) return;
     ++matched;
     collected += key.elements.size();
     if (ctx.count_only) {
@@ -197,7 +195,7 @@ void SquidSystem::ref_scan_local(RefQueryContext& ctx, NodeId at,
       ctx.results.insert(ctx.results.end(), key.elements.begin(),
                          key.elements.end());
     }
-  }
+  });
   if (matched > 0) ctx.data_nodes.insert(at);
   if (ctx.trace) {
     const std::int32_t id = ctx.trace->begin(obs::SpanKind::kLocalScan, span,

@@ -88,6 +88,12 @@ std::int32_t event_of(const msg::Message& message) {
       return s.event;
     }
     std::int32_t operator()(const msg::Reply&) const { return -1; }
+    std::int32_t operator()(const msg::PublishRequest& p) const {
+      return p.event;
+    }
+    std::int32_t operator()(const msg::RetractRequest& r) const {
+      return r.event;
+    }
   };
   return std::visit(V{}, message);
 }
@@ -161,6 +167,14 @@ void NodeRuntime::deliver(const std::shared_ptr<QueryExec>& exec,
     }
     void operator()(const msg::Reply&) const {
       rt.sys_->finalize_query(*exec);
+    }
+    void operator()(const msg::PublishRequest&) const {
+      // Update frames ride the update plane (core/update.hpp), which owns
+      // its own safe-point commit discipline; a query must never post one.
+      SQUID_REQUIRE(false, "update frame delivered inside a query exec");
+    }
+    void operator()(const msg::RetractRequest&) const {
+      SQUID_REQUIRE(false, "update frame delivered inside a query exec");
     }
   };
   std::visit(V{*this, exec}, message);

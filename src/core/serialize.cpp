@@ -77,6 +77,19 @@ msg::AggregateBatch read_batch(std::istream& in) {
   return batch;
 }
 
+// Numeric tokens travel as their raw IEEE bit patterns (decimal uint64,
+// same convention as aggregate partials below): element identity is (key,
+// name) and keys come from the tokens, so a routed retract whose double
+// wobbled by one ulp in transit would silently miss the stored element.
+std::uint64_t token_bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+double token_double(std::istream& in, const char* what) {
+  std::uint64_t bits = 0;
+  in >> bits;
+  SQUID_REQUIRE(in, what);
+  return std::bit_cast<double>(bits);
+}
+
 void write_element(std::ostream& out, const DataElement& element) {
   write_string(out, element.name);
   out << ' ' << element.keys.size();
@@ -85,7 +98,7 @@ void write_element(std::ostream& out, const DataElement& element) {
       out << " s";
       write_string(out, *word);
     } else {
-      out << " n" << std::get<double>(token);
+      out << " n" << token_bits(std::get<double>(token));
     }
   }
 }
@@ -103,10 +116,8 @@ DataElement read_element(std::istream& in) {
     if (kind == 's') {
       element.keys.emplace_back(read_string(in));
     } else if (kind == 'n') {
-      double value = 0;
-      in >> value;
-      SQUID_REQUIRE(in, "message: malformed numeric token");
-      element.keys.emplace_back(value);
+      element.keys.emplace_back(
+          token_double(in, "message: malformed numeric token"));
     } else {
       SQUID_REQUIRE(false, "message: unknown token kind");
     }
@@ -311,6 +322,18 @@ std::size_t save_message(const msg::Message& message, std::ostream& out) {
         out << '\n';
       }
     }
+    void operator()(const msg::PublishRequest& p) const {
+      out << p.seq << ' ' << to_string(p.origin) << ' ' << to_string(p.to)
+          << ' ';
+      write_element(out, p.element);
+      out << ' ' << p.event << ' ' << p.span << '\n';
+    }
+    void operator()(const msg::RetractRequest& r) const {
+      out << r.seq << ' ' << to_string(r.origin) << ' ' << to_string(r.to)
+          << ' ';
+      write_element(out, r.element);
+      out << ' ' << r.event << ' ' << r.span << '\n';
+    }
   };
   std::visit(Writer{out}, message);
   if (start != std::streampos(-1)) {
@@ -380,6 +403,33 @@ msg::Message load_message(std::istream& in, std::size_t* bytes_read) {
     for (std::size_t i = 0; i < element_count; ++i)
       r.elements.push_back(read_element(in));
     message = std::move(r);
+  } else if (type == "publish" || type == "retract") {
+    // Twin layouts: `seq origin to element event span`. The leading u64 read
+    // as `query` above is the update's submit sequence number.
+    const std::uint64_t seq = query;
+    const u128 origin = read_id(in);
+    const u128 to = read_id(in);
+    DataElement element = read_element(in);
+    const auto [event, span] = read_ids(in);
+    if (type == "publish") {
+      msg::PublishRequest p;
+      p.seq = seq;
+      p.origin = origin;
+      p.to = to;
+      p.element = std::move(element);
+      p.event = event;
+      p.span = span;
+      message = std::move(p);
+    } else {
+      msg::RetractRequest r;
+      r.seq = seq;
+      r.origin = origin;
+      r.to = to;
+      r.element = std::move(element);
+      r.event = event;
+      r.span = span;
+      message = std::move(r);
+    }
   } else {
     SQUID_REQUIRE(false, "message: unknown type tag");
   }
@@ -445,16 +495,7 @@ void save_snapshot(const SquidSystem& sys, std::ostream& out) {
   sys.for_each_key([&](u128, const sfc::Point&,
                        const std::vector<DataElement>& elements) {
     for (const auto& element : elements) {
-      write_string(out, element.name);
-      out << ' ' << element.keys.size();
-      for (const auto& token : element.keys) {
-        if (const auto* word = std::get_if<std::string>(&token)) {
-          out << " s";
-          write_string(out, *word);
-        } else {
-          out << " n" << std::get<double>(token);
-        }
-      }
+      write_element(out, element);
       out << '\n';
     }
   });
@@ -499,10 +540,8 @@ void load_snapshot(SquidSystem& sys, std::istream& in) {
       if (kind == 's') {
         element.keys.emplace_back(read_string(in));
       } else if (kind == 'n') {
-        double value = 0;
-        in >> value;
-        SQUID_REQUIRE(in, "snapshot: malformed numeric token");
-        element.keys.emplace_back(value);
+        element.keys.emplace_back(
+            token_double(in, "snapshot: malformed numeric token"));
       } else {
         SQUID_REQUIRE(false, "snapshot: unknown token kind");
       }

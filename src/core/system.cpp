@@ -28,8 +28,8 @@ SquidSystem::SquidSystem(keyword::KeywordSpace space, SquidConfig config)
       curve_(sfc::make_curve(config_.curve, space_.dims(),
                              space_.bits_per_dim())),
       refiner_(*curve_),
-      ring_(curve_->index_bits(), config_.successor_list,
-            config_.finger_base) {
+      ring_(curve_->index_bits(), config_.successor_list, config_.finger_base),
+      store_(config_.store_delta_cap) {
   set_tracing(config_.trace_queries);
 }
 
@@ -87,20 +87,33 @@ std::size_t SquidSystem::process_timeouts() {
   return reports.size();
 }
 
+namespace {
+
+/// The publish contract's slot write (DESIGN.md 4j): element identity is
+/// (key, name) — an existing element with this name is replaced in place
+/// (last write wins, arrival position preserved); otherwise the element
+/// appends. Returns true when the element is NEW (element_count grows).
+bool place_element(std::vector<DataElement>& slot, const DataElement& element) {
+  for (DataElement& stored : slot) {
+    if (stored.name == element.name) {
+      stored = element;
+      return false;
+    }
+  }
+  slot.push_back(element);
+  return true;
+}
+
+} // namespace
+
 void SquidSystem::publish(const DataElement& element) {
   const u128 index = index_of_element(element);
-  const auto it =
-      std::lower_bound(key_index_.begin(), key_index_.end(), index);
-  const auto pos = static_cast<std::size_t>(it - key_index_.begin());
-  if (it == key_index_.end() || *it != index) {
-    StoredKey key;
-    key.point = space_.encode(element.keys);
-    key_index_.insert(it, index);
-    key_data_.insert(key_data_.begin() + static_cast<std::ptrdiff_t>(pos),
-                     std::move(key));
-  }
-  key_data_[pos].elements.push_back(element);
-  ++element_count_;
+  const std::uint64_t merges_before = store_.stats().merges;
+  StoredKey& key = store_.obtain(index);
+  if (key.elements.empty()) key.point = space_.encode(element.keys);
+  if (place_element(key.elements, element)) ++element_count_;
+  if (store_.stats().merges != merges_before)
+    bump("squid.store.merges", store_.stats().merges - merges_before);
   if (!replica_cache_.empty()) invalidate_replicas(index);
   if constexpr (obs::kEnabled) {
     static obs::Counter& publishes =
@@ -113,6 +126,7 @@ void SquidSystem::publish(const DataElement& element) {
 
 void SquidSystem::publish_batch(const std::vector<DataElement>& elements) {
   if (elements.empty()) return;
+  const std::uint64_t merges_before = store_.stats().merges;
   // Arrival order within a key must match sequential publish, so sort the
   // batch by (index, arrival position).
   std::vector<std::pair<u128, std::size_t>> order;
@@ -121,41 +135,49 @@ void SquidSystem::publish_batch(const std::vector<DataElement>& elements) {
     order.emplace_back(index_of_element(elements[i]), i);
   std::sort(order.begin(), order.end());
 
-  std::vector<u128> merged_index;
-  std::vector<StoredKey> merged_data;
-  merged_index.reserve(key_index_.size() + elements.size());
-  merged_data.reserve(key_index_.size() + elements.size());
+  std::size_t added = 0; // elements that were NEW, not last-write-wins hits
+  store_.bulk_update([&](std::vector<u128>& key_index,
+                         std::vector<StoredKey>& key_data) {
+    std::vector<u128> merged_index;
+    std::vector<StoredKey> merged_data;
+    merged_index.reserve(key_index.size() + elements.size());
+    merged_data.reserve(key_index.size() + elements.size());
 
-  std::size_t old = 0; // cursor over the existing store
-  std::size_t i = 0;   // cursor over the sorted batch
-  while (i < order.size()) {
-    const u128 index = order[i].first;
-    while (old < key_index_.size() && key_index_[old] < index) {
-      merged_index.push_back(key_index_[old]);
-      merged_data.push_back(std::move(key_data_[old]));
+    std::size_t old = 0; // cursor over the existing store
+    std::size_t i = 0;   // cursor over the sorted batch
+    while (i < order.size()) {
+      const u128 index = order[i].first;
+      while (old < key_index.size() && key_index[old] < index) {
+        merged_index.push_back(key_index[old]);
+        merged_data.push_back(std::move(key_data[old]));
+        ++old;
+      }
+      if (old < key_index.size() && key_index[old] == index) {
+        merged_index.push_back(key_index[old]);
+        merged_data.push_back(std::move(key_data[old]));
+        ++old;
+      } else {
+        StoredKey key;
+        key.point = space_.encode(elements[order[i].second].keys);
+        merged_index.push_back(index);
+        merged_data.push_back(std::move(key));
+      }
+      for (; i < order.size() && order[i].first == index; ++i)
+        if (place_element(merged_data.back().elements,
+                          elements[order[i].second]))
+          ++added;
+    }
+    while (old < key_index.size()) {
+      merged_index.push_back(key_index[old]);
+      merged_data.push_back(std::move(key_data[old]));
       ++old;
     }
-    if (old < key_index_.size() && key_index_[old] == index) {
-      merged_index.push_back(key_index_[old]);
-      merged_data.push_back(std::move(key_data_[old]));
-      ++old;
-    } else {
-      StoredKey key;
-      key.point = space_.encode(elements[order[i].second].keys);
-      merged_index.push_back(index);
-      merged_data.push_back(std::move(key));
-    }
-    for (; i < order.size() && order[i].first == index; ++i)
-      merged_data.back().elements.push_back(elements[order[i].second]);
-  }
-  while (old < key_index_.size()) {
-    merged_index.push_back(key_index_[old]);
-    merged_data.push_back(std::move(key_data_[old]));
-    ++old;
-  }
-  key_index_ = std::move(merged_index);
-  key_data_ = std::move(merged_data);
-  element_count_ += elements.size();
+    key_index = std::move(merged_index);
+    key_data = std::move(merged_data);
+  });
+  element_count_ += added;
+  if (store_.stats().merges != merges_before)
+    bump("squid.store.merges", store_.stats().merges - merges_before);
   if (!replica_cache_.empty()) {
     std::vector<u128> touched;
     touched.reserve(order.size());
@@ -188,22 +210,37 @@ void SquidSystem::publish_batch(const std::vector<DataElement>& elements) {
 
 bool SquidSystem::unpublish(const DataElement& element) {
   const u128 index = index_of_element(element);
-  const auto it =
-      std::lower_bound(key_index_.begin(), key_index_.end(), index);
-  if (it == key_index_.end() || *it != index) return false;
-  const auto pos = static_cast<std::size_t>(it - key_index_.begin());
-  auto& elements = key_data_[pos].elements;
+  StoredKey* key = store_.find(index);
+  if (key == nullptr) return false;
+  auto& elements = key->elements;
   const auto found = std::find(elements.begin(), elements.end(), element);
   if (found == elements.end()) return false;
   elements.erase(found);
   --element_count_;
   if (elements.empty()) {
-    key_index_.erase(it);
-    key_data_.erase(key_data_.begin() + static_cast<std::ptrdiff_t>(pos));
+    // The key vanishes with its last element: tombstoned in the tiered
+    // store, O(log K + |delta|) instead of the flat store's O(K) erase.
+    const std::uint64_t merges_before = store_.stats().merges;
+    store_.erase(index);
+    if (store_.stats().merges != merges_before)
+      bump("squid.store.merges", store_.stats().merges - merges_before);
   }
   if (!replica_cache_.empty()) invalidate_replicas(index);
   bump("squid.system.unpublishes");
+  if constexpr (obs::kEnabled) {
+    if (telemetry_ != nullptr)
+      telemetry_->record_now(owner_of(index), obs::LoadKind::kRetract, 1);
+  }
   return true;
+}
+
+overlay::RouteResult SquidSystem::retract_routed(const DataElement& element,
+                                                 NodeId origin, bool* removed) {
+  const overlay::RouteResult route =
+      ring_.route(origin, index_of_element(element));
+  const bool did = route.ok && unpublish(element);
+  if (removed != nullptr) *removed = did;
+  return route;
 }
 
 // --- Hot-cluster replica cache (docs/LOAD_BALANCING.md) ---------------------
@@ -272,15 +309,10 @@ SquidSystem::ReplicaCacheStats SquidSystem::replica_stats() const {
 }
 
 void SquidSystem::snapshot_replica(ReplicaEntry& entry) {
-  const auto lo =
-      std::lower_bound(key_index_.begin(), key_index_.end(), entry.segment.lo);
-  const auto hi = std::upper_bound(lo, key_index_.end(), entry.segment.hi);
-  const auto first = static_cast<std::size_t>(lo - key_index_.begin());
-  entry.snapshot_index.assign(lo, hi);
-  entry.snapshot_data.assign(
-      key_data_.begin() + static_cast<std::ptrdiff_t>(first),
-      key_data_.begin() +
-          static_cast<std::ptrdiff_t>(first + entry.snapshot_index.size()));
+  // The snapshot is a flat, merged copy of the live slots in the segment —
+  // replica scans sweep plain arrays regardless of the live store's tiers.
+  store_.snapshot_range(entry.segment.lo, entry.segment.hi,
+                        entry.snapshot_index, entry.snapshot_data);
 }
 
 const SquidSystem::ReplicaEntry* SquidSystem::replica_serving(
@@ -339,17 +371,15 @@ overlay::RouteResult SquidSystem::publish_routed(const DataElement& element,
 }
 
 std::size_t SquidSystem::key_rank_after(u128 v) const {
-  return static_cast<std::size_t>(
-      std::upper_bound(key_index_.begin(), key_index_.end(), v) -
-      key_index_.begin());
+  return store_.rank_after(v);
 }
 
 std::size_t SquidSystem::keys_in_range(NodeId from, NodeId to) const {
   // Stored keys with index in the clockwise interval (from, to].
-  if (key_index_.empty()) return 0;
+  if (store_.empty()) return 0;
   if (from < to) return key_rank_after(to) - key_rank_after(from);
   // Wrapped (or from == to: the whole ring).
-  return (key_index_.size() - key_rank_after(from)) + key_rank_after(to);
+  return (store_.size() - key_rank_after(from)) + key_rank_after(to);
 }
 
 std::optional<SquidSystem::NodeId> SquidSystem::median_split_id(
@@ -357,25 +387,24 @@ std::optional<SquidSystem::NodeId> SquidSystem::median_split_id(
   if (ring_.size() < 1) return std::nullopt;
   const NodeId pred = ring_.size() == 1 ? s : ring_.predecessor_of(s);
   const std::size_t count =
-      ring_.size() == 1 ? key_index_.size() : keys_in_range(pred, s);
+      ring_.size() == 1 ? store_.size() : keys_in_range(pred, s);
   if (count < 2) return std::nullopt;
-  // The median of the count keys in (pred, s]: a rank query plus one index,
-  // where the map walked the interval key by key.
+  // The median of the count keys in (pred, s]: a rank query plus one order
+  // statistic, where the map walked the interval key by key.
   const std::size_t start = key_rank_after(pred); // first key > pred
-  const NodeId boundary =
-      key_index_[(start + count / 2 - 1) % key_index_.size()];
+  const NodeId boundary = store_.kth((start + count / 2 - 1) % store_.size());
   if (boundary == pred || boundary == s || ring_.contains(boundary))
     return std::nullopt;
   return boundary;
 }
 
 std::size_t SquidSystem::load_of(NodeId id) const {
-  if (ring_.size() == 1) return key_index_.size();
+  if (ring_.size() == 1) return store_.size();
   return keys_in_range(ring_.predecessor_of(id), id);
 }
 
 std::size_t SquidSystem::absorbed_load(NodeId candidate) const {
-  if (ring_.size() == 0) return key_index_.size();
+  if (ring_.size() == 0) return store_.size();
   return keys_in_range(ring_.predecessor_of(candidate), candidate);
 }
 
@@ -389,25 +418,25 @@ SquidSystem::node_loads() const {
   // Single sweep over the store: each key belongs to its successor node.
   auto it = loads.begin();
   std::size_t wrapped = 0; // keys past the last node wrap to the first
-  for (const u128 index : key_index_) {
+  store_.for_each([&](u128 index, const StoredKey&) {
     while (it != loads.end() && it->first < index) ++it;
     if (it == loads.end()) {
       ++wrapped;
     } else {
       ++it->second;
     }
-  }
+  });
   loads.front().second += wrapped;
   return loads;
 }
 
 std::size_t SquidSystem::runtime_balance_sweep(double threshold) {
   SQUID_REQUIRE(threshold >= 1.0, "imbalance threshold must be >= 1");
-  if (ring_.size() < 3 || key_index_.empty()) return 0;
+  if (ring_.size() < 3 || store_.empty()) return 0;
   std::size_t moves = 0;
   // The k-th key clockwise after `after` (k >= 1), wrapping.
   const auto kth_key_after = [this](NodeId after, std::size_t k) {
-    return key_index_[(key_rank_after(after) + k - 1) % key_index_.size()];
+    return store_.kth((key_rank_after(after) + k - 1) % store_.size());
   };
   // Walk a snapshot of the ring; each step may move the *predecessor* of
   // the node under consideration, which never invalidates later snapshot

@@ -267,14 +267,15 @@ bool path_is_json(const std::string& path) {
 } // namespace
 
 void write_heatmap_csv(const LoadSeries& series, std::ostream& out) {
-  out << "epoch,node,position,scan_hits,routes_through,publishes,cache_hits,"
-         "replies_forwarded,total\n";
+  out << "epoch,node,position,scan_hits,routes_through,publishes,retracts,"
+         "cache_hits,replies_forwarded,total\n";
   for (const EpochSample& sample : series.epochs)
     for (const auto& [node, v] : sample.nodes)
       out << sample.epoch << "," << node_label(node) << ","
           << ring_position(node, series.id_bits) << "," << v.scan_hits << ","
-          << v.routes_through << "," << v.publishes << "," << v.cache_hits
-          << "," << v.replies_forwarded << "," << v.total() << "\n";
+          << v.routes_through << "," << v.publishes << "," << v.retracts
+          << "," << v.cache_hits << "," << v.replies_forwarded << ","
+          << v.total() << "\n";
 }
 
 void write_heatmap_json(const LoadSeries& series, std::ostream& out) {
@@ -294,6 +295,7 @@ void write_heatmap_json(const LoadSeries& series, std::ostream& out) {
           << ", \"scan_hits\": " << v.scan_hits
           << ", \"routes_through\": " << v.routes_through
           << ", \"publishes\": " << v.publishes
+          << ", \"retracts\": " << v.retracts
           << ", \"cache_hits\": " << v.cache_hits
           << ", \"replies_forwarded\": " << v.replies_forwarded
           << ", \"total\": " << v.total() << "}";

@@ -33,6 +33,7 @@ void EpochSampler::flush(const QueryTelemetry& telemetry,
     case LoadKind::kScanHit: v.scan_hits += e.n; break;
     case LoadKind::kRouteThrough: v.routes_through += e.n; break;
     case LoadKind::kPublish: v.publishes += e.n; break;
+    case LoadKind::kRetract: v.retracts += e.n; break;
     case LoadKind::kCacheHit: v.cache_hits += e.n; break;
     case LoadKind::kReplyForwarded: v.replies_forwarded += e.n; break;
     }

@@ -1,0 +1,154 @@
+#include "squid/workload/geo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "squid/core/system.hpp"
+#include "squid/util/require.hpp"
+
+namespace squid::workload {
+
+namespace {
+
+/// Clamp into the half-open world interval [0, extent): the codecs map
+/// extent itself to the one-past-the-last bucket, so indexed coordinates
+/// stay strictly inside.
+double clamp_coord(double v, double extent) {
+  if (v < 0) return 0;
+  const double limit = std::nextafter(extent, 0.0);
+  return v > limit ? limit : v;
+}
+
+} // namespace
+
+GeoMovingObjectsWorkload::GeoMovingObjectsWorkload(GeoConfig config, Rng& rng)
+    : config_(config) {
+  SQUID_REQUIRE(config_.width > 0 && config_.height > 0,
+                "geo world must have positive extent");
+  SQUID_REQUIRE(config_.speed_min > 0 &&
+                    config_.speed_max >= config_.speed_min,
+                "geo speeds must satisfy 0 < min <= max");
+  objects_.reserve(config_.objects);
+  for (std::size_t i = 0; i < config_.objects; ++i) {
+    Object o;
+    o.name = "geo" + std::to_string(i);
+    o.x = clamp_coord(rng.uniform() * config_.width, config_.width);
+    o.y = clamp_coord(rng.uniform() * config_.height, config_.height);
+    o.tx = clamp_coord(rng.uniform() * config_.width, config_.width);
+    o.ty = clamp_coord(rng.uniform() * config_.height, config_.height);
+    o.speed = config_.speed_min +
+              rng.uniform() * (config_.speed_max - config_.speed_min);
+    objects_.push_back(std::move(o));
+  }
+}
+
+keyword::KeywordSpace GeoMovingObjectsWorkload::make_space() const {
+  return keyword::KeywordSpace(
+      {keyword::NumericCodec(0, config_.width, config_.bits),
+       keyword::NumericCodec(0, config_.height, config_.bits)});
+}
+
+core::DataElement GeoMovingObjectsWorkload::element_of(std::size_t i) const {
+  const Object& o = objects_[i];
+  return core::DataElement{o.name, {o.x, o.y}};
+}
+
+std::vector<core::DataElement> GeoMovingObjectsWorkload::elements() const {
+  std::vector<core::DataElement> out;
+  out.reserve(objects_.size());
+  for (std::size_t i = 0; i < objects_.size(); ++i)
+    out.push_back(element_of(i));
+  return out;
+}
+
+void GeoMovingObjectsWorkload::step(std::size_t i, overlay::NodeId origin,
+                                    std::vector<core::UpdateOp>& ops,
+                                    Rng& rng) {
+  Object& o = objects_[i];
+  // Retract exactly what is indexed now — before the move mutates it.
+  ops.push_back(core::UpdateOp::retract(element_of(i), origin));
+  const double dx = o.tx - o.x;
+  const double dy = o.ty - o.y;
+  const double dist = std::hypot(dx, dy);
+  if (dist <= o.speed) {
+    // Waypoint reached this tick: land on it, draw the next leg.
+    o.x = o.tx;
+    o.y = o.ty;
+    o.tx = clamp_coord(rng.uniform() * config_.width, config_.width);
+    o.ty = clamp_coord(rng.uniform() * config_.height, config_.height);
+    o.speed = config_.speed_min +
+              rng.uniform() * (config_.speed_max - config_.speed_min);
+  } else {
+    const double f = o.speed / dist;
+    o.x = clamp_coord(o.x + dx * f, config_.width);
+    o.y = clamp_coord(o.y + dy * f, config_.height);
+  }
+  ops.push_back(core::UpdateOp::publish(element_of(i), origin));
+}
+
+std::vector<std::string> GeoMovingObjectsWorkload::inside(double xlo,
+                                                          double xhi,
+                                                          double ylo,
+                                                          double yhi) const {
+  std::vector<std::string> names;
+  for (const Object& o : objects_)
+    if (o.x >= xlo && o.x <= xhi && o.y >= ylo && o.y <= yhi)
+      names.push_back(o.name);
+  return names;
+}
+
+keyword::Query bbox_query(double xlo, double xhi, double ylo, double yhi) {
+  return keyword::Query{
+      {keyword::NumRange{xlo, xhi}, keyword::NumRange{ylo, yhi}}};
+}
+
+std::vector<GeoNeighbor> k_nearest(const core::SquidSystem& sys,
+                                   const GeoConfig& world, double x, double y,
+                                   std::size_t k, overlay::NodeId origin) {
+  std::vector<GeoNeighbor> best;
+  if (k == 0) return best;
+  // Start near the expected k-neighborhood scale and double until the k-th
+  // hit provably lies inside the searched circle (dist <= r), so no closer
+  // object can be hiding outside the box. The box is clamped to the world,
+  // so once r spans it the answer is whatever the full sweep found.
+  const double world_span = std::max(world.width, world.height);
+  double r = std::max(world_span / 64.0, 1e-9);
+  for (;;) {
+    const keyword::Query box =
+        bbox_query(std::max(0.0, x - r), std::min(world.width, x + r),
+                   std::max(0.0, y - r), std::min(world.height, y + r));
+    const core::QueryResult result = sys.query(box, origin);
+    best.clear();
+    for (const core::DataElement& e : result.elements) {
+      // Geo elements carry their exact coordinates as numeric tokens; the
+      // box match is bucket-resolution, so re-measure from the tokens.
+      if (e.keys.size() != 2) continue;
+      const double* ex = std::get_if<double>(&e.keys[0]);
+      const double* ey = std::get_if<double>(&e.keys[1]);
+      if (ex == nullptr || ey == nullptr) continue;
+      const double ddx = *ex - x;
+      const double ddy = *ey - y;
+      best.push_back(GeoNeighbor{e.name, *ex, *ey, ddx * ddx + ddy * ddy});
+    }
+    std::sort(best.begin(), best.end(),
+              [](const GeoNeighbor& a, const GeoNeighbor& b) {
+                return a.dist2 != b.dist2 ? a.dist2 < b.dist2
+                                          : a.name < b.name;
+              });
+    best.erase(std::unique(best.begin(), best.end(),
+                           [](const GeoNeighbor& a, const GeoNeighbor& b) {
+                             return a.name == b.name;
+                           }),
+               best.end());
+    const bool covers_world = x - r <= 0 && x + r >= world.width &&
+                              y - r <= 0 && y + r >= world.height;
+    if (covers_world ||
+        (best.size() >= k && best[k - 1].dist2 <= r * r)) {
+      if (best.size() > k) best.resize(k);
+      return best;
+    }
+    r *= 2;
+  }
+}
+
+} // namespace squid::workload

@@ -124,6 +124,70 @@ TEST(FlatStoreDifferential, BatchPublishEqualsSequentialPublish) {
   }
 }
 
+TEST(FlatStoreDifferential, RepublishIsLastWriterWinsByKeyAndName) {
+  // Element identity is (key, name): publishing under an existing identity
+  // REPLACES the stored element in place — same arrival position, counts
+  // unchanged — rather than appending a duplicate (DESIGN.md 4j). A moving
+  // object that re-announces an unchanged position must not accrete copies.
+  SquidSystem sys(two_dim_space());
+  const DataElement a{"a", {"ab", "cd"}};
+  const DataElement b{"b", {"ab", "cd"}}; // same key, different name
+  const DataElement c{"c", {"ab", "cd"}};
+  sys.publish(a);
+  sys.publish(b);
+  sys.publish(c);
+  ASSERT_EQ(sys.key_count(), 1u);
+  ASSERT_EQ(sys.element_count(), 3u);
+
+  // Republish the MIDDLE identity: position preserved, nothing appended.
+  sys.publish(b);
+  EXPECT_EQ(sys.element_count(), 3u);
+  sys.for_each_key([&](u128, const sfc::Point&,
+                       const std::vector<DataElement>& es) {
+    ASSERT_EQ(es.size(), 3u);
+    EXPECT_EQ(es[0].name, "a");
+    EXPECT_EQ(es[1].name, "b");
+    EXPECT_EQ(es[2].name, "c");
+  });
+
+  // Same name at a DIFFERENT key is a different identity: both live.
+  const DataElement b_moved{"b", {"ba", "dc"}};
+  sys.publish(b_moved);
+  EXPECT_EQ(sys.element_count(), 4u);
+  EXPECT_EQ(sys.key_count(), 2u);
+}
+
+TEST(FlatStoreDifferential, BatchPublishAppliesLastWriterWinsPerIdentity) {
+  // Duplicate identities inside one batch — and across batch boundaries —
+  // collapse to the LAST occurrence, exactly as sequential publish would.
+  SquidSystem batched(two_dim_space());
+  SquidSystem sequential(two_dim_space());
+  const DataElement first{"x", {"aa", "bb"}};
+  const DataElement other{"y", {"aa", "bb"}};
+  const DataElement again{"x", {"aa", "bb"}};
+  const std::vector<DataElement> wave1 = {first, other, again};
+  batched.publish_batch(wave1);
+  for (const auto& e : wave1) sequential.publish(e);
+  EXPECT_EQ(batched.element_count(), 2u);
+  EXPECT_EQ(sequential.element_count(), 2u);
+
+  // A second batch republishing "x" at the same key still replaces in
+  // place; at a new key it migrates (old key's copy is NOT removed — LWW is
+  // per (key, name) identity, not a global name registry).
+  const std::vector<DataElement> wave2 = {DataElement{"x", {"aa", "bb"}},
+                                          DataElement{"x", {"cc", "dd"}}};
+  batched.publish_batch(wave2);
+  for (const auto& e : wave2) sequential.publish(e);
+  EXPECT_EQ(batched.element_count(), 3u);
+
+  std::map<u128, std::vector<DataElement>> reference;
+  sequential.for_each_key([&](u128 index, const sfc::Point&,
+                              const std::vector<DataElement>& es) {
+    reference[index] = es;
+  });
+  check_store(batched, reference);
+}
+
 TEST(FlatStoreDifferential, LoadViewsMatchBruteForce) {
   Rng rng(0x10ad);
   SquidConfig config;

@@ -117,6 +117,31 @@ msg::Reply sample_aggregate_reply() {
   return r;
 }
 
+/// Update frames (DESIGN.md 4j) with both token flavors: an exact-binary
+/// awkward double (negative, non-representable decimal) and strings with
+/// spaces, so the element codec — not just the header — is exercised.
+msg::PublishRequest sample_publish() {
+  msg::PublishRequest p;
+  p.seq = 0xdeadbeef01234567ull;
+  p.origin = kHuge - 3;
+  p.to = 7;
+  p.element = DataElement{"obj 42", {-1234.5625, std::string("a b c")}};
+  p.event = 5;
+  p.span = -1;
+  return p;
+}
+
+msg::RetractRequest sample_retract() {
+  msg::RetractRequest r;
+  r.seq = 1;
+  r.origin = 0;
+  r.to = kHuge;
+  r.element = DataElement{"", {std::string(""), 0.1}};
+  r.event = 0;
+  r.span = 12;
+  return r;
+}
+
 TEST(MessageSerialize, ResolveRequestRoundTrips) {
   const msg::ResolveRequest r = sample_resolve();
   EXPECT_EQ(round_trip(r), r);
@@ -134,6 +159,19 @@ TEST(MessageSerialize, ScanRequestRoundTrips) {
 
 TEST(MessageSerialize, ReplyRoundTrips) {
   const msg::Reply r = sample_reply();
+  EXPECT_EQ(round_trip(r), r);
+}
+
+TEST(MessageSerialize, UpdateFramesRoundTripBitExactly) {
+  const msg::PublishRequest p = sample_publish();
+  const msg::PublishRequest p2 = round_trip(p);
+  EXPECT_EQ(p2, p);
+  // The numeric token must come back bit-exact, not decimal-close: retract
+  // matching is by name AND keys, so a 1-ulp wobble would strand elements.
+  ASSERT_EQ(p2.element.keys.size(), 2u);
+  EXPECT_EQ(std::get<double>(p2.element.keys[0]), -1234.5625);
+
+  const msg::RetractRequest r = sample_retract();
   EXPECT_EQ(round_trip(r), r);
 }
 
@@ -171,9 +209,10 @@ TEST(MessageSerialize, EveryAggregateKindRoundTripsOnScanAndReply) {
 
 TEST(MessageSerialize, SaveReportsTheExactEncodedSizeAndLoadConsumesIt) {
   const std::vector<msg::Message> all = {
-      msg::Message{sample_resolve()}, msg::Message{sample_dispatch()},
-      msg::Message{sample_scan()}, msg::Message{sample_reply()},
-      msg::Message{sample_aggregate_reply()}};
+      msg::Message{sample_resolve()},         msg::Message{sample_dispatch()},
+      msg::Message{sample_scan()},            msg::Message{sample_reply()},
+      msg::Message{sample_aggregate_reply()}, msg::Message{sample_publish()},
+      msg::Message{sample_retract()}};
   for (const msg::Message& message : all) {
     std::ostringstream out;
     const std::size_t saved = save_message(message, out);
@@ -236,16 +275,25 @@ TEST(MessageSerialize, DestinationAndTypeNameMatchTheAlternative) {
             sample_scan().at);
   EXPECT_EQ(msg::destination_of(msg::Message{sample_reply()}),
             sample_reply().to);
+  EXPECT_EQ(msg::destination_of(msg::Message{sample_publish()}),
+            sample_publish().to);
+  EXPECT_EQ(msg::destination_of(msg::Message{sample_retract()}),
+            sample_retract().to);
   EXPECT_EQ(std::string(msg::type_name(msg::Message{sample_scan()})), "scan");
   EXPECT_EQ(std::string(msg::type_name(msg::Message{sample_reply()})),
             "reply");
+  EXPECT_EQ(std::string(msg::type_name(msg::Message{sample_publish()})),
+            "publish");
+  EXPECT_EQ(std::string(msg::type_name(msg::Message{sample_retract()})),
+            "retract");
 }
 
 TEST(MessageSerialize, EveryTruncationFailsLoudly) {
   const std::vector<msg::Message> all = {
-      msg::Message{sample_resolve()}, msg::Message{sample_dispatch()},
-      msg::Message{sample_scan()}, msg::Message{sample_reply()},
-      msg::Message{sample_aggregate_reply()}};
+      msg::Message{sample_resolve()},         msg::Message{sample_dispatch()},
+      msg::Message{sample_scan()},            msg::Message{sample_reply()},
+      msg::Message{sample_aggregate_reply()}, msg::Message{sample_publish()},
+      msg::Message{sample_retract()}};
   for (const msg::Message& message : all) {
     const std::string full = encode(message);
     // Drop whitespace-delimited tokens from the tail one at a time; every
@@ -273,6 +321,24 @@ TEST(MessageSerialize, BadMagicAndUnknownTagAreRejected) {
 TEST(MessageSerialize, GarbageFieldsAreRejected) {
   // A non-numeric id where a u128 is expected.
   EXPECT_THROW(decode("SQUID-MSG-1 scan 1 banana 0 0 0 0 -1"),
+               std::invalid_argument);
+}
+
+TEST(MessageSerialize, CorruptUpdateFramesAreRejected) {
+  // A misspelled update tag is an unknown message type, not a fallback.
+  {
+    std::string text = encode(msg::Message{sample_publish()});
+    text.replace(text.find("publish"), 7, "publush");
+    EXPECT_THROW(decode(text), std::invalid_argument);
+  }
+  // A retract downgraded to a bare prefix of its element dies loudly.
+  {
+    const std::string full = encode(msg::Message{sample_retract()});
+    EXPECT_THROW(decode(full.substr(0, full.size() / 2)),
+                 std::invalid_argument);
+  }
+  // Garbage where the origin id should be.
+  EXPECT_THROW(decode("SQUID-MSG-1 publish 7 banana 3"),
                std::invalid_argument);
 }
 

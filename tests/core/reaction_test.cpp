@@ -16,6 +16,7 @@
 #include "squid/core/parallel.hpp"
 #include "squid/core/reaction.hpp"
 #include "squid/core/system.hpp"
+#include "squid/core/update.hpp"
 #include "squid/obs/telemetry.hpp"
 #include "squid/sim/engine.hpp"
 #include "squid/sim/fault.hpp"
@@ -131,6 +132,74 @@ TEST(ReplicaInvalidation, NoStaleReadsUnderFaults) {
         << "stale read on faulted trial " << trial;
   }
   world.sys->set_fault_injector(nullptr);
+}
+
+TEST(ReplicaInvalidation, RoutedRetractInvalidatesSynchronously) {
+  // The update plane's retract commits through SquidSystem::unpublish, so a
+  // hot-cluster replica covering the key is invalidated before
+  // retract_update returns — a crowd being served from the snapshot can
+  // never be handed the retracted element afterwards.
+  World world = make_world(0x91, 48, 1500);
+  Rng rng(0x92);
+  const DataElement fresh{"fresh", {"aaa", "aaa"}};
+  world.sys->publish(fresh);
+  const std::uint64_t entry = install_root_entry(*world.sys, rng, 3);
+  ASSERT_TRUE(world.sys->replica_valid(entry)); // snapshot contains fresh
+
+  const keyword::Query q{{keyword::Prefix{"a"}, keyword::Any{}}};
+  const auto origin = world.sys->ring().random_node(rng);
+  ASSERT_EQ(names_of(world.sys->query(q, origin)).count("fresh"), 1u);
+
+  const UpdateResult r = retract_update(*world.sys, fresh, origin);
+  ASSERT_TRUE(r.delivered);
+  ASSERT_TRUE(r.applied);
+  EXPECT_FALSE(world.sys->replica_valid(entry))
+      << "routed retract must invalidate the covering entry synchronously";
+  EXPECT_EQ(names_of(world.sys->query(q, origin)).count("fresh"), 0u);
+  ASSERT_TRUE(world.sys->refresh_replica(entry));
+  EXPECT_EQ(names_of(world.sys->query(q, origin)).count("fresh"), 0u)
+      << "the re-snapshot resurrected a retracted element";
+}
+
+TEST(ReplicaInvalidation, RoutedRetractUnderFaultsNeverServesStale) {
+  // Retracts through a heavily-dropping update plane: an op that is LOST
+  // must leave both the element and the snapshot untouched, an op that is
+  // APPLIED must invalidate before the call returns. Queries run with no
+  // injector attached, so every read below is exact — the only uncertainty
+  // is which retracts survived the wire.
+  World world = make_world(0xa1, 48, 1500);
+  Rng rng(0xa2);
+  std::vector<DataElement> fresh;
+  for (int i = 0; i < 40; ++i)
+    fresh.push_back(DataElement{"fresh" + std::to_string(i), {"aaa", "aaa"}});
+  for (const auto& e : fresh) world.sys->publish(e);
+  const std::uint64_t entry = install_root_entry(*world.sys, rng, 3);
+  ASSERT_TRUE(world.sys->replica_valid(entry));
+
+  sim::FaultPlan plan;
+  plan.seed = 0xbad;
+  plan.drop_probability = 0.6; // loss needs 4 straight drops: ~13% of ops
+  std::vector<UpdateOp> ops;
+  for (const auto& e : fresh)
+    ops.push_back(UpdateOp::retract(e, world.sys->ring().random_node(rng)));
+  UpdateOptions opts;
+  opts.faults = &plan;
+  const UpdateRun run = apply_updates(*world.sys, ops, opts);
+  ASSERT_GT(run.applied, 0u);
+  ASSERT_GT(run.lost, 0u) << "the plan must actually lose some retracts";
+  EXPECT_FALSE(world.sys->replica_valid(entry));
+
+  const keyword::Query q{{keyword::Prefix{"a"}, keyword::Any{}}};
+  for (int pass = 0; pass < 2; ++pass) {
+    const auto names =
+        names_of(world.sys->query(q, world.sys->ring().random_node(rng)));
+    for (std::size_t i = 0; i < ops.size(); ++i)
+      EXPECT_EQ(names.count(fresh[i].name), run.results[i].applied ? 0u : 1u)
+          << fresh[i].name << (pass ? " after refresh" : "");
+    if (pass == 0) {
+      ASSERT_TRUE(world.sys->refresh_replica(entry));
+    }
+  }
 }
 
 /// Twin worlds built identically; one carries the full reaction stack

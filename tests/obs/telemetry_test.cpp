@@ -80,10 +80,11 @@ TEST(LoadVector, SumsComponentwiseAndTotals) {
   a.routes_through = 3;
   LoadVector b;
   b.publishes = 5;
+  b.retracts = 13;
   b.cache_hits = 7;
   b.replies_forwarded = 11;
   a += b;
-  EXPECT_EQ(a.total(), 2u + 3u + 5u + 7u + 11u);
+  EXPECT_EQ(a.total(), 2u + 3u + 5u + 13u + 7u + 11u);
   LoadVector c = a;
   EXPECT_TRUE(c == a);
   c.scan_hits += 1;
@@ -381,11 +382,11 @@ TEST(LoadExport, HeatmapCsvGolden) {
   std::ostringstream out;
   write_heatmap_csv(tiny_series(), out);
   EXPECT_EQ(out.str(),
-            "epoch,node,position,scan_hits,routes_through,publishes,"
+            "epoch,node,position,scan_hits,routes_through,publishes,retracts,"
             "cache_hits,replies_forwarded,total\n"
-            "0,0x1,0.25,2,1,0,0,0,3\n"
-            "0,0x3,0.75,0,0,3,0,0,3\n"
-            "1,0x1,0.25,0,0,0,6,0,6\n");
+            "0,0x1,0.25,2,1,0,0,0,0,3\n"
+            "0,0x3,0.75,0,0,3,0,0,0,3\n"
+            "1,0x1,0.25,0,0,0,0,6,0,6\n");
 }
 
 TEST(LoadExport, HeatmapJsonStructureRoundTrips) {

@@ -1,0 +1,204 @@
+// Geo moving-objects workload (DESIGN.md 4j): the update-heavy family over
+// a 2-d numeric space. Locks the ground-truth bookkeeping (a step's retract
+// always matches the indexed element bit-for-bit), exact recall of bbox
+// queries against the workload's truth after motion through the update
+// plane, and k_nearest against a brute-force oracle.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "squid/core/system.hpp"
+#include "squid/core/update.hpp"
+#include "squid/util/rng.hpp"
+#include "squid/workload/geo.hpp"
+
+namespace squid::workload {
+namespace {
+
+using core::SquidSystem;
+using core::UpdateOp;
+using overlay::NodeId;
+
+GeoConfig small_world() {
+  GeoConfig config;
+  config.width = 256;
+  config.height = 256;
+  config.bits = 8;
+  config.objects = 48;
+  config.speed_min = 2;
+  config.speed_max = 12;
+  return config;
+}
+
+/// Brute-force k-nearest over the workload's ground truth.
+std::vector<GeoNeighbor> brute_nearest(const GeoMovingObjectsWorkload& world,
+                                       double x, double y, std::size_t k) {
+  std::vector<GeoNeighbor> all;
+  for (std::size_t i = 0; i < world.size(); ++i) {
+    const auto& o = world.object(i);
+    const double dx = o.x - x, dy = o.y - y;
+    all.push_back({o.name, o.x, o.y, dx * dx + dy * dy});
+  }
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    return a.dist2 != b.dist2 ? a.dist2 < b.dist2 : a.name < b.name;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+TEST(GeoWorkload, SpawnsInsideWorldWithNumericTokens) {
+  Rng rng(0x93e0);
+  const GeoConfig config = small_world();
+  GeoMovingObjectsWorkload world(config, rng);
+  ASSERT_EQ(world.size(), config.objects);
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < world.size(); ++i) {
+    const auto& o = world.object(i);
+    EXPECT_GE(o.x, 0.0);
+    EXPECT_LT(o.x, config.width);
+    EXPECT_GE(o.y, 0.0);
+    EXPECT_LT(o.y, config.height);
+    names.insert(o.name);
+
+    const core::DataElement e = world.element_of(i);
+    EXPECT_EQ(e.name, o.name);
+    ASSERT_EQ(e.keys.size(), 2u);
+    const double* ex = std::get_if<double>(&e.keys[0]);
+    const double* ey = std::get_if<double>(&e.keys[1]);
+    ASSERT_NE(ex, nullptr);
+    ASSERT_NE(ey, nullptr);
+    EXPECT_EQ(*ex, o.x);
+    EXPECT_EQ(*ey, o.y);
+  }
+  EXPECT_EQ(names.size(), world.size()); // names are unique
+  EXPECT_EQ(world.elements().size(), world.size());
+}
+
+TEST(GeoWorkload, StepEmitsRetractOfIndexedElementThenPublish) {
+  Rng rng(0x57e9);
+  GeoMovingObjectsWorkload world(small_world(), rng);
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t i = rng.below(world.size());
+    const core::DataElement before = world.element_of(i);
+    std::vector<UpdateOp> ops;
+    world.step(i, /*origin=*/3, ops, rng);
+    ASSERT_EQ(ops.size(), 2u);
+    EXPECT_EQ(ops[0].kind, UpdateOp::Kind::kRetract);
+    EXPECT_EQ(ops[0].element, before); // retract matches what was indexed
+    EXPECT_EQ(ops[1].kind, UpdateOp::Kind::kPublish);
+    EXPECT_EQ(ops[1].element, world.element_of(i)); // publish = new truth
+    EXPECT_EQ(ops[0].origin, 3u);
+    EXPECT_EQ(ops[1].origin, 3u);
+    // Motion stays inside the world and actually advances the leg.
+    const auto& o = world.object(i);
+    EXPECT_GE(o.x, 0.0);
+    EXPECT_LT(o.x, world.config().width);
+    EXPECT_GE(o.y, 0.0);
+    EXPECT_LT(o.y, world.config().height);
+  }
+}
+
+TEST(GeoWorkload, InsideMatchesManualBoxCheck) {
+  Rng rng(0x1b0c);
+  GeoMovingObjectsWorkload world(small_world(), rng);
+  for (int trial = 0; trial < 20; ++trial) {
+    const double xlo = static_cast<double>(rng.below(200));
+    const double ylo = static_cast<double>(rng.below(200));
+    const double xhi = xlo + static_cast<double>(rng.range(5, 80));
+    const double yhi = ylo + static_cast<double>(rng.range(5, 80));
+    std::set<std::string> expected;
+    for (std::size_t i = 0; i < world.size(); ++i) {
+      const auto& o = world.object(i);
+      if (o.x >= xlo && o.x <= xhi && o.y >= ylo && o.y <= yhi)
+        expected.insert(o.name);
+    }
+    const auto got = world.inside(xlo, xhi, ylo, yhi);
+    EXPECT_EQ(std::set<std::string>(got.begin(), got.end()), expected);
+  }
+}
+
+TEST(GeoWorkload, MotionThroughUpdatePlaneKeepsRecallExact) {
+  // Publish the spawn corpus, then run ticks of every object through
+  // apply_updates. Commits are synchronous, so every bbox query must agree
+  // with the workload's ground truth EXACTLY — recall and precision 1.0.
+  // This is the end-to-end lock tying workload, update plane, tiered store,
+  // and query engine together.
+  Rng rng(0x6e00);
+  GeoMovingObjectsWorkload world(small_world(), rng);
+  SquidSystem sys(world.make_space());
+  sys.build_network(20, rng);
+  sys.publish_batch(world.elements());
+  ASSERT_EQ(sys.element_count(), world.size());
+
+  for (int tick = 0; tick < 4; ++tick) {
+    std::vector<UpdateOp> ops;
+    for (std::size_t i = 0; i < world.size(); ++i)
+      world.step(i, sys.ring().random_node(rng), ops, rng);
+    const auto run = core::apply_updates(sys, ops);
+    ASSERT_EQ(run.lost, 0u);
+    ASSERT_EQ(run.applied, ops.size());
+    ASSERT_EQ(sys.element_count(), world.size());
+
+    for (int probe = 0; probe < 6; ++probe) {
+      const double xlo = static_cast<double>(rng.below(200));
+      const double ylo = static_cast<double>(rng.below(200));
+      const double xhi = xlo + static_cast<double>(rng.range(10, 56));
+      const double yhi = ylo + static_cast<double>(rng.range(10, 56));
+      const auto truth = world.inside(xlo, xhi, ylo, yhi);
+      const auto result = sys.query(bbox_query(xlo, xhi, ylo, yhi),
+                                    sys.ring().random_node(rng));
+      // The box query is bucket-resolution, so it may return boundary
+      // extras; filter by exact coordinates, then demand set equality.
+      std::set<std::string> got;
+      for (const auto& e : result.elements) {
+        const double ex = std::get<double>(e.keys[0]);
+        const double ey = std::get<double>(e.keys[1]);
+        if (ex >= xlo && ex <= xhi && ey >= ylo && ey <= yhi)
+          got.insert(e.name);
+      }
+      EXPECT_EQ(got, std::set<std::string>(truth.begin(), truth.end()));
+    }
+  }
+}
+
+TEST(GeoWorkload, KNearestMatchesBruteForceOracle) {
+  Rng rng(0x4ea9);
+  GeoMovingObjectsWorkload world(small_world(), rng);
+  SquidSystem sys(world.make_space());
+  sys.build_network(16, rng);
+  sys.publish_batch(world.elements());
+
+  for (int trial = 0; trial < 12; ++trial) {
+    const double x = static_cast<double>(rng.below(256));
+    const double y = static_cast<double>(rng.below(256));
+    const std::size_t k = 1 + rng.below(8);
+    const auto got =
+        k_nearest(sys, world.config(), x, y, k, sys.ring().random_node(rng));
+    const auto want = brute_nearest(world, x, y, k);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].name, want[i].name) << "trial " << trial << " k=" << k;
+      EXPECT_DOUBLE_EQ(got[i].dist2, want[i].dist2);
+    }
+  }
+
+  // k larger than the population returns everyone, still sorted.
+  const auto everyone = k_nearest(sys, world.config(), 128, 128,
+                                  world.size() + 10,
+                                  sys.ring().random_node(rng));
+  EXPECT_EQ(everyone.size(), world.size());
+  EXPECT_TRUE(std::is_sorted(everyone.begin(), everyone.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.dist2 < b.dist2 ||
+                                      (a.dist2 == b.dist2 && a.name < b.name);
+                             }));
+}
+
+} // namespace
+} // namespace squid::workload
